@@ -1,0 +1,52 @@
+"""Bench: paper Figs 11 & 12 — MiniVite execution time vs rank count.
+
+Paper setup: 32-256 ranks on 2-16 nodes; 640,000 vertices (Fig. 11) and
+1,280,000 (Fig. 12).  The bench sweeps scaled-down inputs with the same
+1:2 ratio.  Expected shapes:
+
+* execution time falls as ranks are added, with diminishing returns at
+  the high end (communication/computation overlap degrades),
+* every tool sits above the baseline; ours tracks the original
+  RMA-Analyzer closely ("the performance is substantially the same"),
+* MUST-RMA has the largest overhead, and it worsens with more ranks
+  (growing vector clocks).
+"""
+
+import pytest
+
+from repro.experiments import minivite_rank_sweep
+
+RANKS = (4, 8, 16)
+TOOLS = ("Baseline", "RMA-Analyzer", "MUST-RMA", "Our Contribution")
+
+
+def _check_shape(sweep):
+    first, last = RANKS[0], RANKS[-1]
+    for tool in TOOLS:
+        assert sweep[last][tool].sim_elapsed_ms < sweep[first][tool].sim_elapsed_ms
+    for nranks in RANKS:
+        runs = sweep[nranks]
+        base = runs["Baseline"].sim_elapsed_ms
+        for tool in TOOLS[1:]:
+            assert runs[tool].sim_elapsed_ms > base
+        ours = runs["Our Contribution"].sim_elapsed_ms
+        legacy = runs["RMA-Analyzer"].sim_elapsed_ms
+        assert 0.5 < ours / legacy < 2.0
+        assert runs["MUST-RMA"].accesses_processed > \
+            runs["RMA-Analyzer"].accesses_processed
+        assert runs["Our Contribution"].races == 0
+
+
+def test_fig11_small_input(once):
+    sweep = once(minivite_rank_sweep, 8_000, RANKS)
+    _check_shape(sweep)
+
+
+def test_fig12_large_input(once):
+    sweep = once(minivite_rank_sweep, 16_000, RANKS)
+    _check_shape(sweep)
+    # the doubled input runs longer at every rank count
+    small = minivite_rank_sweep(8_000, (RANKS[-1],), tools=("Baseline",))
+    large_t = sweep[RANKS[-1]]["Baseline"].sim_elapsed_ms
+    small_t = small[RANKS[-1]]["Baseline"].sim_elapsed_ms
+    assert large_t > small_t

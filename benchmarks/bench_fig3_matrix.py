@@ -1,0 +1,18 @@
+"""Bench: paper Fig. 3 — the three-process race matrix."""
+
+from repro.experiments import fig3_race_matrix
+from repro.intervals import fig3_matrix
+
+
+def test_fig3_regenerate(once):
+    result = once(fig3_race_matrix)
+    matrix = result.data["matrix"]
+    assert len(matrix) == 20
+    # the Fig. 2a and Fig. 2b cells
+    assert matrix[("get", "origin1", "load")]["inwindow"] == (0, 1)
+    assert matrix[("get", "target", "get")]["inwindow"] == (1, 1)
+
+
+def test_fig3_matrix_construction(benchmark):
+    matrix = benchmark(fig3_matrix)
+    assert len(matrix) == 20

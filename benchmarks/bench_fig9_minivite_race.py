@@ -1,0 +1,11 @@
+"""Bench: paper Fig. 9 — the injected MiniVite MPI_Put race."""
+
+from repro.experiments import fig9_minivite_race
+
+
+def test_fig9_regenerate(once):
+    result = once(fig9_minivite_race, nvertices=1024, nranks=4)
+    assert result.data["races"] >= 1
+    message = result.data["messages"][0]
+    assert "RMA_WRITE" in message
+    assert "./dspl.hpp:614" in message and "./dspl.hpp:612" in message

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the insertion algorithms' raw throughput.
+
+Four synthetic access streams characterize where each insertion strategy
+wins:
+
+* ``adjacent`` — the Code-2 / CFD-Proxy shape: same line, consecutive
+  ranges.  The paper's algorithm keeps a constant-size tree (O(log 1)
+  per insert) while the original grows it linearly (O(log n));
+* ``strided``  — the MiniVite shape: constant stride, never adjacent.
+  Neither baseline compresses it (StridedDetector's chains do);
+* ``random``   — scattered disjoint accesses: both trees grow alike;
+* ``repeated`` — the same ranges re-touched: fragmentation keeps one
+  node per range, the multiset keeps them all.
+"""
+
+import random
+
+import pytest
+
+from repro.bst import IntervalBST
+from repro.core import insert_access
+from repro.intervals import is_race_legacy
+from tests.conftest import LR, RW, acc
+
+N = 2_000
+
+
+def _adjacent():
+    return [acc(i, i + 1, RW, line=1) for i in range(N)]
+
+
+def _strided():
+    return [acc(i * 3, i * 3 + 1, LR, line=1) for i in range(N)]
+
+
+def _random():
+    rng = random.Random(5)
+    return [acc(lo * 40, lo * 40 + rng.randint(1, 16), LR, line=rng.randint(1, 4))
+            for lo in (rng.randint(0, 5 * N) for _ in range(N))]
+
+
+def _repeated():
+    return [acc((i % 50) * 10, (i % 50) * 10 + 8, LR, line=1) for i in range(N)]
+
+
+STREAMS = {
+    "adjacent": _adjacent,
+    "strided": _strided,
+    "random": _random,
+    "repeated": _repeated,
+}
+
+
+def _run_ours(stream):
+    bst = IntervalBST()
+    for a in stream:
+        insert_access(a, bst)
+    return bst
+
+
+def _run_legacy(stream):
+    bst = IntervalBST()
+    for a in stream:
+        # the original: path-limited check + plain multiset append
+        from repro.bst import legacy_find_overlapping
+
+        for stored in legacy_find_overlapping(bst, a.interval):
+            if is_race_legacy(stored, a):
+                break
+        bst.insert(a)
+    return bst
+
+
+@pytest.mark.parametrize("shape", list(STREAMS), ids=list(STREAMS))
+def test_ours_insert_throughput(benchmark, shape):
+    stream = STREAMS[shape]()
+    bst = benchmark.pedantic(_run_ours, args=(stream,), rounds=3,
+                             iterations=1, warmup_rounds=1)
+    if shape == "adjacent":
+        assert len(bst) == 1
+    if shape == "repeated":
+        assert len(bst) == 50
+
+
+@pytest.mark.parametrize("shape", list(STREAMS), ids=list(STREAMS))
+def test_legacy_insert_throughput(benchmark, shape):
+    stream = STREAMS[shape]()
+    bst = benchmark.pedantic(_run_legacy, args=(stream,), rounds=3,
+                             iterations=1, warmup_rounds=1)
+    assert len(bst) == N  # nothing ever merges

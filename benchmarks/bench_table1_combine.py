@@ -1,0 +1,30 @@
+"""Bench: paper Table 1 — access-type combination.
+
+Regenerates the table and micro-benchmarks the combination primitive,
+which sits on the hot path of every fragmentation call.
+"""
+
+from repro.experiments import table1_combine
+from repro.intervals import AccessType, combined_type
+
+ALL = list(AccessType)
+
+
+def test_table1_regenerate(once):
+    result = once(table1_combine)
+    rows = result.data["rows"]
+    assert rows[3][1:] == ["x", "x", "x", "x"]  # RMA_W row
+    assert rows[0][3] == "RMA_R-2"
+
+
+def test_combined_type_hot_path(benchmark):
+    def all_pairs():
+        acc = 0
+        for s in ALL:
+            for n in ALL:
+                t, which = combined_type(s, n)
+                acc += which
+        return acc
+
+    total = benchmark(all_pairs)
+    assert total > 0

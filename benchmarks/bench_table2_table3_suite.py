@@ -1,0 +1,20 @@
+"""Bench: paper Tables 2 and 3 — the microbenchmark validation suite."""
+
+from repro.experiments import table2_named_codes, table3_confusion
+
+
+def test_table2_regenerate(once):
+    result = once(table2_named_codes)
+    row = result.data["ll_get_load_inwindow_origin_race"]
+    assert row["Our Contribution"] and row["RMA-Analyzer"]
+    assert not row["MUST-RMA"]  # the stack-array miss
+
+
+def test_table3_regenerate(once):
+    result = once(table3_confusion)
+    d = result.data
+    assert d["Our Contribution"] == {"FP": 0, "FN": 0,
+                                     "TP": d["Our Contribution"]["TP"],
+                                     "TN": d["Our Contribution"]["TN"]}
+    assert d["RMA-Analyzer"]["FP"] == 6
+    assert d["MUST-RMA"]["FN"] == 15

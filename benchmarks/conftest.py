@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one module here; each module's benchmark
+regenerates the table/figure (at laptop-scale parameters) and asserts
+the *shape* facts the paper reports, so ``pytest benchmarks/
+--benchmark-only`` doubles as the reproduction run.
+
+Benchmarks that run whole applications use ``benchmark.pedantic`` with
+one round — the interesting numbers are the in-simulation measurements,
+not micro-variance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

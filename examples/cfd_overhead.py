@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""CFD-Proxy analysis overhead — the paper's Fig. 10 as an ASCII chart.
+
+The halo-exchange workload is where the new insertion algorithm shines:
+every origin's puts land in a dedicated contiguous block of the target
+window, so they merge into a handful of BST nodes (paper: 90,004 -> 54,
+a 99.94% reduction), which cuts the analysis overhead by up to 2x vs
+the original RMA-Analyzer.  MUST-RMA, which instruments every access,
+is the slowest.  The legacy tools also report a *false positive* here —
+the §6 ``MPI_Win_flush`` mishandling.
+
+Usage::
+
+    python examples/cfd_overhead.py [nranks] [iterations]
+"""
+
+import sys
+
+from repro.apps import CfdConfig
+from repro.experiments import fig10_cfd_epoch_time
+
+
+def main(nranks: int = 12, iterations: int = 50) -> None:
+    result = fig10_cfd_epoch_time(
+        nranks=nranks, config=CfdConfig(iterations=iterations)
+    )
+    print(result)
+
+    runs = result.data
+    legacy = runs["RMA-Analyzer"]
+    ours = runs["Our Contribution"]
+    base = runs["Baseline"].sim_elapsed_ms
+    speedup = (legacy.sim_elapsed_ms - base) / max(ours.sim_elapsed_ms - base, 1e-9)
+    print(f"analysis-overhead reduction vs RMA-Analyzer: {speedup:.2f}x "
+          f"(paper: up to 2x)")
+    print(f"BST nodes: {legacy.total_max_nodes:,} -> {ours.total_max_nodes:,} "
+          f"({100 * (1 - ours.total_max_nodes / legacy.total_max_nodes):.2f}% "
+          f"reduction; paper: 99.94%)")
+    if legacy.races:
+        print(f"note: RMA-Analyzer reported {legacy.races} (false) races "
+              "caused by its MPI_Win_flush handling — §6 of the paper")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

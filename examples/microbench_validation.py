@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate the paper's validation tables (Tables 2 and 3).
+
+Runs the whole two-operation microbenchmark suite under the original
+RMA-Analyzer, the MUST-RMA model and our contribution, and prints the
+confusion matrices plus the four named codes of Table 2.
+
+Usage::
+
+    python examples/microbench_validation.py [--related-work]
+"""
+
+import sys
+
+from repro.experiments import PAPER_TABLE3, table2_named_codes, table3_confusion
+
+
+def main(include_related_work: bool = False) -> None:
+    print(table2_named_codes())
+    print()
+    result = table3_confusion(include_related_work=include_related_work)
+    print(result)
+
+    print("\npaper Table 3 (154 codes: 47 race / 107 safe):")
+    for tool, cells in PAPER_TABLE3.items():
+        ours = result.data.get(tool, {})
+        print(f"  {tool:18s} paper FP={cells['FP']} FN={cells['FN']}  |  "
+              f"reproduced FP={ours.get('FP')} FN={ours.get('FN')}")
+
+
+if __name__ == "__main__":
+    main("--related-work" in sys.argv[1:])

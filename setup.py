@@ -1,0 +1,5 @@
+"""Legacy shim so offline editable installs work without the wheel package."""
+
+from setuptools import setup
+
+setup()

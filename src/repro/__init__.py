@@ -1,0 +1,60 @@
+"""repro — reproduction of "Rethinking Data Race Detection in MPI-RMA
+Programs" (Vinayagame et al., Correctness @ SC-W 2023).
+
+Layering (bottom up):
+
+* :mod:`repro.intervals` — interval/access algebra, Table 1, Fig. 3,
+* :mod:`repro.bst` — from-scratch balanced interval BST (+ the legacy
+  unsound search),
+* :mod:`repro.core` — the paper's new insertion algorithm and detector,
+* :mod:`repro.tsan` — vector clocks / shadow memory substrate,
+* :mod:`repro.detectors` — RMA-Analyzer, MUST-RMA, Park, MC-CChecker,
+* :mod:`repro.mpi` — the simulated MPI-RMA runtime,
+* :mod:`repro.aliasing` — the instrumentation filter,
+* :mod:`repro.microbench` — the 154-code validation suite,
+* :mod:`repro.apps` — MiniVite-like and CFD-Proxy-like applications,
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import OurDetector, World
+
+    def program(ctx):
+        win = yield ctx.win_allocate("w", 64)
+        buf = ctx.alloc("buf", 64, rma_hint=True)
+        ctx.win_lock_all(win)
+        if ctx.rank == 0:
+            ctx.get(win, target=1, disp=0, buf=buf, count=8)
+            ctx.load(buf, 0)          # races with the async MPI_Get!
+        ctx.win_unlock_all(win)
+        yield ctx.win_free(win)
+
+    det = OurDetector()
+    world = World(2, [det])
+    world.run(program)
+    print(det.reports[0].message)
+"""
+
+from .core import DataRaceError, OurDetector, RaceReport
+from .detectors import McCChecker, MustRma, ParkMirror, RmaAnalyzerLegacy
+from .intervals import AccessType, DebugInfo, Interval, MemoryAccess
+from .mpi import World, run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "DataRaceError",
+    "DebugInfo",
+    "Interval",
+    "McCChecker",
+    "MemoryAccess",
+    "MustRma",
+    "OurDetector",
+    "ParkMirror",
+    "RaceReport",
+    "RmaAnalyzerLegacy",
+    "World",
+    "run_spmd",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Simulated LLVM alias-analysis instrumentation filter.
+
+RMA-Analyzer's compile pass "uses the LLVM alias analysis to reduce the
+number of Load/Store instrumentations" (§5.1): a local access that
+provably cannot alias any memory involved in one-sided communication is
+never instrumented, so it costs nothing at runtime.  MUST-RMA has no
+such filter — "ThreadSanitizer instruments all memory accesses in the
+program" — which is the paper's explanation for its much larger
+overhead (Fig. 10).
+
+Our stand-in works on region provenance instead of LLVM IR: a region
+*may alias RMA memory* when it is (part of) a window or has been used as
+the local buffer of a Put/Get.  The simulator maintains that bit
+(:attr:`repro.mpi.memory.Region.may_alias_rma`); the filter's verdict is
+a pure function of it, mirroring a flow-insensitive points-to result.
+"""
+
+from .filter import AliasFilter, FilterPolicy
+
+__all__ = ["AliasFilter", "FilterPolicy"]

@@ -1,0 +1,134 @@
+"""Shared runner for the application-scale experiments.
+
+Runs one application under one detector configuration and collects the
+quantities the paper's evaluation reports:
+
+* wall-clock time of the whole simulation and of the detector alone
+  (the "overhead of the analysis at runtime"),
+* the simulated cluster time from the cost model (compute + comm +
+  sync + analysis, per rank; the makespan is Fig. 11/12's "execution
+  time"),
+* detector node statistics (Table 4, the Fig. 10 narrative),
+* race reports (expected clean for the shipped apps unless a race is
+  injected).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..mpi import CostParams, World
+from ..mpi.interposition import DetectorProtocol
+
+__all__ = ["AppRun", "run_app", "DETECTOR_FACTORIES", "detector_factory"]
+
+
+@dataclass
+class AppRun:
+    """Everything measured in one (app, detector, params) execution."""
+
+    app: str
+    detector: str
+    nranks: int
+    wall_seconds: float
+    analysis_seconds: float
+    sim_elapsed_ms: float
+    sim_breakdown: Dict[str, float]
+    races: int
+    total_max_nodes: int
+    max_nodes_one_rank: int
+    accesses_processed: int
+    accesses_filtered: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.app}/{self.detector}@{self.nranks}"
+
+
+def run_app(
+    app: str,
+    program: Callable,
+    nranks: int,
+    detector: Optional[DetectorProtocol],
+    *args: Any,
+    cost_params: Optional[CostParams] = None,
+    **kwargs: Any,
+) -> AppRun:
+    """Run ``program`` on ``nranks`` simulated ranks under ``detector``."""
+    detectors = [detector] if detector is not None else []
+    world = World(nranks, detectors, cost_params=cost_params)
+    t0 = time.perf_counter()
+    world.run(program, *args, **kwargs)
+    wall = time.perf_counter() - t0
+
+    name = detector.name if detector is not None else "Baseline"
+    analysis = world.interposition.analysis_wall.get(name, 0.0)
+    races = getattr(detector, "reports_total", 0) if detector else 0
+    if detector is not None:
+        stats = detector.node_stats()
+        total_max = stats.total_max_nodes
+        max_one = stats.max_nodes_one_rank
+        processed = stats.accesses_processed
+        filtered = stats.accesses_filtered
+    else:
+        total_max = max_one = processed = filtered = 0
+
+    breakdown = {
+        cat: world.clock.total(cat) / 1e6
+        for cat in ("compute", "comm", "sync", "analysis")
+    }
+    return AppRun(
+        app=app,
+        detector=name,
+        nranks=nranks,
+        wall_seconds=wall,
+        analysis_seconds=analysis,
+        sim_elapsed_ms=world.clock.elapsed_ms(),
+        sim_breakdown=breakdown,
+        races=races,
+        total_max_nodes=total_max,
+        max_nodes_one_rank=max_one,
+        accesses_processed=processed,
+        accesses_filtered=filtered,
+    )
+
+
+def detector_factory(name: str) -> Callable[[], Optional[DetectorProtocol]]:
+    """Factory by paper name; 'Baseline' yields no detector at all."""
+    if name not in DETECTOR_FACTORIES:
+        raise KeyError(f"unknown detector {name!r}; have {sorted(DETECTOR_FACTORIES)}")
+    return DETECTOR_FACTORIES[name]
+
+
+def _baseline() -> None:
+    return None
+
+
+def _legacy():
+    from ..detectors import RmaAnalyzerLegacy
+
+    return RmaAnalyzerLegacy()
+
+
+def _must():
+    from ..detectors import MustRma
+
+    return MustRma()
+
+
+def _ours():
+    from ..core import OurDetector
+
+    return OurDetector()
+
+
+#: the four bars of the paper's Fig. 10, by display name
+DETECTOR_FACTORIES: Dict[str, Callable[[], Optional[DetectorProtocol]]] = {
+    "Baseline": _baseline,
+    "RMA-Analyzer": _legacy,
+    "MUST-RMA": _must,
+    "Our Contribution": _ours,
+}

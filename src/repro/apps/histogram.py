@@ -1,0 +1,124 @@
+"""Distributed histogram — the classic MPI_Accumulate workload.
+
+A third application domain next to MiniVite (graphs) and CFD-Proxy
+(meshes): every rank classifies a local sample stream into bins owned
+round-robin by all ranks and updates the remote bins in place.  This is
+the textbook use of ``MPI_Accumulate`` — the §2.1 atomicity property is
+exactly what makes the concurrent updates correct.
+
+The module ships both variants:
+
+* ``use_accumulate=True`` (correct): concurrent same-op accumulates,
+  race-free by atomicity;
+* ``use_accumulate=False`` (buggy): the read-modify-write done "by hand"
+  with ``MPI_Get`` + local add + ``MPI_Put`` — the classic lost-update
+  race every detector should flag.
+
+A third mode (``use_locks=True``) fixes the manual variant with
+exclusive ``MPI_Win_lock`` epochs around each read-modify-write, which
+detectors with per-target-lock support recognize as race-free; a fourth
+(``use_fetch_op=True``) uses ``MPI_Fetch_and_op`` — the one-call atomic
+read-modify-write, race-free like the accumulate variant and the only
+one that also hands back the old value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..intervals import DebugInfo
+from ..mpi import INT64, RankContext
+
+__all__ = ["HistogramConfig", "HistogramResult", "histogram_program"]
+
+_SRC = "./histogram.c"
+
+
+@dataclass(frozen=True)
+class HistogramConfig:
+    """Workload knobs."""
+
+    nbins: int = 64
+    samples_per_rank: int = 256
+    seed: int = 99
+    use_accumulate: bool = True
+    use_locks: bool = False  # exclusive-lock fix for the manual variant
+    use_fetch_op: bool = False  # MPI_Fetch_and_op variant
+    batch: int = 8  # samples handled per epoch round
+
+
+@dataclass
+class HistogramResult:
+    total_counted: int = 0
+    max_bin: int = 0
+
+
+def histogram_program(
+    ctx: RankContext,
+    config: HistogramConfig,
+    result: Optional[HistogramResult] = None,
+) -> Generator:
+    """Per-rank histogram kernel.  Bins are distributed round-robin."""
+    bins_local = (config.nbins + ctx.size - 1) // ctx.size
+    win = yield ctx.win_allocate("bins", max(bins_local, 1), INT64)
+
+    rng = np.random.default_rng(config.seed + ctx.rank)
+    samples = rng.integers(0, config.nbins, config.samples_per_rank)
+
+    one = ctx.alloc("one", 1, INT64, rma_hint=True)
+    one.np[0] = 1
+    tmp = ctx.alloc("tmp", 1, INT64, rma_hint=True)
+
+    dbg_acc = DebugInfo(_SRC, 41)
+    dbg_faa = DebugInfo(_SRC, 44)
+    dbg_get = DebugInfo(_SRC, 47)
+    dbg_put = DebugInfo(_SRC, 49)
+
+    if not config.use_locks:
+        ctx.win_lock_all(win)
+        yield ctx.barrier()
+
+    done = 0
+    while done < len(samples):
+        batch = samples[done : done + config.batch]
+        done += len(batch)
+        for value in batch:
+            owner = int(value) % ctx.size
+            disp = int(value) // ctx.size
+            if config.use_fetch_op:
+                ctx.fetch_and_op(win, owner, disp, one, tmp, debug=dbg_faa)
+            elif config.use_accumulate:
+                ctx.accumulate(win, owner, disp, one, 0, 1, op="sum",
+                               debug=dbg_acc)
+            elif config.use_locks:
+                # manual read-modify-write, made safe by mutual exclusion
+                ctx.win_lock(win, owner, exclusive=True)
+                ctx.get(win, owner, disp, tmp, 0, 1, debug=dbg_get)
+                ctx.win_flush_all(win)
+                tmp.np[0] += 1
+                ctx.put(win, owner, disp, tmp, 0, 1, debug=dbg_put)
+                ctx.win_unlock(win, owner)
+            else:
+                # BUGGY: unsynchronized read-modify-write (lost updates)
+                ctx.get(win, owner, disp, tmp, 0, 1, debug=dbg_get)
+                tmp.np[0] += 1
+                ctx.put(win, owner, disp, tmp, 0, 1, debug=dbg_put)
+        yield  # let the other ranks' batches interleave
+
+    if not config.use_locks:
+        ctx.win_flush_all(win)
+        yield ctx.barrier()
+        ctx.win_unlock_all(win)
+    yield ctx.barrier()
+
+    local_total = int(np.sum(win.memory(ctx.rank)[:bins_local]))
+    local_max = int(np.max(win.memory(ctx.rank)[:bins_local], initial=0))
+    total = yield ctx.allreduce(float(local_total), "sum")
+    peak = yield ctx.allreduce(float(local_max), "max")
+    if result is not None and ctx.rank == 0:
+        result.total_counted = int(total)
+        result.max_bin = int(peak)
+    yield ctx.win_free(win)

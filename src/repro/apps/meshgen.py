@@ -1,0 +1,66 @@
+"""Partitioned unstructured-mesh stand-in for the CFD-Proxy workload.
+
+CFD-Proxy operates on a partitioned unstructured mesh and exchanges
+halo (ghost-cell) data with a small, fixed set of neighbouring
+partitions.  For the reproduction only the *communication structure*
+matters: which ranks are neighbours and how many halo cells each pair
+exchanges.  We build a ring-of-partitions topology (each rank talks to
+``halo_width`` neighbours on each side), the classic 1-D decomposition
+of a banded mesh, with per-pair halo sizes derived deterministically
+from the cell count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["MeshPartition", "make_partitions"]
+
+
+@dataclass(frozen=True)
+class MeshPartition:
+    """One rank's share of the mesh."""
+
+    rank: int
+    ncells: int
+    #: neighbour rank -> number of halo cells exchanged with it
+    halo: Dict[int, int]
+
+    @property
+    def neighbors(self) -> List[int]:
+        return sorted(self.halo)
+
+    @property
+    def halo_cells_total(self) -> int:
+        return sum(self.halo.values())
+
+
+def make_partitions(
+    nranks: int,
+    cells_per_rank: int = 512,
+    halo_width: int = 1,
+    halo_fraction: float = 0.05,
+) -> List[MeshPartition]:
+    """A ring decomposition: rank r exchanges halos with r +/- 1..halo_width.
+
+    ``halo_fraction`` of a partition's cells sit on each shared boundary
+    (at least one cell).  With fewer than three ranks the ring
+    degenerates gracefully (two ranks share one boundary; one rank has
+    no neighbours).
+    """
+    if nranks < 1:
+        raise ValueError("need at least one rank")
+    if not 0 < halo_fraction <= 1:
+        raise ValueError("halo_fraction must be in (0, 1]")
+    halo_cells = max(1, int(cells_per_rank * halo_fraction))
+    parts: List[MeshPartition] = []
+    for r in range(nranks):
+        halo: Dict[int, int] = {}
+        for d in range(1, halo_width + 1):
+            for nb in ((r - d) % nranks, (r + d) % nranks):
+                if nb != r:
+                    # farther neighbours share shorter boundaries
+                    halo[nb] = max(1, halo_cells // d)
+        parts.append(MeshPartition(r, cells_per_rank, halo))
+    return parts

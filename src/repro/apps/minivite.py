@@ -1,0 +1,262 @@
+"""MiniVite-like application: one phase of distributed Louvain.
+
+MiniVite (Ghosh et al., IPDPS'18) implements a single phase of the
+Louvain community-detection method in distributed memory; the paper uses
+its MPI-RMA variant as the "hard" evaluation workload (Figs 11/12,
+Table 4): one ``lock_all``/``unlock_all`` epoch per sweep, one
+``MPI_Put`` of packed ``(vertex, community)`` pairs per communication
+partner (the Fig. 9a code), and — crucially — per-vertex accesses to
+*attributes of adjacent objects* whose memory is **not** adjacent, which
+is why the paper's merging algorithm barely reduces this BST (<7%,
+Table 4).
+
+The reproduction keeps exactly those access-pattern properties:
+
+* per local vertex, the sweep issues instrumented loads/stores on an
+  array-of-structs (24-byte stride), each attribute at its own source
+  line — neither stride-separated same-line accesses nor adjacent
+  different-line accesses can merge;
+* boundary updates are packed into a send buffer (instrumented,
+  same-line, adjacent stores — the *small* merge opportunity that grows
+  as blocks shrink with more ranks) and shipped with one ``MPI_Put`` per
+  partner into a per-origin block of the target's window;
+* plenty of pure-compute numpy work stays un-instrumented, mirroring
+  what the LLVM alias analysis filters out for RMA-Analyzer — but the
+  MUST-RMA model still pays for every instrumented access it sees.
+
+``inject_put_race=True`` duplicates the ``MPI_Put`` exactly like the
+paper's Fig. 9a experiment (two RMA_WRITEs to the same target range,
+reported with the ``./dspl.hpp:612/614`` debug locations of Fig. 9b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..intervals import DebugInfo
+from ..mpi import GRAPH_TYPE, INT64, RankContext
+from .graphgen import Graph, block_range, generate_graph, owner_of
+
+__all__ = ["MiniViteConfig", "MiniViteResult", "CommPlan", "make_comm_plan",
+           "minivite_program", "default_graph"]
+
+_SRC = "./dspl.hpp"
+_VDATA_FIELDS = 3  # community, degree, flag -> 24-byte struct
+
+
+@dataclass(frozen=True)
+class MiniViteConfig:
+    """Workload knobs (defaults are laptop-scale; the paper used 640k/1.28M)."""
+
+    nvertices: int = 4096
+    avg_degree: float = 8.0
+    locality: float = 0.9
+    sweeps: int = 1  # the "single phase" = one sweep by default
+    seed: int = 12345
+    inject_put_race: bool = False
+    #: instrumented bookkeeping accesses per vertex on non-RMA memory —
+    #: dropped by the alias filter, fully processed by MUST-RMA
+    bookkeeping_accesses: int = 6
+
+
+@dataclass
+class MiniViteResult:
+    """Cross-rank outputs (filled in by the rank programs)."""
+
+    communities_before: int = 0
+    communities_after: int = 0
+    modularity: float = 0.0
+
+
+class CommPlan:
+    """Who sends which vertices to whom, and the window layout.
+
+    ``send[o][t]`` — vertex ids owned by ``o`` whose updates rank ``t``
+    needs (because ``t`` owns a neighbor).  The target's window is the
+    concatenation of per-origin blocks: ``disp[t][o]`` is the element
+    offset of ``o``'s block, ``win_elems[t]`` the total element count.
+    """
+
+    def __init__(self, graph: Graph, nranks: int) -> None:
+        self.nranks = nranks
+        sets: Dict[int, Dict[int, set]] = {
+            o: {} for o in range(nranks)
+        }
+        n = graph.nvertices
+        for u in range(n):
+            ou = owner_of(n, nranks, u)
+            for v in graph.neighbors(u):
+                ov = owner_of(n, nranks, int(v))
+                if ov != ou:
+                    sets[ou].setdefault(ov, set()).add(u)
+        self.send: Dict[int, Dict[int, np.ndarray]] = {}
+        for o in range(nranks):
+            self.send[o] = {
+                t: np.array(sorted(vs), dtype=np.int64)
+                for t, vs in sorted(sets[o].items())
+            }
+        self.disp: Dict[int, Dict[int, int]] = {t: {} for t in range(nranks)}
+        self.win_elems: List[int] = [0] * nranks
+        for t in range(nranks):
+            off = 0
+            for o in range(nranks):
+                block = self.send.get(o, {}).get(t)
+                if block is None or not len(block):
+                    continue
+                self.disp[t][o] = off
+                off += len(block)
+            self.win_elems[t] = max(off, 1)
+
+
+def default_graph(config: MiniViteConfig) -> Graph:
+    return generate_graph(
+        config.nvertices, config.avg_degree, config.locality, config.seed
+    )
+
+
+def make_comm_plan(graph: Graph, nranks: int) -> CommPlan:
+    return CommPlan(graph, nranks)
+
+
+def minivite_program(
+    ctx: RankContext,
+    graph: Graph,
+    plan: CommPlan,
+    config: MiniViteConfig,
+    result: Optional[MiniViteResult] = None,
+) -> Generator:
+    """The per-rank MiniVite phase (run with ``World.run``)."""
+    n = graph.nvertices
+    begin, end = block_range(n, ctx.size, ctx.rank)
+    nlocal = end - begin
+
+    # global community mirror (simulation convenience: values only, the
+    # authoritative exchange still goes through the window)
+    community = np.arange(n, dtype=np.int64)
+
+    win = yield ctx.win_allocate(
+        "commwin", plan.win_elems[ctx.rank], GRAPH_TYPE
+    )
+
+    # per-vertex attribute structs: [community, degree, flag] x nlocal
+    vdata = ctx.alloc("vdata", max(_VDATA_FIELDS * nlocal, 1), INT64,
+                      rma_hint=True)
+    vnp = vdata.np
+    if nlocal:
+        vnp[0::3] = community[begin:end]
+        vnp[1::3] = graph.xadj[begin + 1 : end + 1] - graph.xadj[begin:end]
+
+    # pure bookkeeping (visit counters, per-vertex scratch): never aliases
+    # RMA memory, so the alias filter drops these accesses -- MUST-RMA
+    # instruments them anyway (its Fig. 10 over-instrumentation)
+    scratch = ctx.alloc("scratch", max(2 * nlocal, 1), INT64)
+
+    my_sends = plan.send.get(ctx.rank, {})
+    total_out = int(sum(len(v) for v in my_sends.values()))
+    sendbuf = ctx.alloc("scdata", max(2 * total_out, 2), INT64, rma_hint=True)
+    send_view = sendbuf.np
+
+    dbg_scratch_r = DebugInfo(_SRC, 389)
+    dbg_scratch_w = DebugInfo(_SRC, 390)
+    dbg_load_comm = DebugInfo(_SRC, 402)
+    dbg_load_deg = DebugInfo(_SRC, 403)
+    dbg_store_comm = DebugInfo(_SRC, 431)
+    dbg_put = DebugInfo(_SRC, 612)
+    dbg_put_dup = DebugInfo(_SRC, 614)
+
+    for _sweep in range(config.sweeps):
+        ctx.win_lock_all(win)
+        yield ctx.barrier()  # all epochs open before remote traffic
+
+        # ---- local sweep: one Louvain-style move per owned vertex ----
+        for i in range(nlocal):
+            v = begin + i
+            for b in range(config.bookkeeping_accesses // 2):
+                ctx.load(scratch, 2 * i, 1, debug=dbg_scratch_r)
+                ctx.store(scratch, 2 * i + 1, i, 1, debug=dbg_scratch_w)
+            comm_v = int(ctx.load(vdata, 3 * i, 1, debug=dbg_load_comm))
+            deg = int(ctx.load(vdata, 3 * i + 1, 1, debug=dbg_load_deg))
+            neigh = graph.neighbors(v)
+            ctx.compute(max(deg, 1))
+            if len(neigh):
+                ncomms = community[neigh]
+                # pick the most frequent neighbouring community (a
+                # label-propagation step standing in for the full
+                # modularity-gain argmax)
+                vals, counts = np.unique(ncomms, return_counts=True)
+                best = int(vals[np.argmax(counts)])
+                if best != comm_v:
+                    # MiniVite stores the move target in a separate array
+                    # (cvect): a third attribute, 16 bytes away -> the
+                    # stored intervals stay pairwise disjoint
+                    ctx.store(vdata, 3 * i + 2, best, 1, debug=dbg_store_comm)
+                    community[v] = best
+
+        # ---- pack and ship boundary updates (Fig. 9a) ----
+        off = 0
+        for t, verts in my_sends.items():
+            nent = len(verts)
+            # packing uses bulk copies (std::vector assignment / memcpy),
+            # which the LLVM pass does not instrument as plain Load/Store
+            send_view[2 * off : 2 * (off + nent) : 2] = verts
+            send_view[2 * off + 1 : 2 * (off + nent) + 1 : 2] = community[verts]
+            # one Put per communication partner, element type MPI_GRAPH_TYPE
+            pairbuf = _as_graphtype(sendbuf)
+            ctx.put(win, t, plan.disp[t][ctx.rank], pairbuf, off, nent,
+                    debug=dbg_put)
+            if config.inject_put_race:
+                ctx.put(win, t, plan.disp[t][ctx.rank], pairbuf, off, nent,
+                        debug=dbg_put_dup)
+            off += nent
+
+        # the tool's epoch-end protocol waits for all pending remote
+        # accesses (the paper's MPI_Reduce + wait); a barrier before the
+        # unlock models that every notification has been delivered
+        yield ctx.barrier()
+        ctx.win_unlock_all(win)
+
+        # ---- apply incoming ghost updates (epoch is over: completed) ----
+        mem = win.memory(ctx.rank).view(np.int64)
+        incoming = plan.win_elems[ctx.rank]
+        for e in range(incoming):
+            vid = int(mem[2 * e])
+            if 0 < vid < n or (vid == 0 and mem[2 * e + 1] != 0):
+                community[vid] = mem[2 * e + 1]
+
+    # ---- wrap-up statistics ----
+    ncomm_local = len(np.unique(community[begin:end])) if nlocal else 0
+    total = yield ctx.allreduce(float(ncomm_local), "sum")
+    modularity = _local_modularity(graph, community, begin, end)
+    global_mod = yield ctx.allreduce(modularity, "sum")
+    if result is not None and ctx.rank == 0:
+        result.communities_before = n
+        result.communities_after = int(total)
+        result.modularity = global_mod
+    yield ctx.win_free(win)
+
+
+def _as_graphtype(buf):
+    """Reinterpret the int64 send buffer as MPI_GRAPH_TYPE pairs."""
+    from ..mpi.simulator import Buffer
+
+    return Buffer(buf.region, GRAPH_TYPE)
+
+
+def _local_modularity(
+    graph: Graph, community: np.ndarray, begin: int, end: int
+) -> float:
+    """This rank's share of Newman modularity (unnormalized across ranks)."""
+    if end <= begin or graph.nedges == 0:
+        return 0.0
+    m2 = float(2 * graph.nedges)
+    intra = 0
+    for v in range(begin, end):
+        neigh = graph.neighbors(v)
+        if len(neigh):
+            intra += int(np.count_nonzero(community[neigh] == community[v]))
+    deg = (graph.xadj[begin + 1 : end + 1] - graph.xadj[begin:end]).astype(float)
+    # sum over local vertices of (k_v/2m)^2 approximates the null model term
+    return intra / m2 - float(np.sum((deg / m2) ** 2))

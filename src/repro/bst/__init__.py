@@ -1,0 +1,23 @@
+"""Balanced interval BSTs (the storage substrate of RMA-Analyzer).
+
+* :class:`AVLTree` — generic from-scratch AVL multiset with augmentation,
+* :class:`IntervalBST` — accesses keyed by interval lower bound with a
+  correct O(log n + k) overlap query,
+* :func:`legacy_find_overlapping` — the original unsound path-limited
+  search (paper §4.1) used by the baseline detector.
+"""
+
+from .avl import AVLNode, AVLTree, TreeStats
+from .dump import dump_bst, dump_detector_stores
+from .interval_tree import IntervalBST
+from .legacy_search import legacy_find_overlapping
+
+__all__ = [
+    "AVLNode",
+    "AVLTree",
+    "IntervalBST",
+    "TreeStats",
+    "dump_bst",
+    "dump_detector_stores",
+    "legacy_find_overlapping",
+]

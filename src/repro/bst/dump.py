@@ -1,0 +1,70 @@
+"""ASCII rendering of interval BSTs — the paper's Fig. 5 diagrams as text.
+
+Debugging aid: print a detector's per-(rank, window) BST the way the
+paper draws them, e.g. for Code 1 under the original tool::
+
+    ([4], LOCAL_READ)
+    ├── ([2...12], RMA_READ)
+    └── ([7], LOCAL_WRITE)
+
+Nodes render as ``(interval, type)`` with the debug location appended on
+request; the layout is root-first with box-drawing branches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..intervals import MemoryAccess
+from .interval_tree import IntervalBST
+
+__all__ = ["dump_bst", "dump_detector_stores"]
+
+
+def _label(acc: MemoryAccess, *, debug: bool) -> str:
+    text = f"({acc.interval}, {acc.type})"
+    if debug:
+        text += f" @ {acc.debug}"
+    if acc.accum_op:
+        text += f" [{acc.accum_op}]"
+    return text
+
+
+def _walk_side(node, prefix, is_last, side, out, *, debug):
+    connector = "└── " if is_last else "├── "
+    out.append(prefix + connector + f"{side}: " + _label(node.value, debug=debug))
+    child_prefix = prefix + ("    " if is_last else "│   ")
+    children = [c for c in (node.left, node.right) if c is not None]
+    for s, child in (("L", node.left), ("R", node.right)):
+        if child is None:
+            continue
+        _walk_side(child, child_prefix, child is children[-1], s, out,
+                   debug=debug)
+
+
+def dump_bst(bst: IntervalBST, *, debug: bool = False) -> str:
+    """Render the tree structure (root first, L/R labelled branches)."""
+    root = bst.root
+    if root is None:
+        return "(empty)"
+    out: List[str] = [_label(root.value, debug=debug)]
+    children = [c for c in (root.left, root.right) if c is not None]
+    for side, child in (("L", root.left), ("R", root.right)):
+        if child is None:
+            continue
+        _walk_side(child, "", child is children[-1], side, out, debug=debug)
+    return "\n".join(out)
+
+
+def dump_detector_stores(detector, *, debug: bool = False) -> str:
+    """Render every live BST of a BST-based detector, labelled by store."""
+    stores = getattr(detector, "_stores", None)
+    if not stores:
+        return "(no live stores)"
+    blocks: List[str] = []
+    for (rank, wid), bst in sorted(stores.items()):
+        header = f"rank {rank}, window {wid}: {len(bst)} node(s)"
+        blocks.append(header)
+        body = dump_bst(bst, debug=debug)
+        blocks.append("\n".join("  " + line for line in body.splitlines()))
+    return "\n".join(blocks)

@@ -1,0 +1,127 @@
+"""Interval-augmented BST of memory accesses.
+
+This is the data structure at the heart of both the baseline
+RMA-Analyzer and the paper's contribution: a balanced BST keyed by the
+*lower bound* of each access's byte interval.  The augmentation keeps,
+per subtree, the maximum interval upper bound, which makes
+:meth:`IntervalBST.find_overlapping` a textbook interval-tree query:
+O(log n + k) instead of a full scan.
+
+The *legacy* query of the original RMA-Analyzer (lower-bound-only
+comparison, the source of the paper's false negative in Fig. 5a) lives
+in :mod:`repro.bst.legacy_search` and operates on this same tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..intervals import Interval, MemoryAccess
+from .avl import AVLNode, AVLTree, TreeStats
+
+__all__ = ["IntervalBST"]
+
+
+def _augment_max_hi(node: AVLNode[MemoryAccess]) -> None:
+    """Maintain ``node.aug`` = max interval upper bound in the subtree."""
+    hi = node.value.interval.hi
+    if node.left is not None and node.left.aug > hi:
+        hi = node.left.aug
+    if node.right is not None and node.right.aug > hi:
+        hi = node.right.aug
+    node.aug = hi
+
+
+class IntervalBST:
+    """Multiset of :class:`MemoryAccess` ordered by interval lower bound.
+
+    ``balanced=False`` degrades to a plain BST (ablation support).
+    """
+
+    def __init__(self, *, balanced: bool = True) -> None:
+        self._tree: AVLTree[MemoryAccess] = AVLTree(
+            _augment_max_hi, balanced=balanced
+        )
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def root(self) -> Optional[AVLNode[MemoryAccess]]:
+        return self._tree.root
+
+    @property
+    def stats(self) -> TreeStats:
+        return self._tree.stats
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._tree)
+
+    def height(self) -> int:
+        return self._tree.height()
+
+    def clear(self) -> None:
+        self._tree.clear()
+
+    def check_invariants(self) -> None:
+        self._tree.check_invariants()
+        self._check_aug(self._tree.root)
+
+    def _check_aug(self, node: Optional[AVLNode[MemoryAccess]]) -> int:
+        if node is None:
+            return 0
+        expect = max(
+            node.value.interval.hi,
+            self._check_aug(node.left),
+            self._check_aug(node.right),
+        )
+        assert node.aug == expect, f"stale max-hi augmentation at {node!r}"
+        return expect
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, acc: MemoryAccess) -> None:
+        self._tree.insert(acc.interval.lo, acc)
+
+    def remove(self, acc: MemoryAccess) -> bool:
+        """Remove one stored access equal to ``acc``; False if absent."""
+        return self._tree.remove_value(acc.interval.lo, acc)
+
+    # -- queries ---------------------------------------------------------------
+
+    def find_overlapping(self, interval: Interval) -> List[MemoryAccess]:
+        """All stored accesses whose interval overlaps ``interval``.
+
+        Correct interval-tree search: prune subtrees whose max upper
+        bound is at or below ``interval.lo`` and keys at or beyond
+        ``interval.hi``.  Results come back in key order.
+        """
+        out: List[MemoryAccess] = []
+        lo, hi = interval.lo, interval.hi
+        visited = 0
+        stack = [self._tree.root]
+        while stack:
+            node = stack.pop()
+            if node is None or node.aug <= lo:
+                continue
+            visited += 1
+            stack.append(node.left)
+            iv = node.value.interval
+            if iv.lo < hi and lo < iv.hi:
+                out.append(node.value)
+            if node.key < hi:
+                stack.append(node.right)
+        self._tree.stats.comparisons += visited
+        # the explicit stack pops right-to-left; restore key order
+        out.sort(key=lambda a: (a.interval.lo, a.interval.hi))
+        return out
+
+    def find_containing(self, addr: int) -> List[MemoryAccess]:
+        """Stabbing query: all stored accesses containing byte ``addr``."""
+        return self.find_overlapping(Interval(addr, addr + 1))
+
+    def snapshot(self) -> List[MemoryAccess]:
+        """In-order copy of the stored accesses (tests, reports)."""
+        return list(self._tree)

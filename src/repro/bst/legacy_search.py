@@ -1,0 +1,59 @@
+"""The original RMA-Analyzer's lower-bound-only intersection search.
+
+The paper (§4.1) attributes RMA-Analyzer's false negatives to "the
+approximation made by only considering the lower bound of the interval
+of addresses when comparing two accesses": the stored intervals are
+treated as *point keys* during the search, so the descent follows a
+single root-to-leaf path picked by the new access's lower bound and only
+the nodes *on that path* are tested for intersection.  Any intersecting
+node hanging off the path is missed.
+
+Worked example (paper Fig. 5a / Code 1)::
+
+    insert Load(4)        ->  root ([4], Local_Read)
+    insert Put covering [2...12] -> 2 < 4, goes to the LEFT subtree
+    query  Store(7)       ->  7 > 4, descends RIGHT: never visits
+                              ([2...12], RMA_Read) -> race missed
+
+The corrected query (interval augmentation) lives on
+:class:`repro.bst.interval_tree.IntervalBST`; this module re-creates the
+buggy behaviour *on the same tree type* so the baseline detector and the
+ablation benchmarks can flip between the two searches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..intervals import Interval, MemoryAccess
+from .avl import AVLNode
+from .interval_tree import IntervalBST
+
+__all__ = ["legacy_find_overlapping"]
+
+
+def legacy_find_overlapping(
+    bst: IntervalBST, interval: Interval
+) -> List[MemoryAccess]:
+    """Path-limited intersection search (the original, unsound one).
+
+    Walks the single BST path that an ordinary point lookup of
+    ``interval.lo`` would take, collecting the accesses along the path
+    that happen to intersect ``interval``.  Sound only when all stored
+    intervals are disjoint — which the original RMA-Analyzer never
+    guaranteed.
+    """
+    out: List[MemoryAccess] = []
+    node: Optional[AVLNode[MemoryAccess]] = bst.root
+    while node is not None:
+        bst.stats.comparisons += 1
+        if node.value.interval.overlaps(interval):
+            out.append(node.value)
+        if interval.lo < node.key:
+            node = node.left
+        elif interval.lo > node.key:
+            node = node.right
+        else:
+            # equal lower bounds: duplicates were inserted to the right
+            node = node.right
+    return out

@@ -1,0 +1,129 @@
+"""Command-line entry point: ``python -m repro`` / the ``repro`` script.
+
+Subcommands::
+
+    repro list                 # available experiments
+    repro run <exp> [...]      # regenerate one or more tables/figures
+    repro all                  # every experiment, in paper order
+    repro suite                # microbenchmark suite summary
+
+Examples::
+
+    repro run table3
+    repro run fig10 fig11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Rethinking Data Race Detection in MPI-RMA "
+            "Programs' (Correctness@SC-W 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+", metavar="EXP",
+                     help=f"one of: {', '.join(EXPERIMENTS)}")
+    run.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON instead of tables")
+
+    sub.add_parser("all", help="run every experiment in paper order")
+
+    suite = sub.add_parser("suite", help="microbenchmark suite summary")
+    suite.add_argument("--names", action="store_true",
+                       help="also print every generated code name")
+    return parser
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment payloads to JSON types."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _run_one(exp_id: str, *, as_json: bool = False) -> int:
+    fn = EXPERIMENTS.get(exp_id)
+    if fn is None:
+        print(f"unknown experiment {exp_id!r}; try 'repro list'",
+              file=sys.stderr)
+        return 2
+    t0 = time.perf_counter()
+    result = fn()
+    dt = time.perf_counter() - t0
+    if as_json:
+        import json
+
+        print(json.dumps({
+            "experiment": result.exp_id,
+            "title": result.title,
+            "seconds": round(dt, 3),
+            "data": _jsonable(result.data),
+        }, indent=2))
+    else:
+        print(result)
+        print(f"[{exp_id} regenerated in {dt:.1f}s]\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for exp_id, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:8s} {doc}")
+        return 0
+
+    if args.command == "run":
+        status = 0
+        for exp_id in args.experiments:
+            status = max(status, _run_one(exp_id, as_json=args.json))
+        return status
+
+    if args.command == "all":
+        status = 0
+        for exp_id in EXPERIMENTS:
+            status = max(status, _run_one(exp_id))
+        return status
+
+    if args.command == "suite":
+        from .microbench import generate_suite
+
+        suite = generate_suite()
+        races = sum(1 for s in suite if s.racy)
+        print(f"{len(suite)} codes: {races} race / {len(suite) - races} safe")
+        if args.names:
+            for spec in suite:
+                print(f"  {spec.name}")
+        return 0
+
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""The paper's contribution: the new BST insertion algorithm and detector.
+
+* :func:`fragment_accesses` — §4.1 disjointness by fragmentation,
+* :func:`merge_accesses` — §4.2 node merging,
+* :func:`insert_access` — Algorithm 1 end to end,
+* :class:`OurDetector` — the full on-the-fly detector,
+* :class:`RaceReport` / :class:`DataRaceError` — Fig. 9b style reports.
+"""
+
+from .report import DataRaceError, RaceReport
+from .fragmentation import fragment_accesses, fragment_pair
+from .merging import merge_accesses
+from .insertion import (
+    InsertOutcome,
+    data_race_detection,
+    finish_insertion,
+    get_intersecting_accesses,
+    insert_access,
+)
+from .detector import OurDetector
+from .strided import StridedChain, StridedDetector
+
+__all__ = [
+    "DataRaceError",
+    "InsertOutcome",
+    "OurDetector",
+    "RaceReport",
+    "StridedChain",
+    "StridedDetector",
+    "data_race_detection",
+    "finish_insertion",
+    "fragment_accesses",
+    "fragment_pair",
+    "get_intersecting_accesses",
+    "insert_access",
+    "merge_accesses",
+]

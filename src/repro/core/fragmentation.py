@@ -1,0 +1,90 @@
+"""Fragmentation of intersecting accesses — paper §4.1 and Fig. 6.
+
+When a new access intersects accesses already stored in the BST, the
+intervals are cut at every boundary so that the stored set stays
+*disjoint*.  For a single stored access this yields the paper's three
+fragments::
+
+      stored:   |---------- Type A ----------|
+      new:                |-------- Type B --------|
+      result:   | l_frag  | intersection_frag| r_frag |
+                  Type A    Type A (+) B       Type B
+
+where ``(+)`` is the Table-1 combination (:func:`combined_type`): RMA
+prevails over local, WRITE over READ, ties keep the newest debug info.
+
+The general case fragments the new access against *all* stored accesses
+it intersects (which are pairwise disjoint by the detector's invariant)
+via a single boundary sweep.  Stored accesses that merely *touch* the
+new access (adjacent, no overlap) pass through unchanged — they are
+retrieved together with the intersecting ones so that the subsequent
+merging step (§4.2) can coalesce them with the new fragments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..intervals import Interval, MemoryAccess
+from ..intervals.combine import combine_accesses
+
+__all__ = ["fragment_accesses", "fragment_pair"]
+
+
+def fragment_pair(stored: MemoryAccess, new: MemoryAccess) -> List[MemoryAccess]:
+    """Fragment one stored access against one new access (Fig. 6).
+
+    Returns the non-empty fragments in address order.  Raises when the
+    two do not intersect (fragmenting is only defined on intersections).
+    """
+    return fragment_accesses([stored], new)
+
+
+def fragment_accesses(
+    stored: Sequence[MemoryAccess], new: MemoryAccess
+) -> List[MemoryAccess]:
+    """Cut ``new`` and the ``stored`` accesses into disjoint fragments.
+
+    ``stored`` must be pairwise disjoint (the BST invariant that
+    fragmentation itself maintains).  Every byte covered by ``new`` or by
+    a stored access is covered by exactly one returned fragment; bytes
+    covered by both carry the Table-1 combined type.  Fragments come back
+    sorted by address.
+    """
+    _check_disjoint(stored)
+
+    # Boundary sweep over the union of all intervals involved.
+    cuts = {new.interval.lo, new.interval.hi}
+    for acc in stored:
+        cuts.add(acc.interval.lo)
+        cuts.add(acc.interval.hi)
+    points = sorted(cuts)
+
+    by_lo = sorted(stored, key=lambda a: a.interval.lo)
+    frags: List[MemoryAccess] = []
+    si = 0
+    for lo, hi in zip(points, points[1:]):
+        seg = Interval(lo, hi)
+        while si < len(by_lo) and by_lo[si].interval.hi <= lo:
+            si += 1
+        covering = None
+        if si < len(by_lo) and by_lo[si].interval.overlaps(seg):
+            covering = by_lo[si]
+        in_new = new.interval.contains_interval(seg)
+        if covering is not None and in_new:
+            frags.append(combine_accesses(covering.with_interval(seg), new.with_interval(seg)))
+        elif covering is not None:
+            frags.append(covering.with_interval(seg))
+        elif in_new:
+            frags.append(new.with_interval(seg))
+        # else: a gap outside both — nothing stored there
+    return frags
+
+
+def _check_disjoint(stored: Iterable[MemoryAccess]) -> None:
+    by_lo = sorted(stored, key=lambda a: a.interval.lo)
+    for a, b in zip(by_lo, by_lo[1:]):
+        if a.interval.overlaps(b.interval):
+            raise ValueError(
+                f"stored accesses must be disjoint, got {a} overlapping {b}"
+            )

@@ -1,0 +1,44 @@
+"""Merging of adjacent equivalent fragments — paper §4.2 and Fig. 7.
+
+Fragmentation alone makes the BST grow by up to two nodes per insertion
+(one removed, three added), which the paper flags as a memory/time
+explosion risk.  Merging restores compactness: two fragments are merged
+when
+
+1. their intervals are **adjacent** (or overlapping after combination —
+   in practice fragmentation guarantees disjointness, so adjacency), and
+2. they are **equivalent**: same access type *and* same debug
+   information.  Fragments produced by different source lines must stay
+   separate — a later race report has to blame the exact instruction
+   (the paper: "they will not be fixed in the same way").
+
+This is what collapses the paper's Code 2 loop (5,002 raw accesses) to a
+2-node BST, and the CFD-Proxy windows from 90,004 nodes to 54.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..intervals import MemoryAccess
+
+__all__ = ["merge_accesses"]
+
+
+def merge_accesses(frags: Sequence[MemoryAccess]) -> List[MemoryAccess]:
+    """Coalesce runs of adjacent equivalent fragments.
+
+    ``frags`` may arrive in any order; the result is sorted by address
+    and pairwise non-mergeable (the function is idempotent).
+    """
+    if not frags:
+        return []
+    ordered = sorted(frags, key=lambda a: (a.interval.lo, a.interval.hi))
+    out: List[MemoryAccess] = [ordered[0]]
+    for acc in ordered[1:]:
+        prev = out[-1]
+        if prev.interval.is_adjacent(acc.interval) and prev.same_site(acc):
+            out[-1] = prev.with_interval(prev.interval.union(acc.interval))
+        else:
+            out.append(acc)
+    return out

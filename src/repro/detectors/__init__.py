@@ -1,0 +1,36 @@
+"""The data-race detectors under comparison.
+
+* :class:`RmaAnalyzerLegacy` — the original tool (paper's baseline),
+* :class:`repro.core.OurDetector` — the paper's contribution (lives in
+  :mod:`repro.core`, re-exported here for convenience),
+* :class:`MustRma` — the MUST + ThreadSanitizer model,
+* :class:`ParkMirror` — mirror-window checking (related work),
+* :class:`McCChecker` — clock-based post-mortem analysis (related work).
+"""
+
+from .base import Detector, NodeStats
+from .bst_common import BstDetector
+from .mc_cchecker import McCChecker
+from .must_rma import MustRma
+from .park_mirror import ParkMirror
+from .rma_analyzer import RmaAnalyzerLegacy
+
+__all__ = [
+    "BstDetector",
+    "Detector",
+    "McCChecker",
+    "MustRma",
+    "NodeStats",
+    "ParkMirror",
+    "RmaAnalyzerLegacy",
+]
+
+
+def __getattr__(name: str):
+    # OurDetector is defined in repro.core (it *is* the contribution);
+    # lazy import avoids a package cycle
+    if name == "OurDetector":
+        from ..core.detector import OurDetector
+
+        return OurDetector
+    raise AttributeError(name)

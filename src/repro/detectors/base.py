@@ -1,0 +1,156 @@
+"""Common detector machinery.
+
+Every tool modelled in this reproduction — the original RMA-Analyzer,
+our contribution, the MUST-RMA model, Park et al.'s mirror windows and
+the MC-CChecker post-mortem analysis — plugs into the simulated
+runtime's interposition layer through the hook set defined here (the
+runtime side of the contract is
+:class:`repro.mpi.interposition.DetectorProtocol`).
+
+Detectors *record* :class:`RaceReport` objects; in ``abort_on_race``
+mode they raise :class:`DataRaceError` instead, emulating the real
+tool's ``MPI_Abort`` (Fig. 9b).  Each detector also exposes node/work
+statistics because half of the paper's evaluation (Fig. 10, Table 4) is
+about the size of the analysis state, not about verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.report import DataRaceError, RaceReport
+from ..intervals import MemoryAccess
+from ..mpi.memory import RegionInfo
+from ..mpi.window import Window
+
+__all__ = ["Detector", "NodeStats"]
+
+
+@dataclass
+class NodeStats:
+    """Analysis-state size summary, aggregated over (rank, window) stores.
+
+    ``max_nodes_per_rank[r]`` is the high-water node count of rank r's
+    largest store; ``total_max_nodes`` sums the high-water marks of every
+    store — the quantity comparable to the paper's "number of nodes in
+    the BST" (Table 4, and the 90,004 -> 54 CFD-Proxy reduction).
+    """
+
+    total_max_nodes: int = 0
+    total_current_nodes: int = 0
+    max_nodes_per_rank: Dict[int, int] = field(default_factory=dict)
+    accesses_processed: int = 0
+    accesses_filtered: int = 0
+
+    @property
+    def max_nodes_one_rank(self) -> int:
+        return max(self.max_nodes_per_rank.values(), default=0)
+
+
+class Detector:
+    """Base class: no-op hooks, report collection, cost declaration."""
+
+    #: human-readable tool name (used in reports and experiment tables)
+    name: str = "base"
+    #: bytes the tool itself sends per one-sided op (RMA-Analyzer's
+    #: per-operation MPI_Send notification, §5.1)
+    rma_notify_bytes: int = 0
+
+    #: reports kept in memory; further races are only counted (the real
+    #: tools abort at the first race, so keeping every report of a
+    #: pathological run would be pure overhead)
+    MAX_KEPT_REPORTS = 1000
+
+    def __init__(self, *, abort_on_race: bool = False) -> None:
+        self.reports: List[RaceReport] = []
+        self.reports_total = 0
+        self.abort_on_race = abort_on_race
+        #: cumulative abstract work units (comparisons, shadow cells,
+        #: clock entries) — the cost model charges their deltas
+        self.work_units: float = 0.0
+
+    # -- cost declaration ---------------------------------------------------
+
+    def sync_notify_bytes(self, nranks: int) -> int:
+        """Extra bytes the tool sends at each sync (vector clocks etc.)."""
+        return 0
+
+    def analysis_work(self) -> float:
+        """Cumulative work units; see :attr:`work_units`."""
+        return self.work_units
+
+    # -- verdict plumbing ------------------------------------------------------
+
+    def _report(
+        self, rank: int, wid: int, stored: MemoryAccess, new: MemoryAccess
+    ) -> None:
+        self.reports_total += 1
+        if len(self.reports) < self.MAX_KEPT_REPORTS:
+            report = RaceReport(rank, wid, stored, new, self.name)
+            self.reports.append(report)
+            if self.abort_on_race:
+                raise DataRaceError(report)
+
+    @property
+    def race_detected(self) -> bool:
+        return self.reports_total > 0
+
+    def reset_reports(self) -> None:
+        self.reports.clear()
+        self.reports_total = 0
+
+    # -- hooks (no-ops by default) ------------------------------------------------
+
+    def on_win_create(self, window: Window) -> None: ...
+
+    def on_win_free(self, wid: int) -> None: ...
+
+    def on_epoch_start(self, rank: int, wid: int) -> None: ...
+
+    def on_epoch_end(self, rank: int, wid: int) -> None: ...
+
+    def on_flush(self, rank: int, wid: int) -> None: ...
+
+    def on_request_complete(self, rank: int, wid: int, access) -> None:
+        """MPI_Wait on a request-based op (default: not modelled)."""
+
+    def on_barrier(self) -> None: ...
+
+    def on_fence(self, wid: int, nranks: int) -> None:
+        """MPI_Win_fence: collective completion of all ops on the window.
+
+        The default treats it as every rank's epoch ending and a new one
+        starting, plus a barrier — sound for every modelled tool because
+        a fence really does complete and order everything on the window.
+        """
+        for rank in range(nranks):
+            self.on_epoch_end(rank, wid)
+        self.on_barrier()
+        for rank in range(nranks):
+            self.on_epoch_start(rank, wid)
+
+    def on_local(
+        self, rank: int, access: MemoryAccess, region: RegionInfo
+    ) -> None: ...
+
+    def on_rma(
+        self,
+        op: str,
+        rank: int,
+        target: int,
+        wid: int,
+        origin_access: MemoryAccess,
+        target_access: MemoryAccess,
+        origin_region: RegionInfo,
+        target_region: RegionInfo,
+    ) -> None: ...
+
+    def finalize(self) -> None:
+        """Called once after the program ends (post-mortem analyses run here)."""
+
+    # -- statistics ------------------------------------------------------------------
+
+    def node_stats(self) -> NodeStats:
+        """Size of the analysis state; subclasses override."""
+        return NodeStats()

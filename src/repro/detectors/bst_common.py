@@ -1,0 +1,170 @@
+"""Shared machinery of the BST-based detectors.
+
+Both the original RMA-Analyzer and the paper's contribution keep one
+interval BST per (rank, window): "When an MPI window is created, each
+MPI process creates a BST.  The BST is then filled with all memory
+locations the owner process or other processes accesses" (§3).  The two
+tools differ in *how* they search and insert — exactly the knobs the
+subclasses override:
+
+* ``_check(bst, access)``   — race search strategy,
+* ``_insert(bst, access)``  — storage strategy (append vs Algorithm 1),
+* flush/barrier handling    — §6 semantics.
+
+Local accesses of a rank are routed to its BST of every window with an
+open epoch (accesses outside any epoch cannot race with one-sided
+traffic and are dropped, matching the tool's "collects all memory
+accesses that are contained within each epoch").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..aliasing import AliasFilter, FilterPolicy
+from ..bst import IntervalBST
+from ..intervals import MemoryAccess
+from ..mpi.memory import RegionInfo
+from ..mpi.window import Window
+from .base import Detector, NodeStats
+
+__all__ = ["BstDetector"]
+
+Key = Tuple[int, int]  # (rank, wid)
+
+
+class BstDetector(Detector):
+    """Base of the two RMA-Analyzer variants (original and improved)."""
+
+    #: the per-operation target notification (an MPI_Send with the access
+    #: descriptor: interval, type, debug info — a small fixed message)
+    rma_notify_bytes: int = 48
+
+    def __init__(
+        self,
+        *,
+        abort_on_race: bool = False,
+        filter_policy: FilterPolicy = FilterPolicy.ALIAS,
+        balanced: bool = True,
+    ) -> None:
+        super().__init__(abort_on_race=abort_on_race)
+        self._stores: Dict[Key, IntervalBST] = {}
+        self._open_epochs: Set[Key] = set()
+        self._windows: Dict[int, Window] = {}
+        self._balanced = balanced
+        self.filter = AliasFilter(filter_policy)
+        self._seq = 0
+        self._processed = 0
+        # high-water node counts survive clears and window frees
+        self._max_nodes: Dict[Key, int] = {}
+
+    # -- storage plumbing ---------------------------------------------------------
+
+    def _store(self, rank: int, wid: int) -> IntervalBST:
+        key = (rank, wid)
+        bst = self._stores.get(key)
+        if bst is None:
+            bst = IntervalBST(balanced=self._balanced)
+            self._stores[key] = bst
+        return bst
+
+    def _note_high_water(self, key: Key) -> None:
+        bst = self._stores.get(key)
+        if bst is not None:
+            prev = self._max_nodes.get(key, 0)
+            if bst.stats.max_size > prev:
+                self._max_nodes[key] = bst.stats.max_size
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- strategy points (subclasses implement) --------------------------------------
+
+    def _check(self, bst: IntervalBST, access: MemoryAccess, rank: int, wid: int) -> None:
+        raise NotImplementedError
+
+    def _insert(self, bst: IntervalBST, access: MemoryAccess) -> None:
+        raise NotImplementedError
+
+    def _record(self, rank: int, wid: int, access: MemoryAccess) -> None:
+        """Check-then-insert one access into one store (the §3 two traversals)."""
+        bst = self._store(rank, wid)
+        self._processed += 1
+        stats = bst.stats
+        w0 = stats.comparisons + stats.rotations
+        self._check(bst, access, rank, wid)
+        self._insert(bst, access)
+        self.work_units += stats.comparisons + stats.rotations - w0
+        self._note_high_water((rank, wid))
+
+    # -- hooks ---------------------------------------------------------------------------
+
+    def on_win_create(self, window: Window) -> None:
+        self._windows[window.wid] = window
+
+    def on_win_free(self, wid: int) -> None:
+        for key in [k for k in self._stores if k[1] == wid]:
+            self._note_high_water(key)
+            del self._stores[key]
+        self._windows.pop(wid, None)
+
+    def on_epoch_start(self, rank: int, wid: int) -> None:
+        self._open_epochs.add((rank, wid))
+
+    def on_epoch_end(self, rank: int, wid: int) -> None:
+        key = (rank, wid)
+        self._open_epochs.discard(key)
+        bst = self._stores.get(key)
+        if bst is not None:
+            self._note_high_water(key)
+            bst.clear()
+
+    def on_local(
+        self, rank: int, access: MemoryAccess, region: RegionInfo
+    ) -> None:
+        if not self.filter.instrument(region):
+            return
+        routed = False
+        for r, wid in list(self._open_epochs):
+            if r == rank:
+                self._record(rank, wid, access)
+                routed = True
+        if not routed:
+            return  # outside all epochs: the tool does not track it
+
+    def on_rma(
+        self,
+        op: str,
+        rank: int,
+        target: int,
+        wid: int,
+        origin_access: MemoryAccess,
+        target_access: MemoryAccess,
+        origin_region: RegionInfo,
+        target_region: RegionInfo,
+    ) -> None:
+        # origin side, recorded locally by the issuing process
+        self._record(rank, wid, origin_access)
+        # target side, recorded at the target (delivered by the tool's
+        # MPI_Send notification, costed by the interposition layer)
+        self._record(target, wid, target_access)
+
+    # -- statistics -------------------------------------------------------------------------
+
+    def node_stats(self) -> NodeStats:
+        stats = NodeStats()
+        for key, bst in self._stores.items():
+            self._note_high_water(key)
+        for (rank, wid), peak in self._max_nodes.items():
+            stats.total_max_nodes += peak
+            cur = stats.max_nodes_per_rank.get(rank, 0)
+            stats.max_nodes_per_rank[rank] = max(cur, peak)
+        stats.total_current_nodes = sum(len(b) for b in self._stores.values())
+        stats.accesses_processed = self._processed
+        stats.accesses_filtered = self.filter.filtered
+        return stats
+
+    def bst_of(self, rank: int, wid: int) -> Optional[IntervalBST]:
+        """Direct access for tests and figure drivers."""
+        return self._stores.get((rank, wid))

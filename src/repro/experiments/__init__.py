@@ -1,0 +1,73 @@
+"""One driver per table/figure of the paper's evaluation.
+
+Registry ``EXPERIMENTS`` maps experiment ids (``table1`` .. ``fig12``)
+to zero-argument callables returning an :class:`ExperimentResult`; the
+CLI (``python -m repro``) and the benchmark harness both go through it.
+"""
+
+from typing import Callable, Dict
+
+from .applications import (
+    DEFAULT_RANK_SWEEP,
+    FIG11_VERTICES,
+    FIG12_VERTICES,
+    fig9_minivite_race,
+    fig10_cfd_epoch_time,
+    fig11_minivite_small,
+    fig12_minivite_large,
+    minivite_rank_sweep,
+    table4_bst_nodes,
+)
+from .extensions import extensions_summary
+from .static_analysis import static_analysis
+from .micro import (
+    PAPER_TABLE3,
+    fig3_race_matrix,
+    fig5_code1,
+    fig8_code2,
+    table1_combine,
+    table2_named_codes,
+    table3_confusion,
+)
+from .tables import ExperimentResult, render_bars, render_table
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1_combine,
+    "fig3": fig3_race_matrix,
+    "fig5": fig5_code1,
+    "fig8": fig8_code2,
+    "table2": table2_named_codes,
+    "table3": table3_confusion,
+    "fig9": fig9_minivite_race,
+    "fig10": fig10_cfd_epoch_time,
+    "fig11": fig11_minivite_small,
+    "fig12": fig12_minivite_large,
+    "table4": table4_bst_nodes,
+    "static": static_analysis,
+    "extensions": extensions_summary,
+}
+
+__all__ = [
+    "DEFAULT_RANK_SWEEP",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "FIG11_VERTICES",
+    "FIG12_VERTICES",
+    "PAPER_TABLE3",
+    "fig3_race_matrix",
+    "fig5_code1",
+    "fig8_code2",
+    "fig9_minivite_race",
+    "fig10_cfd_epoch_time",
+    "fig11_minivite_small",
+    "fig12_minivite_large",
+    "minivite_rank_sweep",
+    "render_bars",
+    "render_table",
+    "extensions_summary",
+    "static_analysis",
+    "table1_combine",
+    "table2_named_codes",
+    "table3_confusion",
+    "table4_bst_nodes",
+]

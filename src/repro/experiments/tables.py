@@ -1,0 +1,80 @@
+"""Plain-text table/series rendering for the experiment drivers.
+
+The paper's figures are bar charts and line plots; in a terminal-first
+reproduction every driver renders its result as an aligned text table
+(with an optional ASCII bar column for the chart-shaped figures) plus a
+structured payload tests can assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence
+
+__all__ = ["ExperimentResult", "render_table", "render_bars"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: identifier, text, structured data."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        header = f"== {self.exp_id}: {self.title} =="
+        return f"{header}\n{self.text}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Align columns; numbers become human-readable strings."""
+    table = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    unit: str = "",
+    width: int = 48,
+) -> str:
+    """Horizontal ASCII bar chart (the Fig. 10 shape)."""
+    vmax = max(values) if values else 0.0
+    lwidth = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        n = int(round(width * value / vmax)) if vmax > 0 else 0
+        bar = "#" * max(n, 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(lwidth)}  {bar} {_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

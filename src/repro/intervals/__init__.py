@@ -1,0 +1,44 @@
+"""Interval and memory-access algebra shared by every detector.
+
+Public surface:
+
+* :class:`Interval` — half-open byte ranges with exact overlap/adjacency,
+* :class:`AccessType`, :class:`DebugInfo`, :class:`MemoryAccess`,
+* :func:`combined_type` / :func:`combine_accesses` — paper Table 1,
+* :func:`is_race` / :func:`is_race_legacy` — the race predicates,
+* :func:`fig3_matrix` — the paper's Figure 3 regenerated from semantics.
+"""
+
+from .access import AccessType, DebugInfo, MemoryAccess
+from .access import make_access
+from .combine import combine_accesses, combined_type, table1_rows
+from .conflict import (
+    Caller,
+    Op,
+    Placement,
+    fig3_matrix,
+    format_fig3,
+    is_race,
+    is_race_legacy,
+    types_conflict,
+)
+from .interval import Interval
+
+__all__ = [
+    "AccessType",
+    "Caller",
+    "DebugInfo",
+    "Interval",
+    "MemoryAccess",
+    "Op",
+    "Placement",
+    "combine_accesses",
+    "combined_type",
+    "fig3_matrix",
+    "format_fig3",
+    "is_race",
+    "is_race_legacy",
+    "make_access",
+    "table1_rows",
+    "types_conflict",
+]

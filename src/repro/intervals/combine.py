@@ -1,0 +1,85 @@
+"""Access-type combination — paper Table 1.
+
+When the fragmentation step (§4.1) creates the ``intersection_frag`` of a
+stored access and a new access, the fragment must carry a single access
+type and a single debug info.  Table 1 of the paper defines the result:
+
+* an RMA access *prevails* over a local access,
+* a WRITE access *prevails* over a READ access,
+* on a tie (same access type) the debug info of the *most recent*
+  access is kept.
+
+The red cells of Table 1 (a race may exist) are never reached during
+fragmentation because :func:`repro.core.insertion.insert_access` only
+fragments after the race check passed; they are still representable here
+(`combined_type` is total) so the table can be regenerated and tested
+exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .access import AccessType, MemoryAccess
+
+__all__ = ["combined_type", "combine_accesses", "table1_rows"]
+
+
+def _rank(t: AccessType) -> Tuple[int, int]:
+    """Dominance key: RMA beats local, then WRITE beats READ."""
+    return (1 if t.is_rma else 0, 1 if t.is_write else 0)
+
+
+def combined_type(stored: AccessType, new: AccessType) -> Tuple[AccessType, int]:
+    """Resulting type of an intersection fragment, per Table 1.
+
+    Returns ``(type, which)`` where ``which`` is 1 when the *stored*
+    access's type (and debug info) wins and 2 when the *new* one wins —
+    mirroring the ``*-1`` / ``*-2`` suffixes of the paper's table.  Ties
+    keep the most recent access (the new one, ``which == 2``).
+    """
+    if _rank(new) >= _rank(stored):
+        return new, 2
+    return stored, 1
+
+
+def combine_accesses(stored: MemoryAccess, new: MemoryAccess) -> MemoryAccess:
+    """Build the ``intersection_frag`` payload for two intersecting accesses.
+
+    The caller is responsible for restricting the result to the actual
+    geometric intersection; this function only decides type/provenance.
+    """
+    _, which = combined_type(stored.type, new.type)
+    winner = new if which == 2 else stored
+    inter = stored.interval.intersection(new.interval)
+    if inter is None:
+        raise ValueError(f"accesses do not intersect: {stored} vs {new}")
+    return winner.with_interval(inter)
+
+
+def table1_rows() -> list[list[str]]:
+    """Regenerate paper Table 1 as a list of rows of cell strings.
+
+    Cells show ``<Type>-<which>`` exactly like the paper, with ``x``
+    substituted for the red data-race cells (see
+    :func:`repro.intervals.conflict.types_conflict`).
+    """
+    from .conflict import types_conflict  # local import: avoid cycle
+
+    order = [
+        AccessType.LOCAL_READ,
+        AccessType.LOCAL_WRITE,
+        AccessType.RMA_READ,
+        AccessType.RMA_WRITE,
+    ]
+    rows: list[list[str]] = []
+    for stored in order:
+        row: list[str] = [f"{stored.short}-1"]
+        for new in order:
+            if types_conflict(stored, new):
+                row.append("x")
+            else:
+                t, which = combined_type(stored, new)
+                row.append(f"{t.short}-{which}")
+        rows.append(row)
+    return rows

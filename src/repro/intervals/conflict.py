@@ -1,0 +1,283 @@
+"""The data-race predicate and the paper's Fig. 3 race matrix.
+
+A data race (§2.2) occurs when two operations access the same memory
+range, at least one of them is an RMA access and at least one of them is
+a WRITE.  The paper's §5.2 refines this with *program order within a
+process*: when a process performs a local access and **then** issues an
+RMA operation on the same range, no race is possible — the local access
+completed before the RMA call was even made.  The converse (RMA first,
+local access second) races, because the RMA is asynchronous and may
+complete at any point before the end of the epoch (completion property,
+§2.1).  The original RMA-Analyzer ignored this refinement and therefore
+reported false positives such as ``ll_load_get_inwindow_origin_safe``
+(Table 2).
+
+Two predicates are exported:
+
+* :func:`is_race` — the *fixed* predicate used by "our contribution";
+* :func:`is_race_legacy` — the order-insensitive predicate of the
+  original RMA-Analyzer (used by the baseline detector).
+
+:func:`fig3_matrix` regenerates the paper's Figure 3 by constructing the
+actual access footprints of every operation pair on three processes and
+evaluating :func:`is_race` on each side.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .access import AccessType, DebugInfo, MemoryAccess
+from .interval import Interval
+
+__all__ = [
+    "types_conflict",
+    "is_race",
+    "is_race_legacy",
+    "Op",
+    "Caller",
+    "Placement",
+    "fig3_matrix",
+    "format_fig3",
+]
+
+
+def types_conflict(stored: AccessType, new: AccessType) -> bool:
+    """Table 1's red cells: conflicting pair assuming same-process recording order.
+
+    ``stored`` was recorded before ``new`` by the same process.  A pair
+    conflicts when at least one access is RMA, at least one is a write,
+    *and* the stored access is not a completed local access followed by
+    an RMA call (program order).
+    """
+    if not (stored.is_rma or new.is_rma):
+        return False
+    if not (stored.is_write or new.is_write):
+        return False
+    if stored.is_local and new.is_rma:
+        return False  # local access completed before the RMA was issued
+    return True
+
+
+def is_race(stored: MemoryAccess, new: MemoryAccess) -> bool:
+    """Race predicate of "our contribution" (order-aware within a process).
+
+    ``stored`` is an access already recorded in the BST, ``new`` the
+    incoming one.  Cross-process pairs have no program-order relation
+    within an epoch (ordering property, §2.1), so any conflicting pair
+    races; same-process pairs are exempted when the stored access is a
+    local access that happened before the new RMA call was issued.
+    Concurrent ``MPI_Accumulate`` writes *with the same operation* are
+    exempt as well — the atomicity property (§2.1) guarantees their
+    element-wise result regardless of order.
+    """
+    if not stored.interval.overlaps(new.interval):
+        return False
+    if not (stored.is_rma or new.is_rma):
+        return False
+    if not (stored.is_write or new.is_write):
+        return False
+    if stored.is_atomic and new.is_atomic and (
+        stored.accum_op == new.accum_op  # element-wise atomic, any order
+        or stored.origin == new.origin   # same-origin accumulate ordering
+    ):
+        return False
+    if (
+        stored.excl_epoch is not None
+        and new.excl_epoch is not None
+        and stored.excl_epoch != new.excl_epoch
+    ):
+        return False  # serialized by exclusive MPI_Win_lock epochs
+    if stored.origin == new.origin:
+        return types_conflict(stored.type, new.type)
+    return True
+
+
+def is_race_legacy(stored: MemoryAccess, new: MemoryAccess) -> bool:
+    """Original RMA-Analyzer predicate: no program-order refinement.
+
+    Flags e.g. ``Load(x); MPI_Get(x -> remote)`` by the same process —
+    the false positives of Tables 2 and 3.  (Atomicity of same-op
+    accumulates is honoured — the MPI layer guarantees it, the
+    order-insensitivity bug is elsewhere.)
+    """
+    if not stored.interval.overlaps(new.interval):
+        return False
+    if not (stored.is_rma or new.is_rma):
+        return False
+    if not (stored.is_write or new.is_write):
+        return False
+    if stored.is_atomic and new.is_atomic and (
+        stored.accum_op == new.accum_op
+        or stored.origin == new.origin
+    ):
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: the race matrix on three processes
+# ---------------------------------------------------------------------------
+
+
+class Op(enum.Enum):
+    """Operations that can appear in a Fig. 3 cell."""
+
+    GET = "get"
+    PUT = "put"
+    LOAD = "load"
+    STORE = "store"
+
+    @property
+    def is_onesided(self) -> bool:
+        return self in (Op.GET, Op.PUT)
+
+
+class Caller(enum.Enum):
+    """Who issues the second operation (Fig. 3 column groups)."""
+
+    ORIGIN1 = "origin1"
+    TARGET = "target"
+    ORIGIN2 = "origin2"
+
+
+class Placement(enum.Enum):
+    """Whether the local buffers involved sit inside the owner's window.
+
+    Fig. 3 splits some cells into an "in window" and an "out window"
+    sub-cell: a remote operation can only reach a local buffer when that
+    buffer lies inside the owner's exposed window.
+    """
+
+    IN_WINDOW = "inwindow"
+    OUT_WINDOW = "outwindow"
+
+
+# Ranks of the three processes in the Fig. 3 scenario.
+_O1, _T, _O2 = 0, 1, 2
+
+# Site identifiers for the footprint model.  ``buf(r)`` is a process-local
+# buffer of rank ``r``; ``win(r)`` is the accessed range of rank ``r``'s
+# window.  Under Placement.IN_WINDOW a rank's buffer *is* its window
+# range, making it remotely reachable.
+_Site = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class _Footprint:
+    """One access of an operation: which site, which type, which process's memory."""
+
+    site: _Site
+    type: AccessType
+    memory_of: int  # rank whose address space holds the site
+    issuer: int
+
+
+def _footprints(op: Op, issuer: int, target: int) -> List[_Footprint]:
+    """Access footprints of one operation in the Fig. 3 scenario.
+
+    One-sided operations touch the issuer's buffer and the target's
+    window range; local operations touch the issuer's buffer only.
+    """
+    buf = ("buf", issuer)
+    win = ("win", target)
+    if op is Op.GET:
+        return [
+            _Footprint(buf, AccessType.RMA_WRITE, issuer, issuer),
+            _Footprint(win, AccessType.RMA_READ, target, issuer),
+        ]
+    if op is Op.PUT:
+        return [
+            _Footprint(buf, AccessType.RMA_READ, issuer, issuer),
+            _Footprint(win, AccessType.RMA_WRITE, target, issuer),
+        ]
+    if op is Op.LOAD:
+        return [_Footprint(buf, AccessType.LOCAL_READ, issuer, issuer)]
+    return [_Footprint(buf, AccessType.LOCAL_WRITE, issuer, issuer)]
+
+
+def _sites_may_coincide(a: _Site, b: _Site, placement: Placement) -> bool:
+    """Can the two sites be the "location accessed twice"?
+
+    Sites must live in the same address space.  A buffer and a window
+    range of the same rank can only coincide when the buffer is placed
+    inside the window.
+    """
+    kind_a, rank_a = a
+    kind_b, rank_b = b
+    if rank_a != rank_b:
+        return False
+    if kind_a == kind_b:
+        return True
+    return placement is Placement.IN_WINDOW
+
+
+_IV = Interval(0, 8)  # any shared range; only identity matters here
+
+
+def _cell_bits(
+    op1: Op, caller: Caller, op2: Op, placement: Placement
+) -> Tuple[int, int]:
+    """(target_bit, origin_bit) for one Fig. 3 cell under one placement.
+
+    A bit is 1 when *some* choice of coinciding location makes
+    :func:`is_race` true on that process's memory (left bit: the TARGET
+    process, right bit: ORIGIN 1 — matching "the right bit refers to an
+    error at origin side while the left bit refers to an error at target
+    side").
+    """
+    issuer2 = {Caller.ORIGIN1: _O1, Caller.TARGET: _T, Caller.ORIGIN2: _O2}[caller]
+    # Second one-sided ops by O1/O2 target T; by T they target O1 (Fig. 2b).
+    target2 = _O1 if issuer2 == _T else _T
+    fps1 = _footprints(op1, _O1, _T)
+    fps2 = _footprints(op2, issuer2, target2)
+
+    bits = {_T: 0, _O1: 0}
+    for f1 in fps1:
+        for f2 in fps2:
+            if f1.memory_of != f2.memory_of or f1.memory_of not in bits:
+                continue
+            if not _sites_may_coincide(f1.site, f2.site, placement):
+                continue
+            stored = MemoryAccess(_IV, f1.type, DebugInfo("a", 1), f1.issuer, 0)
+            new = MemoryAccess(_IV, f2.type, DebugInfo("b", 2), f2.issuer, 1)
+            if is_race(stored, new):
+                bits[f1.memory_of] = 1
+    return bits[_T], bits[_O1]
+
+
+def fig3_matrix() -> Dict[Tuple[Op, Caller, Op], Dict[Placement, Tuple[int, int]]]:
+    """Regenerate Figure 3.
+
+    Keys are ``(first_op, caller_of_second, second_op)``; values map each
+    placement to its ``(target_bit, origin_bit)`` pair.  Cells whose bits
+    do not depend on the placement still carry both entries (equal).
+    """
+    columns: List[Tuple[Caller, Op]] = (
+        [(Caller.ORIGIN1, op) for op in (Op.GET, Op.PUT, Op.LOAD, Op.STORE)]
+        + [(Caller.TARGET, op) for op in (Op.GET, Op.PUT, Op.LOAD, Op.STORE)]
+        + [(Caller.ORIGIN2, op) for op in (Op.GET, Op.PUT)]
+    )
+    out: Dict[Tuple[Op, Caller, Op], Dict[Placement, Tuple[int, int]]] = {}
+    for op1 in (Op.GET, Op.PUT):
+        for caller, op2 in columns:
+            out[(op1, caller, op2)] = {
+                p: _cell_bits(op1, caller, op2, p) for p in Placement
+            }
+    return out
+
+
+def format_fig3(matrix: Optional[Dict] = None) -> str:
+    """Render the Fig. 3 matrix as an ASCII table (one line per cell)."""
+    matrix = matrix if matrix is not None else fig3_matrix()
+    lines = ["first   caller    second  inwin  outwin"]
+    for (op1, caller, op2), bits in matrix.items():
+        inw = bits[Placement.IN_WINDOW]
+        outw = bits[Placement.OUT_WINDOW]
+        lines.append(
+            f"{op1.value:<7} {caller.value:<9} {op2.value:<7} "
+            f"{inw[0]}{inw[1]:<5}  {outw[0]}{outw[1]}"
+        )
+    return "\n".join(lines)

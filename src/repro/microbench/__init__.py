@@ -1,0 +1,47 @@
+"""The validation microbenchmark suite (paper §5.2).
+
+* :func:`generate_suite` — the two-operation combinatorial suite,
+* :func:`run_suite` / :class:`ConfusionMatrix` — Table-3 style results,
+* :func:`build_program` — CodeSpec -> runnable simulated-MPI program,
+* :mod:`repro.microbench.codes` — the paper's named Codes 1/2 and the
+  four Table-2 benchmark names.
+"""
+
+from .builder import NRANKS, build_program, run_code
+from .codes import CODE2_ITERATIONS, TABLE2_NAMES, code1_program, code2_program
+from .model import (
+    CodeSpec,
+    OpInst,
+    OpKind,
+    Placement,
+    SiteSpec,
+    SlotKind,
+    ground_truth,
+    slot_access_type,
+)
+from .runner import ConfusionMatrix, Verdict, run_suite
+from .suite import SuiteConfig, generate_suite, suite_by_name
+
+__all__ = [
+    "CODE2_ITERATIONS",
+    "CodeSpec",
+    "ConfusionMatrix",
+    "NRANKS",
+    "OpInst",
+    "OpKind",
+    "Placement",
+    "SiteSpec",
+    "SlotKind",
+    "SuiteConfig",
+    "TABLE2_NAMES",
+    "Verdict",
+    "build_program",
+    "code1_program",
+    "code2_program",
+    "generate_suite",
+    "ground_truth",
+    "run_code",
+    "run_suite",
+    "slot_access_type",
+    "suite_by_name",
+]

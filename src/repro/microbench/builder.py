@@ -1,0 +1,150 @@
+"""Turn a :class:`CodeSpec` into a runnable simulated-MPI program.
+
+Memory conventions (mirroring how the paper's C microbenchmarks are
+written):
+
+* codes whose two operations are both issued by ORIGIN 1 (the ``ll_*``
+  family) declare their window memory as a local array and expose it
+  with ``MPI_Win_create`` — i.e. a **stack** array, which is what makes
+  MUST-RMA miss the ``ll_*_inwindow_*`` races (Table 2, §5.2);
+* every other code allocates its window with ``MPI_Win_allocate``
+  (heap);
+* out-of-window shared buffers are ``malloc``'d (heap) and visible to
+  all detectors.
+
+Each code runs on three ranks.  Operations execute in spec order, the
+second strictly after the first (also across ranks), separated only by
+a scheduling point — *not* by any MPI synchronization, so the ordering
+facts detectors may use are exactly program order and the epoch
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Tuple
+
+from ..intervals import DebugInfo
+from ..mpi import BYTE, Buffer, RankContext, World
+from ..mpi.interposition import DetectorProtocol
+from .model import ORIGIN1, CodeSpec, OpInst, OpKind, Placement, SlotKind
+
+__all__ = ["NRANKS", "build_program", "run_code"]
+
+NRANKS = 3
+WIN_BYTES = 64
+N = 8  # bytes touched by every access
+_SHARED_DISP = (8, 24)  # primary site; secondary site for disjoint twins
+_PRIV_DISP = (40, 48)  # private window ranges of op 0 / op 1
+
+
+def _is_ll_family(spec: CodeSpec) -> bool:
+    return spec.first.caller == ORIGIN1 and spec.second.caller == ORIGIN1
+
+
+def _shared_slot(spec: CodeSpec, i: int) -> SlotKind:
+    return spec.site.first_slot if i == 0 else spec.site.second_slot
+
+
+def build_program(spec: CodeSpec) -> Callable[[RankContext], Generator]:
+    """The SPMD generator program for one microbenchmark code."""
+
+    site = spec.site
+    ll_family = _is_ll_family(spec)
+
+    def program(ctx: RankContext) -> Generator:
+        # window: stack-backed Win_create for ll codes, Win_allocate else
+        if ll_family:
+            backing = ctx.stack_alloc("winmem", WIN_BYTES, BYTE)
+            win = yield ctx.win_create("w", backing)
+        else:
+            win = yield ctx.win_allocate("w", WIN_BYTES, BYTE)
+
+        # shared out-of-window buffers (malloc'd) on the site owner
+        shared_heap: Dict[int, Buffer] = {}
+        if site.placement is Placement.OUT_WINDOW and ctx.rank == site.owner:
+            n_sites = 2 if spec.disjoint else 1
+            for j in range(n_sites):
+                shared_heap[j] = ctx.alloc(f"shared{j}", N, BYTE, rma_hint=True)
+
+        # private local buffers for one-sided ops whose BUF slot is not shared
+        priv: Dict[int, Buffer] = {}
+        for i, op in enumerate((spec.first, spec.second)):
+            if (
+                op.kind.is_onesided
+                and ctx.rank == op.caller
+                and _shared_slot(spec, i) is not SlotKind.BUF
+            ):
+                priv[i] = ctx.alloc(f"priv{i}", N, BYTE, rma_hint=True)
+
+        if spec.sync_mode == "fence":
+            yield ctx.win_fence(win)
+        else:
+            ctx.win_lock_all(win)
+            yield  # every rank's epoch is open before any operation runs
+        for i, op in enumerate((spec.first, spec.second)):
+            if ctx.rank == op.caller:
+                _execute(ctx, win, spec, i, op, shared_heap, priv)
+            yield  # strict inter-operation ordering, no MPI sync
+        if spec.sync_mode == "fence":
+            yield ctx.win_fence(win)
+        else:
+            ctx.win_unlock_all(win)
+        yield ctx.win_free(win)
+
+    return program
+
+
+def _shared_buffer(
+    ctx: RankContext,
+    win,
+    spec: CodeSpec,
+    j: int,
+    shared_heap: Dict[int, Buffer],
+) -> Tuple[Buffer, int]:
+    """(buffer, element offset) of shared site ``j`` on the owner rank."""
+    if spec.site.placement is Placement.OUT_WINDOW:
+        return shared_heap[j], 0
+    return Buffer(win.region_of(spec.site.owner), BYTE), _SHARED_DISP[j]
+
+
+def _execute(
+    ctx: RankContext,
+    win,
+    spec: CodeSpec,
+    i: int,
+    op: OpInst,
+    shared_heap: Dict[int, Buffer],
+    priv: Dict[int, Buffer],
+) -> None:
+    slot = _shared_slot(spec, i)
+    j = i if spec.disjoint else 0
+    debug = DebugInfo(f"{spec.name}.c", 10 + i)
+
+    if not op.kind.is_onesided:
+        buf, off = _shared_buffer(ctx, win, spec, j, shared_heap)
+        if op.kind is OpKind.LOAD:
+            ctx.load(buf, off, N, debug=debug)
+        else:
+            ctx.store(buf, off, i + 1, N, debug=debug)
+        return
+
+    if slot is SlotKind.BUF:
+        buf, off = _shared_buffer(ctx, win, spec, j, shared_heap)
+        disp = _PRIV_DISP[i]
+    else:
+        buf, off = priv[i], 0
+        disp = _SHARED_DISP[j]
+    assert op.target is not None
+    if op.kind is OpKind.GET:
+        ctx.get(win, op.target, disp, buf, off, N, debug=debug)
+    else:
+        ctx.put(win, op.target, disp, buf, off, N, debug=debug)
+
+
+def run_code(
+    spec: CodeSpec, detector: DetectorProtocol
+) -> Tuple[bool, World]:
+    """Run one code under one detector; returns (error_reported, world)."""
+    world = World(NRANKS, [detector])
+    world.run(build_program(spec))
+    return bool(getattr(detector, "reports", [])), world

@@ -1,0 +1,101 @@
+"""The named example codes of the paper (Codes 1-3 and the Table 2 four).
+
+* :func:`code1_program` — Fig. 8a: ``Load(4); MPI_Put(2,12); Store(7)``,
+  the three-access program whose race the original RMA-Analyzer misses
+  because of its lower-bound-only search (Fig. 5).
+* :func:`code2_program` — Fig. 8b: a 1,000-iteration ``MPI_Get`` loop
+  plus one extra Get; 5,002 recorded accesses that the merging
+  algorithm collapses to a 2-node BST (§4.2's worked example).
+* Code 3 (Fig. 9a, the duplicated ``MPI_Put`` in MiniVite) lives with
+  the application: ``repro.apps.minivite`` with ``inject_put_race=True``.
+* :data:`TABLE2_NAMES` — the four microbenchmark names of Table 2,
+  resolvable through :func:`repro.microbench.suite.suite_by_name`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..intervals import DebugInfo
+from ..mpi import BYTE, RankContext
+
+__all__ = [
+    "TABLE2_NAMES",
+    "code1_program",
+    "code2_program",
+    "CODE2_ITERATIONS",
+]
+
+#: the four suite codes compared in paper Table 2
+TABLE2_NAMES = (
+    "ll_get_load_outwindow_origin_race",
+    "ll_get_get_inwindow_origin_safe",
+    "ll_get_load_inwindow_origin_race",
+    "ll_load_get_inwindow_origin_safe",
+)
+
+_SRC1 = "code1.c"
+_SRC2 = "code2.c"
+
+CODE2_ITERATIONS = 1000
+
+
+def code1_program(ctx: RankContext) -> Generator:
+    """Fig. 8a on two ranks; rank 0 is the origin.
+
+    The three bold accesses, using the paper's own indices::
+
+        temp = buf[4]        # Load(4)        -> Local_Read  [4]
+        Put(buf[2], 10, X)   # MPI_Put(2,12)  -> RMA_Read    [2...12]
+        buf[7] = 1234        # Store(7)       -> Local_Write [7]   <- race!
+    """
+    win = yield ctx.win_allocate("X", 64, BYTE)
+    buf = ctx.alloc("buf", 16, BYTE, rma_hint=True)
+    ctx.win_lock_all(win)
+    yield
+    if ctx.rank == 0:
+        ctx.load(buf, 4, 1, debug=DebugInfo(_SRC1, 10))
+        ctx.put(win, 1, 0, buf, off=2, count=11, debug=DebugInfo(_SRC1, 11))
+        ctx.store(buf, 7, 99, 1, debug=DebugInfo(_SRC1, 12))
+    yield
+    ctx.win_unlock_all(win)
+    yield ctx.win_free(win)
+
+
+def code2_program(
+    ctx: RankContext, iterations: int = CODE2_ITERATIONS
+) -> Generator:
+    """Fig. 8b on two ranks; rank 0 gets one byte per iteration.
+
+    ::
+
+        for (i = 0; i < 1000; i++)
+            Get(buf[i], 1, X);
+        Get(buf[0], 1, X);
+
+    Every loop iteration contributes five accesses (``i`` is read or
+    written four times, ``buf`` once); the merging algorithm collapses
+    the whole thing to two nodes (one for ``i``, one for ``buf``).
+    """
+    win = yield ctx.win_allocate("X", max(iterations, 1), BYTE)
+    if ctx.rank == 0:
+        buf = ctx.alloc("buf", max(iterations, 1), BYTE, rma_hint=True)
+        ivar = ctx.alloc("i", 4, BYTE, rma_hint=True)
+    ctx.win_lock_all(win)
+    yield
+    if ctx.rank == 0:
+        # i = 0 — the one extra access besides the 5-per-iteration pattern
+        # (the paper counts 5,002 = 5 * 1000 + 2 nodes for the original tool)
+        ctx.store(ivar, 0, 0, 4, debug=DebugInfo(_SRC2, 8))
+        for i in range(iterations):
+            # the four accesses to the loop variable i (cmp, use, inc-r/w)
+            ctx.load(ivar, 0, 4, debug=DebugInfo(_SRC2, 9))
+            ctx.load(ivar, 0, 4, debug=DebugInfo(_SRC2, 10))
+            ctx.get(win, 1, i, buf, off=i, count=1, debug=DebugInfo(_SRC2, 10))
+            ctx.load(ivar, 0, 4, debug=DebugInfo(_SRC2, 9))
+            ctx.store(ivar, 0, 1, 4, debug=DebugInfo(_SRC2, 9))
+        # the extra Get(buf[0], 1, X) after the loop
+        ctx.get(win, 1, 0, buf, off=0, count=1, debug=DebugInfo(_SRC2, 11))
+    yield
+    ctx.win_unlock_all(win)
+    yield ctx.win_free(win)

@@ -1,0 +1,181 @@
+"""The two-operation microbenchmark model.
+
+The paper validates the detectors on a suite of small MPI-RMA programs,
+each combining **two operations** while varying (§5.2):
+
+* the operations themselves (``MPI_Get``, ``MPI_Put``, ``Load``,
+  ``Store``),
+* their order,
+* their callers (the first origin, the target, a second origin),
+* the location accessed by both ("in window" / "out window").
+
+This module defines the vocabulary: an :class:`OpInst` is one operation
+bound to a caller (and target), a :class:`SiteSpec` picks which of each
+op's memory *slots* coincide, and :class:`CodeSpec` is a full runnable
+code with a semantically derived ground-truth verdict.
+
+Slots: a one-sided operation touches two locations — its local buffer
+(``buf``) and the target's window range (``win``); a local operation
+touches one buffer.  A code makes exactly one slot of each op land on
+the same bytes; everything else is kept disjoint.
+
+Ground truth follows the paper's definition (§2.2) plus the program
+-order refinement (§5.2): the pair races iff the two slot accesses
+overlap, at least one is RMA, at least one is a WRITE, and they are not
+ordered — the only intra-epoch ordering being "a local access by a
+process happens before the one-sided calls that process issues later".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..intervals import AccessType
+
+__all__ = [
+    "OpKind",
+    "Rank",
+    "OpInst",
+    "SlotKind",
+    "Placement",
+    "SiteSpec",
+    "CodeSpec",
+    "slot_access_type",
+    "ground_truth",
+]
+
+ORIGIN1, TARGET, ORIGIN2 = 0, 1, 2
+Rank = int
+
+
+class OpKind(enum.Enum):
+    GET = "get"
+    PUT = "put"
+    LOAD = "load"
+    STORE = "store"
+
+    @property
+    def is_onesided(self) -> bool:
+        return self in (OpKind.GET, OpKind.PUT)
+
+
+class SlotKind(enum.Enum):
+    BUF = "buf"  # the op's local buffer (one-sided origin side, or the
+    #              single operand of Load/Store)
+    WIN = "win"  # the window range a one-sided op reaches
+
+
+class Placement(enum.Enum):
+    """Where the coinciding *buffer* lives (window sites are always 'in')."""
+
+    IN_WINDOW = "inwindow"
+    OUT_WINDOW = "outwindow"
+
+
+@dataclass(frozen=True)
+class OpInst:
+    """One operation bound to its caller (and, if one-sided, its target)."""
+
+    kind: OpKind
+    caller: Rank
+    target: Optional[Rank] = None  # one-sided only
+
+    def __post_init__(self) -> None:
+        if self.kind.is_onesided and self.target is None:
+            raise ValueError(f"{self.kind} needs a target")
+        if not self.kind.is_onesided and self.target is not None:
+            raise ValueError(f"{self.kind} takes no target")
+
+    @property
+    def is_self_targeting(self) -> bool:
+        return self.kind.is_onesided and self.target == self.caller
+
+    def slot_owner(self, slot: SlotKind) -> Rank:
+        """Which rank's memory a slot lives in."""
+        if slot is SlotKind.BUF:
+            return self.caller
+        assert self.kind.is_onesided and self.target is not None
+        return self.target
+
+    def __str__(self) -> str:
+        if self.kind.is_onesided:
+            return f"{self.kind.value}({self.caller}->{self.target})"
+        return f"{self.kind.value}({self.caller})"
+
+
+def slot_access_type(op: OpInst, slot: SlotKind) -> AccessType:
+    """Access type an operation performs on one of its slots (§2.1 table)."""
+    if op.kind is OpKind.GET:
+        return AccessType.RMA_WRITE if slot is SlotKind.BUF else AccessType.RMA_READ
+    if op.kind is OpKind.PUT:
+        return AccessType.RMA_READ if slot is SlotKind.BUF else AccessType.RMA_WRITE
+    if slot is not SlotKind.BUF:
+        raise ValueError(f"{op.kind} has no {slot} slot")
+    return (
+        AccessType.LOCAL_READ if op.kind is OpKind.LOAD else AccessType.LOCAL_WRITE
+    )
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Which slot of each op coincides, and where that memory lives."""
+
+    first_slot: SlotKind
+    second_slot: SlotKind
+    owner: Rank
+    placement: Placement
+
+    def __post_init__(self) -> None:
+        if (
+            self.placement is Placement.OUT_WINDOW
+            and SlotKind.WIN in (self.first_slot, self.second_slot)
+        ):
+            raise ValueError("window slots are always in-window")
+
+
+@dataclass(frozen=True)
+class CodeSpec:
+    """One microbenchmark: two ops + the shared site + ground truth.
+
+    ``disjoint=True`` marks a twin whose two operations use the same
+    slots but *different* memory locations — always safe; it exercises
+    the detectors' precision on non-overlapping accesses.
+    """
+
+    name: str
+    first: OpInst
+    second: OpInst
+    site: SiteSpec
+    racy: bool
+    disjoint: bool = False
+    sync_mode: str = "lock_all"  # "lock_all" | "fence"
+
+    @property
+    def expected(self) -> str:
+        return "race" if self.racy else "safe"
+
+
+def ground_truth(first: OpInst, second: OpInst, site: SiteSpec) -> bool:
+    """Does this code contain a data race?  Derived, not tabulated.
+
+    Race (§2.2): overlapping accesses, >=1 RMA, >=1 WRITE, unordered.
+    The only intra-epoch order is program order *up to the issue point*:
+    a local access by rank r is ordered before operations r issues later;
+    everything else (one-sided vs one-sided of any rank, one-sided vs a
+    later local access of the issuer, anything cross-process) is
+    concurrent until the epoch's synchronization.
+    """
+    t1 = slot_access_type(first, site.first_slot)
+    t2 = slot_access_type(second, site.second_slot)
+    if not (t1.is_rma or t2.is_rma):
+        return False
+    if not (t1.is_write or t2.is_write):
+        return False
+    if first.caller == second.caller:
+        if t1.is_local and not t2.is_local:
+            return False  # local completed before the one-sided was issued
+        if t1.is_local and t2.is_local:
+            return False  # plain sequential code
+    return True

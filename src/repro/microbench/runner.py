@@ -1,0 +1,85 @@
+"""Run the suite against detectors and build the Table-3 confusion matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..mpi.interposition import DetectorProtocol
+from .builder import run_code
+from .model import CodeSpec
+from .suite import SuiteConfig, generate_suite
+
+__all__ = ["Verdict", "ConfusionMatrix", "run_suite", "DetectorFactory"]
+
+DetectorFactory = Callable[[], DetectorProtocol]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One code's outcome under one detector."""
+
+    code: CodeSpec
+    reported: bool
+
+    @property
+    def kind(self) -> str:
+        if self.code.racy:
+            return "TP" if self.reported else "FN"
+        return "FP" if self.reported else "TN"
+
+
+@dataclass
+class ConfusionMatrix:
+    """Aggregated verdicts — one paper-Table-3 column."""
+
+    detector: str
+    verdicts: List[Verdict] = field(default_factory=list)
+
+    def add(self, verdict: Verdict) -> None:
+        self.verdicts.append(verdict)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for v in self.verdicts if v.kind == kind)
+
+    @property
+    def fp(self) -> int:
+        return self.count("FP")
+
+    @property
+    def fn(self) -> int:
+        return self.count("FN")
+
+    @property
+    def tp(self) -> int:
+        return self.count("TP")
+
+    @property
+    def tn(self) -> int:
+        return self.count("TN")
+
+    def of_kind(self, kind: str) -> List[Verdict]:
+        return [v for v in self.verdicts if v.kind == kind]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.detector}: FP={self.fp} FN={self.fn} "
+            f"TP={self.tp} TN={self.tn} (n={len(self.verdicts)})"
+        )
+
+
+def run_suite(
+    factory: DetectorFactory,
+    *,
+    codes: Optional[Sequence[CodeSpec]] = None,
+    config: Optional[SuiteConfig] = None,
+) -> ConfusionMatrix:
+    """Run every code under a fresh detector instance from ``factory``."""
+    codes = list(codes) if codes is not None else generate_suite(config)
+    sample = factory()
+    matrix = ConfusionMatrix(getattr(sample, "name", type(sample).__name__))
+    for spec in codes:
+        detector = factory()
+        reported, _world = run_code(spec, detector)
+        matrix.add(Verdict(spec, reported))
+    return matrix

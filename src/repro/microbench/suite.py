@@ -1,0 +1,219 @@
+"""Generator of the validation microbenchmark suite (paper §5.2).
+
+The paper's suite has 154 hand-written C codes; its exact enumeration is
+not published, so this module *regenerates* a suite from the same
+combinatorial recipe — "every combination of two one-sided operations by
+varying the order of the operations, the callers of the operations, and
+the location that will be accessed twice" — with the paper's three
+processes (ORIGIN 1, TARGET, ORIGIN 2).
+
+The generated structure is validated against the paper's *behavioural*
+counts, which are properties of the tools rather than of the suite's
+size (see ``tests/microbench``):
+
+* the original RMA-Analyzer produces exactly **6 false positives** —
+  the ``{load,store}-then-{get,put}`` same-process safe codes in both
+  placements (§5.2's ``ll_load_get_inwindow_origin_safe`` family);
+* the MUST-RMA model produces exactly **15 false negatives** — the
+  races whose shared location is a stack array (out-of-window buffers,
+  and the self-targeting codes' stack buffers), which ThreadSanitizer
+  does not instrument;
+* our contribution has **0 / 0**.
+
+Memory conventions (mirroring how such C microbenchmarks are written):
+out-of-window buffers are stack arrays (``int buf[N]`` in ``main``);
+window memory comes from ``MPI_Win_allocate`` (heap).  Each overlapping
+code also gets a *disjoint twin* (same operation pair, non-overlapping
+locations, always safe) so true negatives are exercised as widely as
+true positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .model import (
+    ORIGIN1,
+    ORIGIN2,
+    TARGET,
+    CodeSpec,
+    OpInst,
+    OpKind,
+    Placement,
+    SiteSpec,
+    SlotKind,
+    ground_truth,
+)
+
+__all__ = ["SuiteConfig", "generate_suite", "suite_by_name"]
+
+_CALLER_LETTER = {ORIGIN1: "l", TARGET: "t", ORIGIN2: "o"}
+_OWNER_LABEL = {ORIGIN1: "origin", TARGET: "target", ORIGIN2: "origin2"}
+
+_ONESIDED = (OpKind.GET, OpKind.PUT)
+_LOCAL = (OpKind.LOAD, OpKind.STORE)
+
+# the three one-sided routes of the Fig. 3 scenario, plus self-targeting
+_ROUTE_OT = (ORIGIN1, TARGET)
+_ROUTE_TO = (TARGET, ORIGIN1)
+_ROUTE_O2 = (ORIGIN2, TARGET)
+_ROUTE_SELF = (ORIGIN1, ORIGIN1)
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Knobs of the enumeration (defaults reproduce the validated counts)."""
+
+    #: include T's own one-sided ops paired with T's local accesses —
+    #: relabel-symmetric to the ``ll`` family, excluded by default
+    include_tt_locals: bool = False
+    #: for each overlapping code, also emit a disjoint (trivially safe) twin
+    disjoint_twins: bool = True
+    #: epoch style the generated codes run under: passive-target
+    #: ``lock_all`` (the paper's suite) or active-target ``fence``
+    sync_mode: str = "lock_all"
+
+
+def _name(
+    first: OpInst,
+    second: OpInst,
+    site: SiteSpec,
+    racy: bool,
+    taken: Dict[str, int],
+    *,
+    disjoint: bool = False,
+) -> str:
+    pair = _CALLER_LETTER[first.caller] + _CALLER_LETTER[second.caller]
+    placement = "disjoint" if disjoint else site.placement.value
+    base = (
+        f"{pair}_{first.kind.value}_{second.kind.value}_{placement}_"
+        f"{_OWNER_LABEL[site.owner]}_{'race' if racy else 'safe'}"
+    )
+    n = taken.get(base, 0)
+    taken[base] = n + 1
+    return base if n == 0 else f"{base}{'bcdefgh'[n - 1]}"
+
+
+def _emit(
+    out: List[CodeSpec],
+    taken: Dict[str, int],
+    first: OpInst,
+    second: OpInst,
+    site: SiteSpec,
+    config: SuiteConfig,
+) -> None:
+    racy = ground_truth(first, second, site)
+    out.append(
+        CodeSpec(_name(first, second, site, racy, taken), first, second,
+                 site, racy, sync_mode=config.sync_mode)
+    )
+    if config.disjoint_twins:
+        out.append(
+            CodeSpec(
+                _name(first, second, site, False, taken, disjoint=True),
+                first,
+                second,
+                site,
+                False,
+                disjoint=True,
+                sync_mode=config.sync_mode,
+            )
+        )
+
+
+def _buf_placements() -> Tuple[Placement, Placement]:
+    return (Placement.IN_WINDOW, Placement.OUT_WINDOW)
+
+
+def generate_suite(config: Optional[SuiteConfig] = None) -> List[CodeSpec]:
+    """All codes of the suite, deterministically ordered."""
+    config = config or SuiteConfig()
+    out: List[CodeSpec] = []
+    taken: Dict[str, int] = {}
+
+    # 1. same-route one-sided pairs ------------------------------------------
+    for caller, target in (_ROUTE_OT, _ROUTE_TO, _ROUTE_O2):
+        for k1 in _ONESIDED:
+            for k2 in _ONESIDED:
+                first = OpInst(k1, caller, target)
+                second = OpInst(k2, caller, target)
+                for placement in _buf_placements():
+                    _emit(out, taken, first, second,
+                          SiteSpec(SlotKind.BUF, SlotKind.BUF, caller, placement),
+                          config)
+                _emit(out, taken, first, second,
+                      SiteSpec(SlotKind.WIN, SlotKind.WIN, target,
+                               Placement.IN_WINDOW),
+                      config)
+
+    # 2. cross-route one-sided pairs (both orders) ------------------------------
+    cross: List[Tuple[Tuple[int, int], Tuple[int, int], List[Tuple[SlotKind, SlotKind, int]]]] = [
+        # O1->T vs T->O1 (the Fig. 2b shape): overlap at either rank
+        (_ROUTE_OT, _ROUTE_TO, [(SlotKind.BUF, SlotKind.WIN, ORIGIN1),
+                                (SlotKind.WIN, SlotKind.BUF, TARGET)]),
+        (_ROUTE_TO, _ROUTE_OT, [(SlotKind.WIN, SlotKind.BUF, ORIGIN1),
+                                (SlotKind.BUF, SlotKind.WIN, TARGET)]),
+        # O1->T vs O2->T: both reach T's window
+        (_ROUTE_OT, _ROUTE_O2, [(SlotKind.WIN, SlotKind.WIN, TARGET)]),
+        (_ROUTE_O2, _ROUTE_OT, [(SlotKind.WIN, SlotKind.WIN, TARGET)]),
+        # T->O1 vs O2->T: T's buffer sits in the window O2 reaches
+        (_ROUTE_TO, _ROUTE_O2, [(SlotKind.BUF, SlotKind.WIN, TARGET)]),
+        (_ROUTE_O2, _ROUTE_TO, [(SlotKind.WIN, SlotKind.BUF, TARGET)]),
+    ]
+    for route1, route2, sites in cross:
+        for k1 in _ONESIDED:
+            for k2 in _ONESIDED:
+                first = OpInst(k1, *route1)
+                second = OpInst(k2, *route2)
+                for slot1, slot2, owner in sites:
+                    _emit(out, taken, first, second,
+                          SiteSpec(slot1, slot2, owner, Placement.IN_WINDOW),
+                          config)
+
+    # 3. self-targeting pairs (ORIGIN1 reaches its own window) --------------------
+    for k1 in _ONESIDED:
+        for k2 in _ONESIDED:
+            first = OpInst(k1, *_ROUTE_SELF)
+            second = OpInst(k2, *_ROUTE_SELF)
+            _emit(out, taken, first, second,
+                  SiteSpec(SlotKind.WIN, SlotKind.WIN, ORIGIN1,
+                           Placement.IN_WINDOW),
+                  config)
+            for placement in _buf_placements():
+                _emit(out, taken, first, second,
+                      SiteSpec(SlotKind.BUF, SlotKind.BUF, ORIGIN1, placement),
+                      config)
+
+    # 4. one-sided x local (both orders) -------------------------------------------
+    local_combos: List[Tuple[Tuple[int, int], int, SlotKind, int, List[Placement]]] = [
+        # (route, local caller, one-sided shared slot, owner, placements)
+        (_ROUTE_OT, ORIGIN1, SlotKind.BUF, ORIGIN1, list(_buf_placements())),
+        (_ROUTE_OT, TARGET, SlotKind.WIN, TARGET, [Placement.IN_WINDOW]),
+        (_ROUTE_TO, ORIGIN1, SlotKind.WIN, ORIGIN1, [Placement.IN_WINDOW]),
+        (_ROUTE_O2, TARGET, SlotKind.WIN, TARGET, [Placement.IN_WINDOW]),
+    ]
+    if config.include_tt_locals:
+        local_combos.append(
+            (_ROUTE_TO, TARGET, SlotKind.BUF, TARGET, list(_buf_placements()))
+        )
+    for route, local_caller, os_slot, owner, placements in local_combos:
+        for os_kind in _ONESIDED:
+            for local_kind in _LOCAL:
+                os_op = OpInst(os_kind, *route)
+                local_op = OpInst(local_kind, local_caller)
+                for placement in placements:
+                    # one-sided first, then the local access
+                    _emit(out, taken, os_op, local_op,
+                          SiteSpec(os_slot, SlotKind.BUF, owner, placement),
+                          config)
+                    # local access first, then the one-sided
+                    _emit(out, taken, local_op, os_op,
+                          SiteSpec(SlotKind.BUF, os_slot, owner, placement),
+                          config)
+
+    return out
+
+
+def suite_by_name(config: Optional[SuiteConfig] = None) -> Dict[str, CodeSpec]:
+    return {spec.name: spec for spec in generate_suite(config)}

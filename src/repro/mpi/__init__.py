@@ -1,0 +1,66 @@
+"""Simulated MPI-RMA runtime.
+
+A deterministic, single-process stand-in for the paper's OpenMPI +
+LLVM-instrumentation stack: rank programs are generator functions driven
+by :class:`World`, every memory access and synchronization call flows
+through the PMPI-like :class:`Interposition` to the attached detectors,
+and an alpha-beta :class:`SimClock` models cluster timing.
+"""
+
+from .costmodel import CostParams, SimClock
+from .datatypes import BYTE, FLOAT32, FLOAT64, GRAPH_TYPE, INT32, INT64, Datatype
+from .epoch import EpochTracker
+from .errors import (
+    CollectiveMismatchError,
+    DeadlockError,
+    EpochError,
+    MpiSimError,
+    OutOfWindowError,
+    RmaUsageError,
+)
+from .interposition import DetectorProtocol, Interposition
+from .memory import AddressSpace, Region, RegionInfo, RegionKind
+from .simulator import Buffer, RankContext, Request, World, run_spmd
+from .trace import LocalEvent, RmaEvent, SyncEvent, SyncKind, TraceLog
+from .trace_io import LoadedTrace, load_trace, replay_trace, save_trace
+from .window import Window
+
+__all__ = [
+    "AddressSpace",
+    "BYTE",
+    "Buffer",
+    "CollectiveMismatchError",
+    "CostParams",
+    "Datatype",
+    "DeadlockError",
+    "DetectorProtocol",
+    "EpochError",
+    "EpochTracker",
+    "FLOAT32",
+    "FLOAT64",
+    "GRAPH_TYPE",
+    "INT32",
+    "INT64",
+    "Interposition",
+    "LoadedTrace",
+    "LocalEvent",
+    "MpiSimError",
+    "OutOfWindowError",
+    "RankContext",
+    "Region",
+    "RegionInfo",
+    "Request",
+    "RegionKind",
+    "RmaEvent",
+    "RmaUsageError",
+    "SimClock",
+    "SyncEvent",
+    "SyncKind",
+    "TraceLog",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
+    "Window",
+    "World",
+    "run_spmd",
+]

@@ -1,0 +1,53 @@
+"""Minimal MPI datatype registry.
+
+MPI-RMA's atomicity property (§2.1 of the paper) is defined "at the
+MPI_Datatype level", and window displacement units are expressed in
+datatype extents; application code in :mod:`repro.apps` sizes its
+buffers and one-sided calls through these descriptors instead of raw
+byte counts, like real MPI code does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Datatype",
+    "BYTE",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "GRAPH_TYPE",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Datatype:
+    """An MPI basic datatype: a name, a byte extent and a numpy dtype."""
+
+    name: str
+    extent: int
+    np_dtype: np.dtype
+
+    def count_bytes(self, count: int) -> int:
+        """Total bytes of ``count`` elements."""
+        if count < 0:
+            raise ValueError(f"negative element count {count}")
+        return count * self.extent
+
+    def __str__(self) -> str:
+        return self.name
+
+
+BYTE = Datatype("MPI_BYTE", 1, np.dtype(np.uint8))
+INT32 = Datatype("MPI_INT", 4, np.dtype(np.int32))
+INT64 = Datatype("MPI_LONG_LONG", 8, np.dtype(np.int64))
+FLOAT32 = Datatype("MPI_FLOAT", 4, np.dtype(np.float32))
+FLOAT64 = Datatype("MPI_DOUBLE", 8, np.dtype(np.float64))
+
+# MiniVite communicates (vertex, community) pairs through a user-defined
+# type it calls MPI_GRAPH_TYPE (see paper Fig. 9a); two 64-bit integers.
+GRAPH_TYPE = Datatype("MPI_GRAPH_TYPE", 16, np.dtype(np.int64))

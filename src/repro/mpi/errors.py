@@ -1,0 +1,42 @@
+"""Exceptions raised by the simulated MPI-RMA runtime.
+
+These mirror the failure modes a real MPI library (or a debug build of
+one) would report: usage errors are programming bugs in the *simulated
+application*, not in the simulator itself, and carry enough context to
+point at the offending rank and call.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MpiSimError",
+    "RmaUsageError",
+    "EpochError",
+    "OutOfWindowError",
+    "CollectiveMismatchError",
+    "DeadlockError",
+]
+
+
+class MpiSimError(RuntimeError):
+    """Base class for all simulated-MPI errors."""
+
+
+class RmaUsageError(MpiSimError):
+    """An RMA call was malformed (bad target, bad size, freed window...)."""
+
+
+class EpochError(RmaUsageError):
+    """RMA call outside an epoch, double lock, unlock without lock, ..."""
+
+
+class OutOfWindowError(RmaUsageError):
+    """A one-sided operation reached past the target's window bounds."""
+
+
+class CollectiveMismatchError(MpiSimError):
+    """Ranks disagreed on a collective call (different op or window)."""
+
+
+class DeadlockError(MpiSimError):
+    """The scheduler found no runnable rank while some are still waiting."""

@@ -1,0 +1,912 @@
+"""The simulated MPI-RMA world.
+
+Rank programs are ordinary generator functions::
+
+    def program(ctx: RankContext):
+        win = yield ctx.win_allocate("halo", 1024)      # collective
+        ctx.win_lock_all(win)
+        ctx.put(win, target=(ctx.rank + 1) % ctx.size, disp=0,
+                buf=mybuf, count=16)
+        ctx.win_flush_all(win)
+        yield ctx.barrier()                              # collective
+        ctx.win_unlock_all(win)
+        yield ctx.win_free(win)                          # collective
+
+``yield`` marks the *collective* points: the scheduler runs ranks round
+robin, advancing each to its next yield, and matches collectives across
+ranks (mismatches raise :class:`CollectiveMismatchError`, a missing rank
+raises :class:`DeadlockError`).  Everything between two yields executes
+atomically from the scheduler's point of view — which is faithful
+enough, because MPI-RMA gives no intra-epoch ordering anyway (the
+paper's Ordering property) and the detectors under test never rely on
+fine-grained interleaving, only on the per-process program order that
+the generator structure preserves exactly.
+
+Data movement is applied eagerly (sequentially consistent *values*, so
+application code like the Louvain phase computes real results) while
+*detection* semantics — asynchrony, completion, epochs — are carried by
+the access-type/epoch metadata each event ships to the detectors.
+
+Debug info (file:line of the access) is captured automatically from the
+calling frame, mirroring the LLVM pass's debug metadata; the
+microbenchmark generator overrides it explicitly.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..intervals import AccessType, DebugInfo, Interval, MemoryAccess
+from .costmodel import CostParams, SimClock
+from .datatypes import BYTE, Datatype
+from .epoch import EpochTracker
+from .errors import (
+    CollectiveMismatchError,
+    DeadlockError,
+    MpiSimError,
+    RmaUsageError,
+)
+from .interposition import DetectorProtocol, Interposition
+from .memory import AddressSpace, Region, RegionKind
+from .trace import TraceLog
+from .window import Window
+
+__all__ = ["Buffer", "RankContext", "World", "run_spmd"]
+
+
+# ---------------------------------------------------------------------------
+# Collective tokens (values the programs yield)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    payload: tuple = ()
+
+
+# ---------------------------------------------------------------------------
+# Buffers
+# ---------------------------------------------------------------------------
+
+
+class Request:
+    """Handle of a request-based one-sided op (MPI_Rput / MPI_Rget).
+
+    ``MPI_Wait`` on it guarantees *local* completion only: the origin
+    buffer is reusable, but the target-side effect is not ordered with
+    anything until a flush or the epoch's end.
+    """
+
+    __slots__ = ("rank", "wid", "origin_access", "completed")
+
+    def __init__(self, rank: int, wid: int, origin_access) -> None:
+        self.rank = rank
+        self.wid = wid
+        self.origin_access = origin_access
+        self.completed = False
+
+
+class Buffer:
+    """A typed, named allocation of one rank.
+
+    ``buf.np`` exposes the raw numpy view for *un-instrumented* work —
+    exactly like the loads/stores the LLVM alias analysis proves
+    irrelevant and never instruments.  Instrumented accesses go through
+    :meth:`RankContext.load` / :meth:`RankContext.store`.
+    """
+
+    __slots__ = ("region", "dtype")
+
+    def __init__(self, region: Region, dtype: Datatype) -> None:
+        self.region = region
+        self.dtype = dtype
+
+    @property
+    def np(self) -> np.ndarray:
+        return self.region.view(self.dtype.np_dtype)
+
+    @property
+    def name(self) -> str:
+        return self.region.name
+
+    @property
+    def nelems(self) -> int:
+        return self.region.size // self.dtype.extent
+
+    def interval(self, off_elems: int, count: int) -> Interval:
+        return self.region.sub_interval(
+            off_elems * self.dtype.extent, count * self.dtype.extent
+        )
+
+
+def _caller_debug(depth: int = 2) -> DebugInfo:
+    """file:line of the simulated-application call site."""
+    frame = sys._getframe(depth)
+    return DebugInfo(frame.f_code.co_filename.rsplit("/", 1)[-1], frame.f_lineno)
+
+
+# ---------------------------------------------------------------------------
+# Per-rank API
+# ---------------------------------------------------------------------------
+
+
+class RankContext:
+    """The MPI-like API each rank program receives."""
+
+    def __init__(self, world: "World", rank: int) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.nranks
+        self.space = world.spaces[rank]
+
+    # -- memory -----------------------------------------------------------------
+
+    def alloc(
+        self,
+        name: str,
+        count: int,
+        dtype: Datatype = BYTE,
+        kind: RegionKind = RegionKind.HEAP,
+        *,
+        rma_hint: bool = False,
+    ) -> Buffer:
+        """Allocate ``count`` elements of ``dtype`` (zeroed).
+
+        ``rma_hint=True`` marks the region as may-alias-RMA upfront, the
+        way a static alias analysis would for a buffer that is passed to
+        a one-sided call later in the program.  Buffers are also marked
+        lazily at their first Put/Get use.
+        """
+        region = self.space.alloc(name, count * dtype.extent, kind)
+        region.may_alias_rma = rma_hint
+        return Buffer(region, dtype)
+
+    def stack_alloc(
+        self, name: str, count: int, dtype: Datatype = BYTE, *, rma_hint: bool = False
+    ) -> Buffer:
+        """A stack array — invisible to the MUST-RMA model's TSan."""
+        return self.alloc(name, count, dtype, RegionKind.STACK, rma_hint=rma_hint)
+
+    def free(self, buf: Buffer) -> None:
+        self.space.free(buf.region)
+
+    # -- local accesses (instrumented) --------------------------------------------
+
+    def load(
+        self, buf: Buffer, off: int = 0, count: int = 1, *, debug: Optional[DebugInfo] = None
+    ) -> np.ndarray:
+        """Instrumented Load of ``count`` consecutive elements."""
+        iv = buf.interval(off, count)
+        self._world._local(self.rank, iv, AccessType.LOCAL_READ,
+                           debug or _caller_debug(), buf.region)
+        return buf.np[off] if count == 1 else buf.np[off : off + count].copy()
+
+    def store(
+        self,
+        buf: Buffer,
+        off: int,
+        value: Any,
+        count: int = 1,
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> None:
+        """Instrumented Store of ``count`` consecutive elements."""
+        iv = buf.interval(off, count)
+        self._world._local(self.rank, iv, AccessType.LOCAL_WRITE,
+                           debug or _caller_debug(), buf.region)
+        if count == 1:
+            buf.np[off] = value
+        else:
+            buf.np[off : off + count] = value
+
+    def compute(self, units: float) -> None:
+        """Charge pure computation to this rank's simulated clock."""
+        self._world.clock.charge_compute(self.rank, units)
+
+    # -- windows -------------------------------------------------------------------
+
+    def win_allocate(
+        self, name: str, count: int, dtype: Datatype = BYTE
+    ) -> _Token:
+        """Collective: expose ``count`` elements of ``dtype``.  ``yield`` it.
+
+        Like ``MPI_Win_allocate``: the window memory is fresh heap-like
+        memory owned by the window.
+        """
+        return _Token("win_allocate", (name, count, dtype))
+
+    def win_create(self, name: str, buf: Buffer) -> _Token:
+        """Collective: expose an *existing* buffer as a window.  ``yield`` it.
+
+        Like ``MPI_Win_create``: the exposed memory keeps its original
+        provenance — exposing a stack array leaves it invisible to
+        ThreadSanitizer-based tools (the paper's §5.2 MUST-RMA blind
+        spot).
+        """
+        return _Token("win_create", (name, buf))
+
+    def win_free(self, win: Window) -> _Token:
+        """Collective: free the window.  ``yield`` it."""
+        return _Token("win_free", (win.wid,))
+
+    def barrier(self) -> _Token:
+        """Collective MPI_Barrier.  ``yield`` it."""
+        return _Token("barrier", ())
+
+    def win_fence(self, win: Window) -> _Token:
+        """Collective MPI_Win_fence: active-target epoch boundary.
+        ``yield`` it.  Completes all operations on the window and opens
+        the next access/exposure epoch."""
+        return _Token("fence", (win.wid,))
+
+    def allreduce(self, value: float, op: str = "sum") -> _Token:
+        """Collective MPI_Allreduce (sum/max/min).  ``yield`` it.
+
+        Synchronizes like a barrier (it is one, semantically) and hands
+        every rank the reduced value.
+        """
+        return _Token("allreduce", (value, op))
+
+    # -- epochs (not collective; take effect immediately) ----------------------------
+
+    def win_lock_all(self, win: Window) -> None:
+        self._world._lock_all(self.rank, win)
+
+    def win_unlock_all(self, win: Window) -> None:
+        self._world._unlock_all(self.rank, win)
+
+    def win_lock(self, win: Window, target: int, *, exclusive: bool = False) -> None:
+        """MPI_Win_lock: per-target passive lock (shared or exclusive).
+
+        Exclusive epochs on the same (window, target) are serialized by
+        the MPI library, which detectors with lock support exploit: two
+        accesses from different exclusive epochs never race.
+        """
+        self._world._lock(self.rank, win, target, exclusive)
+
+    def win_unlock(self, win: Window, target: int) -> None:
+        """MPI_Win_unlock: close the per-target epoch (completes its ops)."""
+        self._world._unlock(self.rank, win, target)
+
+    def win_flush_all(self, win: Window) -> None:
+        self._world._flush(self.rank, win, all_targets=True)
+
+    def win_flush(self, win: Window, target: int) -> None:
+        # per-target flush: same epoch bookkeeping; detectors see the
+        # same event (the §6 subtlety is about *tools*, not the runtime)
+        self._world._flush(self.rank, win, all_targets=False)
+
+    # -- one-sided operations ----------------------------------------------------------
+
+    def put(
+        self,
+        win: Window,
+        target: int,
+        disp: int,
+        buf: Buffer,
+        off: int = 0,
+        count: int = 1,
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> None:
+        """MPI_Put: write ``count`` elements of ``buf`` to the target window."""
+        self._world._rma(
+            "put", self.rank, target, win, disp, buf, off, count,
+            debug or _caller_debug(),
+        )
+
+    def get(
+        self,
+        win: Window,
+        target: int,
+        disp: int,
+        buf: Buffer,
+        off: int = 0,
+        count: int = 1,
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> None:
+        """MPI_Get: read ``count`` elements from the target window into ``buf``."""
+        self._world._rma(
+            "get", self.rank, target, win, disp, buf, off, count,
+            debug or _caller_debug(),
+        )
+
+    def get_accumulate(
+        self,
+        win: Window,
+        target: int,
+        disp: int,
+        buf: Buffer,
+        result: Buffer,
+        off: int = 0,
+        result_off: int = 0,
+        count: int = 1,
+        op: str = "sum",
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> None:
+        """MPI_Get_accumulate: atomic fetch-and-op on the target window.
+
+        The old window contents land in ``result`` while ``buf`` is
+        combined in — one atomic element-wise step, so it composes with
+        other same-``op`` accumulates without racing.  ``op="no_op"``
+        gives MPI_Fetch_and_op's pure atomic read.
+        """
+        self._world._rma(
+            "get_accumulate", self.rank, target, win, disp, buf, off, count,
+            debug or _caller_debug(), accum_op=op, result=result,
+            result_off=result_off,
+        )
+
+    def fetch_and_op(
+        self,
+        win: Window,
+        target: int,
+        disp: int,
+        buf: Buffer,
+        result: Buffer,
+        op: str = "sum",
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> None:
+        """MPI_Fetch_and_op: the single-element fast path of get_accumulate."""
+        self.get_accumulate(win, target, disp, buf, result, 0, 0, 1, op,
+                            debug=debug or _caller_debug())
+
+    def put_vector(
+        self,
+        win: Window,
+        target: int,
+        disp: int,
+        buf: Buffer,
+        off: int = 0,
+        blocks: int = 1,
+        blocklen: int = 1,
+        stride: int = 1,
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> None:
+        """MPI_Put with a vector derived datatype.
+
+        Writes ``blocks`` blocks of ``blocklen`` elements from the
+        contiguous origin buffer into the target window at element
+        stride ``stride`` — one network transaction whose target
+        footprint is strided, exactly the access pattern a
+        ``MPI_Type_vector`` produces.
+        """
+        self._vector_rma("put", win, target, disp, buf, off, blocks,
+                         blocklen, stride, debug or _caller_debug())
+
+    def get_vector(
+        self,
+        win: Window,
+        target: int,
+        disp: int,
+        buf: Buffer,
+        off: int = 0,
+        blocks: int = 1,
+        blocklen: int = 1,
+        stride: int = 1,
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> None:
+        """MPI_Get with a vector derived datatype (see put_vector)."""
+        self._vector_rma("get", win, target, disp, buf, off, blocks,
+                         blocklen, stride, debug or _caller_debug())
+
+    def _vector_rma(self, op, win, target, disp, buf, off, blocks,
+                    blocklen, stride, debug) -> None:
+        if blocks < 1 or blocklen < 1 or stride < blocklen:
+            raise RmaUsageError(
+                f"rank {self.rank}: invalid vector shape blocks={blocks} "
+                f"blocklen={blocklen} stride={stride}"
+            )
+        for b in range(blocks):
+            self._world._rma(
+                op, self.rank, target, win, disp + b * stride, buf,
+                off + b * blocklen, blocklen, debug,
+                charge_latency=(b == 0),  # one transaction, many blocks
+            )
+
+    def rput(
+        self,
+        win: Window,
+        target: int,
+        disp: int,
+        buf: Buffer,
+        off: int = 0,
+        count: int = 1,
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> Request:
+        """MPI_Rput: a put with a request handle; see :class:`Request`."""
+        return self._world._rma(
+            "put", self.rank, target, win, disp, buf, off, count,
+            debug or _caller_debug(), want_request=True,
+        )
+
+    def rget(
+        self,
+        win: Window,
+        target: int,
+        disp: int,
+        buf: Buffer,
+        off: int = 0,
+        count: int = 1,
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> Request:
+        """MPI_Rget: a get with a request handle; see :class:`Request`."""
+        return self._world._rma(
+            "get", self.rank, target, win, disp, buf, off, count,
+            debug or _caller_debug(), want_request=True,
+        )
+
+    def wait(self, request: Request) -> None:
+        """MPI_Wait: completes the request *locally* (origin side only)."""
+        if request.completed:
+            raise RmaUsageError(
+                f"rank {self.rank}: MPI_Wait on an already-completed request"
+            )
+        if request.rank != self.rank:
+            raise RmaUsageError(
+                f"rank {self.rank}: waiting on rank {request.rank}'s request"
+            )
+        request.completed = True
+        self._world.interposition.request_complete(
+            request.rank, request.wid, request.origin_access
+        )
+
+    def accumulate(
+        self,
+        win: Window,
+        target: int,
+        disp: int,
+        buf: Buffer,
+        off: int = 0,
+        count: int = 1,
+        op: str = "sum",
+        *,
+        debug: Optional[DebugInfo] = None,
+    ) -> None:
+        """MPI_Accumulate: element-wise atomic update of the target window.
+
+        The paper's §2.1 atomicity property: accumulates are atomic at
+        the datatype level, so concurrent same-``op`` accumulates to the
+        same location are well-defined (and race-free).  ``op`` is one of
+        ``sum``, ``max``, ``min``, ``replace``.
+        """
+        self._world._rma(
+            "accumulate", self.rank, target, win, disp, buf, off, count,
+            debug or _caller_debug(), accum_op=op,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The world
+# ---------------------------------------------------------------------------
+
+Program = Callable[..., Generator[Optional[_Token], Any, None]]
+
+
+class World:
+    """``nranks`` simulated MPI processes plus detectors and cost model."""
+
+    def __init__(
+        self,
+        nranks: int,
+        detectors: Sequence[DetectorProtocol] = (),
+        *,
+        cost_params: Optional[CostParams] = None,
+        trace: bool = False,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = nranks
+        self.spaces = [AddressSpace(r) for r in range(nranks)]
+        self.clock = SimClock(nranks, cost_params)
+        self.trace_log: Optional[TraceLog] = TraceLog() if trace else None
+        self.interposition = Interposition(detectors, self.clock, self.trace_log)
+        self.epochs = EpochTracker()
+        self.windows: Dict[int, Window] = {}
+        self._next_wid = 0
+        # global exclusive-lock epoch ids per (wid, target)
+        self._excl_epochs: Dict[tuple, int] = {}
+        # per-target locks currently held, per (rank, wid)
+        self._locks_held: Dict[tuple, int] = {}
+
+    # -- runtime internals (called from RankContext) ---------------------------------
+
+    def _local(
+        self,
+        rank: int,
+        interval: Interval,
+        type: AccessType,
+        debug: DebugInfo,
+        region: Region,
+    ) -> None:
+        self.clock.charge_local(rank, len(interval))
+        access = MemoryAccess(interval, type, debug, origin=rank)
+        self.interposition.local_access(rank, access, region)
+
+    def _lock_all(self, rank: int, win: Window) -> None:
+        win._check_live()
+        self.epochs.lock_all(rank, win.wid)
+        self.clock.charge(rank, self.clock.params.sync_base_ns, "sync")
+        self.interposition.epoch_start(rank, win.wid)
+
+    def _unlock_all(self, rank: int, win: Window) -> None:
+        win._check_live()
+        self.epochs.unlock_all(rank, win.wid)
+        self.clock.charge(rank, self.clock.params.sync_base_ns, "sync")
+        self.interposition.epoch_end(rank, win.wid)
+
+    def _lock(self, rank: int, win: Window, target: int, exclusive: bool) -> None:
+        win._check_live()
+        if not 0 <= target < self.nranks:
+            raise RmaUsageError(f"rank {rank}: invalid lock target {target}")
+        self.epochs.lock(rank, win.wid, target, exclusive)
+        if exclusive:
+            key = (win.wid, target)
+            self._excl_epochs[key] = self._excl_epochs.get(key, 0) + 1
+        self.clock.charge(rank, self.clock.params.sync_base_ns, "sync")
+        # detectors see one logical access epoch per rank: opened by the
+        # first lock taken, closed by the last unlock released
+        key = (rank, win.wid)
+        held = self._locks_held.get(key, 0)
+        self._locks_held[key] = held + 1
+        if held == 0:
+            self.interposition.epoch_start(rank, win.wid)
+
+    def _unlock(self, rank: int, win: Window, target: int) -> None:
+        win._check_live()
+        self.epochs.unlock(rank, win.wid, target)
+        self.clock.charge(rank, self.clock.params.sync_base_ns, "sync")
+        key = (rank, win.wid)
+        held = self._locks_held.get(key, 1)
+        self._locks_held[key] = held - 1
+        if held == 1:
+            self.interposition.epoch_end(rank, win.wid)
+
+    def _flush(self, rank: int, win: Window, *, all_targets: bool) -> None:
+        win._check_live()
+        self.epochs.flush(rank, win.wid)
+        self.clock.charge(rank, self.clock.params.sync_base_ns, "sync")
+        self.interposition.flush(rank, win.wid, all_targets=all_targets)
+
+    def _rma(
+        self,
+        op: str,
+        rank: int,
+        target: int,
+        win: Window,
+        disp: int,
+        buf: Buffer,
+        off: int,
+        count: int,
+        debug: DebugInfo,
+        accum_op: Optional[str] = None,
+        result: Optional[Buffer] = None,
+        result_off: int = 0,
+        charge_latency: bool = True,
+        want_request: bool = False,
+    ) -> Optional[Request]:
+        if not 0 <= target < self.nranks:
+            raise RmaUsageError(f"rank {rank}: invalid target {target}")
+        if buf.dtype.extent != win.disp_unit.extent:
+            raise RmaUsageError(
+                f"rank {rank}: buffer dtype {buf.dtype} does not match "
+                f"window disp unit {win.disp_unit}"
+            )
+        if not self.epochs.can_access(rank, win.wid, target):
+            from .errors import EpochError
+
+            raise EpochError(
+                f"rank {rank}: one-sided operation on window {win.wid} "
+                f"towards {target} outside any epoch or lock"
+            )
+        self.epochs.note_op(rank, win.wid)
+
+        target_iv = win.target_interval(target, disp, count)
+        origin_iv = buf.interval(off, count)
+        nbytes = count * win.disp_unit.extent
+        gen = self.epochs.flush_gen(rank, win.wid)
+
+        if op == "put":
+            origin_type, target_type = AccessType.RMA_READ, AccessType.RMA_WRITE
+        elif op == "get":
+            origin_type, target_type = AccessType.RMA_WRITE, AccessType.RMA_READ
+        elif op == "accumulate":
+            origin_type, target_type = AccessType.RMA_READ, AccessType.RMA_WRITE
+            if accum_op not in ("sum", "max", "min", "replace"):
+                raise RmaUsageError(
+                    f"rank {rank}: unknown accumulate op {accum_op!r}"
+                )
+        elif op == "get_accumulate":
+            origin_type, target_type = AccessType.RMA_READ, AccessType.RMA_WRITE
+            if accum_op not in ("sum", "max", "min", "replace", "no_op"):
+                raise RmaUsageError(
+                    f"rank {rank}: unknown get_accumulate op {accum_op!r}"
+                )
+            if result is None:
+                raise RmaUsageError(
+                    f"rank {rank}: get_accumulate needs a result buffer"
+                )
+            if result.dtype.extent != win.disp_unit.extent:
+                raise RmaUsageError(
+                    f"rank {rank}: result dtype {result.dtype} does not "
+                    f"match window disp unit {win.disp_unit}"
+                )
+        else:  # pragma: no cover
+            raise ValueError(op)
+
+        excl = None
+        if self.epochs.target_lock_exclusive(rank, win.wid, target):
+            excl = self._excl_epochs.get((win.wid, target))
+        acc = accum_op if op in ("accumulate", "get_accumulate") else None
+        origin_access = MemoryAccess(
+            origin_iv, origin_type, debug, rank, 0, gen, None, excl
+        )
+        target_access = MemoryAccess(
+            target_iv, target_type, debug, rank, 0, gen, acc, excl
+        )
+
+        # mark alias information for the filter
+        buf.region.may_alias_rma = True
+        win.region_of(target).may_alias_rma = True
+
+        # eager data movement (values are sequentially consistent)
+        tmem = win.memory(target)
+        bmem = buf.np
+        if op == "put":
+            tmem[disp : disp + count] = bmem[off : off + count]
+        elif op == "get":
+            bmem[off : off + count] = tmem[disp : disp + count]
+        else:  # (get_)accumulate: element-wise atomic read-modify-write
+            if op == "get_accumulate":
+                assert result is not None
+                rmem = result.np
+                rmem[result_off : result_off + count] = tmem[disp : disp + count]
+                result.region.may_alias_rma = True
+            src = bmem[off : off + count]
+            dst = tmem[disp : disp + count]
+            if accum_op == "sum":
+                dst += src
+            elif accum_op == "max":
+                np.maximum(dst, src, out=dst)
+            elif accum_op == "min":
+                np.minimum(dst, src, out=dst)
+            elif accum_op == "replace":
+                dst[:] = src
+            # no_op: fetch only, leave the target unchanged
+
+        if charge_latency:
+            self.clock.charge_rma(rank, nbytes)
+        else:
+            self.clock.charge(rank, nbytes * self.clock.params.ns_per_byte,
+                              "comm")
+        self.interposition.rma(
+            op, rank, target, win.wid, origin_access, target_access,
+            buf.region, win.region_of(target), nbytes,
+        )
+        if op == "get_accumulate":
+            # the fetch half: an atomic read of the window lands in the
+            # result buffer — both sides are part of the same atomic op
+            # (same accum_op tag), so they compose with other accumulates
+            # and with this origin's own later calls (accumulate ordering)
+            assert result is not None
+            result_iv = result.interval(result_off, count)
+            fetch_origin = MemoryAccess(
+                result_iv, AccessType.RMA_WRITE, debug, rank, 0, gen,
+                accum_op, excl,
+            )
+            fetch_target = MemoryAccess(
+                target_iv, AccessType.RMA_READ, debug, rank, 0, gen,
+                accum_op, excl,
+            )
+            self.interposition.rma(
+                "get_accumulate_fetch", rank, target, win.wid,
+                fetch_origin, fetch_target, result.region,
+                win.region_of(target), nbytes,
+            )
+        if want_request:
+            return Request(rank, win.wid, origin_access)
+        return None
+
+    # -- collectives -------------------------------------------------------------------
+
+    def _do_win_allocate(self, tokens: List[_Token]) -> List[Window]:
+        names = {t.payload[0] for t in tokens}
+        counts = {t.payload[1] for t in tokens}
+        dtypes = {t.payload[2].name for t in tokens}
+        if len(names) != 1 or len(dtypes) != 1:
+            raise CollectiveMismatchError(
+                f"win_allocate mismatch: names={names}, dtypes={dtypes}"
+            )
+        if len(counts) != 1:
+            # MPI allows different sizes per rank; we do too
+            pass
+        name = tokens[0].payload[0]
+        dtype = tokens[0].payload[2]
+        regions = [
+            self.spaces[r].alloc(
+                f"win:{name}", tokens[r].payload[1] * dtype.extent, RegionKind.WINDOW
+            )
+            for r in range(self.nranks)
+        ]
+        for region in regions:
+            region.may_alias_rma = True
+        wid = self._next_wid
+        self._next_wid += 1
+        window = Window(wid, name, regions, dtype)
+        self.windows[wid] = window
+        self.interposition.win_create(window)
+        return [window] * self.nranks
+
+    def _do_win_create(self, tokens: List[_Token]) -> List[Window]:
+        names = {t.payload[0] for t in tokens}
+        if len(names) != 1:
+            raise CollectiveMismatchError(f"win_create mismatch: names={names}")
+        bufs: List[Buffer] = [t.payload[1] for t in tokens]
+        dtypes = {b.dtype.name for b in bufs}
+        if len(dtypes) != 1:
+            raise CollectiveMismatchError(f"win_create mismatch: dtypes={dtypes}")
+        regions = [b.region for b in bufs]
+        for r, region in enumerate(regions):
+            if region.rank != r:
+                raise RmaUsageError(
+                    f"rank {r} passed rank {region.rank}'s buffer to win_create"
+                )
+            region.may_alias_rma = True
+        wid = self._next_wid
+        self._next_wid += 1
+        window = Window(wid, tokens[0].payload[0], regions, bufs[0].dtype)
+        self.windows[wid] = window
+        self.interposition.win_create(window)
+        return [window] * self.nranks
+
+    def _do_win_free(self, tokens: List[_Token]) -> List[None]:
+        wids = {t.payload[0] for t in tokens}
+        if len(wids) != 1:
+            raise CollectiveMismatchError(f"win_free mismatch: {wids}")
+        wid = tokens[0].payload[0]
+        window = self.windows[wid]
+        self.epochs.assert_all_closed(wid, self.nranks)
+        window.freed = True
+        self.interposition.win_free(wid)
+        return [None] * self.nranks
+
+    def _do_barrier(self, tokens: List[_Token]) -> List[None]:
+        self.clock.synchronize(list(range(self.nranks)))
+        self.interposition.barrier()
+        return [None] * self.nranks
+
+    def _do_fence(self, tokens: List[_Token]) -> List[None]:
+        wids = {t.payload[0] for t in tokens}
+        if len(wids) != 1:
+            raise CollectiveMismatchError(f"fence window mismatch: {wids}")
+        wid = wids.pop()
+        window = self.windows[wid]
+        window._check_live()
+        for rank in range(self.nranks):
+            self.epochs.fence(rank, wid)
+        self.clock.synchronize(list(range(self.nranks)))
+        self.interposition.fence(wid, self.nranks)
+        return [None] * self.nranks
+
+    def _do_allreduce(self, tokens: List[_Token]) -> List[float]:
+        ops = {t.payload[1] for t in tokens}
+        if len(ops) != 1:
+            raise CollectiveMismatchError(f"allreduce op mismatch: {ops}")
+        op = ops.pop()
+        values = [t.payload[0] for t in tokens]
+        if op == "sum":
+            result = sum(values)
+        elif op == "max":
+            result = max(values)
+        elif op == "min":
+            result = min(values)
+        else:
+            raise CollectiveMismatchError(f"unknown allreduce op {op!r}")
+        self.clock.synchronize(list(range(self.nranks)))
+        self.interposition.barrier()  # reduce synchronizes like a barrier
+        return [result] * self.nranks
+
+    _COLLECTIVES = {
+        "win_allocate": _do_win_allocate,
+        "win_create": _do_win_create,
+        "win_free": _do_win_free,
+        "barrier": _do_barrier,
+        "fence": _do_fence,
+        "allreduce": _do_allreduce,
+    }
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run(self, program: Program, *args: Any, **kwargs: Any) -> None:
+        """Run ``program(ctx, *args, **kwargs)`` on every rank to completion."""
+        contexts = [RankContext(self, r) for r in range(self.nranks)]
+        gens: List[Optional[Generator]] = [
+            program(ctx, *args, **kwargs) for ctx in contexts
+        ]
+        self.run_generators(gens)
+
+    def run_generators(self, gens: List[Optional[Generator]]) -> None:
+        """Drive heterogeneous per-rank generators (SPMD or MPMD)."""
+        if len(gens) != self.nranks:
+            raise ValueError(f"need {self.nranks} programs, got {len(gens)}")
+        send_values: List[Any] = [None] * self.nranks
+        pending: List[Optional[_Token]] = [None] * self.nranks
+        live = [g is not None for g in gens]
+
+        while any(live):
+            # advance every live rank that is not parked at a collective
+            for r in range(self.nranks):
+                if not live[r] or pending[r] is not None:
+                    continue
+                try:
+                    token = gens[r].send(send_values[r])  # type: ignore[union-attr]
+                except StopIteration:
+                    live[r] = False
+                    continue
+                send_values[r] = None
+                if token is None:
+                    continue  # plain cooperative yield: runnable again next pass
+                if not isinstance(token, _Token):
+                    raise MpiSimError(
+                        f"rank {r} yielded {token!r}; yield collective tokens or None"
+                    )
+                pending[r] = token
+
+            if any(live[r] and pending[r] is None for r in range(self.nranks)):
+                continue  # somebody is still runnable; keep advancing
+
+            waiting = [r for r in range(self.nranks) if live[r]]
+            if not waiting:
+                break  # everyone finished
+            if len(waiting) < self.nranks:
+                kinds = sorted({pending[r].kind for r in waiting})  # type: ignore[union-attr]
+                raise DeadlockError(
+                    f"ranks {waiting} wait on collective(s) {kinds} but other "
+                    "ranks already terminated"
+                )
+            kinds = {pending[r].kind for r in waiting}  # type: ignore[union-attr]
+            if len(kinds) != 1:
+                raise CollectiveMismatchError(f"mismatched collectives: {kinds}")
+            handler = self._COLLECTIVES[kinds.pop()]
+            results = handler(self, [pending[r] for r in waiting])  # type: ignore[arg-type]
+            for r in waiting:
+                send_values[r] = results[r]
+                pending[r] = None
+
+        self.interposition.finalize()
+
+    # -- reporting -----------------------------------------------------------------------
+
+    @property
+    def detectors(self) -> List[DetectorProtocol]:
+        return self.interposition.detectors
+
+    def analysis_wall(self, name: str) -> float:
+        return self.interposition.analysis_wall[name]
+
+
+def run_spmd(
+    program: Program,
+    nranks: int,
+    detectors: Sequence[DetectorProtocol] = (),
+    *args: Any,
+    cost_params: Optional[CostParams] = None,
+    trace: bool = False,
+    **kwargs: Any,
+) -> World:
+    """Convenience wrapper: build a world, run ``program``, return the world."""
+    world = World(nranks, detectors, cost_params=cost_params, trace=trace)
+    world.run(program, *args, **kwargs)
+    return world

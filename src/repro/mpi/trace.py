@@ -1,0 +1,96 @@
+"""Execution trace records.
+
+The on-the-fly detectors consume events directly from the interposition
+layer; the *post-mortem* detector (MC-CChecker model) and several tests
+need the whole execution recorded.  :class:`TraceLog` stores a flat,
+globally ordered event list; recording is optional (``World(trace=True)``)
+because large app runs do not need it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..intervals import MemoryAccess
+from .memory import RegionInfo, RegionKind
+
+__all__ = ["SyncKind", "TraceEvent", "LocalEvent", "RmaEvent", "SyncEvent", "TraceLog"]
+
+
+class SyncKind(enum.Enum):
+    WIN_CREATE = "win_create"
+    WIN_FREE = "win_free"
+    LOCK_ALL = "lock_all"
+    UNLOCK_ALL = "unlock_all"
+    FLUSH = "flush"
+    FLUSH_ALL = "flush_all"
+    FENCE = "fence"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base: every event has a global sequence number and an issuing rank."""
+
+    seq: int
+    rank: int
+
+
+@dataclass(frozen=True)
+class LocalEvent(TraceEvent):
+    """An instrumentable Load/Store."""
+
+    access: MemoryAccess
+    region: RegionInfo
+
+
+@dataclass(frozen=True)
+class RmaEvent(TraceEvent):
+    """One MPI_Put / MPI_Get: both sides' accesses, already resolved."""
+
+    op: str  # "put" | "get"
+    target: int
+    wid: int
+    origin_access: MemoryAccess
+    target_access: MemoryAccess
+    origin_region: RegionInfo
+    # default: plain window memory (MPI_Win_allocate)
+    target_region: RegionInfo = RegionInfo(RegionKind.WINDOW, True)
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class SyncEvent(TraceEvent):
+    """A synchronization call (rank == -1 for whole-world barriers)."""
+
+    kind: SyncKind
+    wid: int = -1
+
+
+class TraceLog:
+    """Append-only global event log."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_rank(self, rank: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def rma_events(self) -> List[RmaEvent]:
+        return [e for e in self.events if isinstance(e, RmaEvent)]

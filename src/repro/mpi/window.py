@@ -1,0 +1,65 @@
+"""RMA windows of the simulated runtime.
+
+A window is created collectively (``MPI_Win_allocate``): every rank
+exposes one region of its own address space, and any rank may then reach
+``(target_rank, offset)`` inside the exposed region during an epoch.
+Displacement units follow the datatype the window was allocated with,
+like the real API's ``disp_unit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..intervals import Interval
+from .datatypes import BYTE, Datatype
+from .errors import OutOfWindowError, RmaUsageError
+from .memory import Region
+
+__all__ = ["Window"]
+
+
+@dataclass
+class Window:
+    """One allocated window: ``regions[rank]`` is rank's exposed memory."""
+
+    wid: int
+    name: str
+    regions: List[Region]
+    disp_unit: Datatype = BYTE
+    freed: bool = False
+
+    def _check_live(self) -> None:
+        if self.freed:
+            raise RmaUsageError(f"window '{self.name}' was freed")
+
+    def region_of(self, rank: int) -> Region:
+        self._check_live()
+        try:
+            return self.regions[rank]
+        except IndexError:
+            raise RmaUsageError(
+                f"window '{self.name}' has no rank {rank}"
+            ) from None
+
+    def target_interval(self, rank: int, disp: int, count: int) -> Interval:
+        """Byte-address interval of ``count`` elements at displacement ``disp``."""
+        region = self.region_of(rank)
+        off = disp * self.disp_unit.extent
+        nbytes = count * self.disp_unit.extent
+        if off < 0 or nbytes <= 0 or off + nbytes > region.size:
+            raise OutOfWindowError(
+                f"access of {count} x {self.disp_unit} at disp {disp} exceeds "
+                f"window '{self.name}' ({region.size} bytes) on rank {rank}"
+            )
+        return region.sub_interval(off, nbytes)
+
+    def memory(self, rank: int) -> np.ndarray:
+        """Typed numpy view of rank's exposed region."""
+        return self.region_of(rank).view(self.disp_unit.np_dtype)
+
+    def size_elems(self, rank: int) -> int:
+        return self.region_of(rank).size // self.disp_unit.extent

@@ -1,0 +1,29 @@
+"""Compile-time analysis — the paper's §7 future-work direction.
+
+* :func:`check_program` — a Saillard-et-al.-style local-concurrency
+  checker over a symbolic IR: definite same-process races are reported
+  before the program runs; cross-process window conflicts surface as
+  may-race warnings (the original analysis "is limited to errors
+  occurring at the origin side only").
+* :func:`instrumentation_plan` — the static+dynamic combination: source
+  lines proven race-free skip runtime instrumentation.
+* :mod:`repro.staticcheck.frontend` — IR front-ends (microbenchmark
+  CodeSpecs, the paper's Codes 1/2).
+"""
+
+from .checker import StaticRace, StaticReport, check_program, instrumentation_plan
+from .frontend import code1_static, code2_static, from_codespec
+from .ir import SOp, StaticProgram, op_accesses
+
+__all__ = [
+    "SOp",
+    "StaticProgram",
+    "StaticRace",
+    "StaticReport",
+    "check_program",
+    "code1_static",
+    "code2_static",
+    "from_codespec",
+    "instrumentation_plan",
+    "op_accesses",
+]

@@ -1,0 +1,199 @@
+"""The compile-time local-concurrency checker (Saillard et al. style).
+
+Per process, a linear scan over the op sequence maintains the set of
+symbolic accesses that are still *in flight* (one-sided operations whose
+epoch has not been completed) plus the completed local accesses, and
+applies the same program-order conflict rules as the runtime detector
+(:func:`types_conflict`):
+
+* a local access after an in-flight one-sided op on the same symbolic
+  range is a **definite local race** — reported at compile time with
+  both source lines, before the program ever runs;
+* two in-flight one-sided ops of the same process conflicting on a
+  symbolic range likewise;
+* an ``unlock_all`` / ``fence`` completes the in-flight set (a
+  ``flush_all`` completes it too — the static view is per-process, where
+  flush genuinely orders the caller's own operations).
+
+Like the original static analysis, the checker is "limited to errors
+occurring at the origin side only": cross-process conflicts depend on
+runtime targets and timing, so overlapping one-sided window ranges from
+*different* ranks are only surfaced as *may-race* warnings.
+
+The second §7 goal — combining the static pass with the runtime tool —
+is :func:`instrumentation_plan`: source lines whose accesses can never
+conflict with an in-flight one-sided operation are proven race-free and
+need no runtime instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..intervals import AccessType, Interval, types_conflict
+from .ir import SOp, StaticProgram, op_accesses
+
+__all__ = ["StaticRace", "StaticReport", "check_program", "instrumentation_plan"]
+
+
+@dataclass(frozen=True)
+class StaticRace:
+    """A compile-time finding: two conflicting lines of one rank."""
+
+    rank: int
+    first_line: int
+    second_line: int
+    symbol: str
+    first_type: AccessType
+    second_type: AccessType
+    definite: bool  # True: local race; False: cross-process may-race
+
+    @property
+    def message(self) -> str:
+        kind = "data race" if self.definite else "possible data race"
+        return (
+            f"static: {kind} on '{self.symbol}' between line "
+            f"{self.first_line} ({self.first_type}) and line "
+            f"{self.second_line} ({self.second_type})"
+        )
+
+
+@dataclass
+class StaticReport:
+    """Everything the compile-time pass found."""
+
+    races: List[StaticRace] = field(default_factory=list)
+    may_races: List[StaticRace] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.races
+
+    def all_findings(self) -> List[StaticRace]:
+        return self.races + self.may_races
+
+
+@dataclass(frozen=True)
+class _Pending:
+    """An in-flight or completed symbolic access."""
+
+    symbol: str
+    owner: int
+    range: Interval
+    type: AccessType
+    line: int
+    in_flight: bool  # one-sided and not yet completed
+
+
+def _scan_rank(rank: int, ops: List[SOp], report: StaticReport) -> None:
+    # state bucketed by (symbol, owner) so the scan is linear in the
+    # number of accesses sharing a symbol (like the runtime BST's search)
+    state: Dict[Tuple[str, int], List[_Pending]] = {}
+    for op in ops:
+        if op.is_sync:
+            if op.kind in ("unlock_all", "fence", "flush_all"):
+                # the caller's one-sided ops are completed from its own
+                # program-order point of view
+                for bucket in state.values():
+                    for i, p in enumerate(bucket):
+                        if p.in_flight:
+                            bucket[i] = _Pending(
+                                p.symbol, p.owner, p.range, p.type,
+                                p.line, False,
+                            )
+            continue
+        for symbol, owner, rng, typ in op_accesses(op, rank):
+            bucket = state.setdefault((symbol, owner), [])
+            for prev in bucket:
+                if not prev.range.overlaps(rng):
+                    continue
+                stored_type = prev.type if prev.in_flight else (
+                    # completed one-sided ops act like completed local
+                    # accesses for ordering purposes
+                    AccessType.LOCAL_WRITE if prev.type.is_write
+                    else AccessType.LOCAL_READ
+                )
+                if types_conflict(stored_type, typ):
+                    report.races.append(
+                        StaticRace(rank, prev.line, op.line, symbol,
+                                   prev.type, typ, True)
+                    )
+            bucket.append(
+                _Pending(symbol, owner, rng, typ, op.line, op.is_onesided)
+            )
+
+
+def _cross_rank_warnings(program: StaticProgram, report: StaticReport) -> None:
+    """Overlapping one-sided window footprints of different ranks."""
+    footprints: List[Tuple[int, str, int, Interval, AccessType, int]] = []
+    for rank, ops in program.ops.items():
+        for op in ops:
+            if not op.is_onesided:
+                continue
+            for symbol, owner, rng, typ in op_accesses(op, rank):
+                if symbol == "win":
+                    footprints.append((rank, symbol, owner, rng, typ, op.line))
+    seen: Set[Tuple[int, int]] = set()
+    for i, a in enumerate(footprints):
+        for b in footprints[i + 1 :]:
+            if a[0] == b[0]:
+                continue  # same issuer: handled by the local scan
+            if a[2] != b[2] or not a[3].overlaps(b[3]):
+                continue
+            if not (a[4].is_write or b[4].is_write):
+                continue
+            key = (a[5], b[5])
+            if key in seen:
+                continue
+            seen.add(key)
+            report.may_races.append(
+                StaticRace(a[2], a[5], b[5], "win", a[4], b[4], False)
+            )
+
+
+def check_program(program: StaticProgram) -> StaticReport:
+    """Run the whole compile-time analysis."""
+    report = StaticReport()
+    for rank, ops in sorted(program.ops.items()):
+        _scan_rank(rank, ops, report)
+    _cross_rank_warnings(program, report)
+    return report
+
+
+def instrumentation_plan(program: StaticProgram) -> Dict[int, bool]:
+    """line -> must-instrument, the §7 static+dynamic combination.
+
+    A line needs runtime instrumentation when one of its accesses *may*
+    overlap an in-flight one-sided operation's footprint (same symbol,
+    same owner, overlapping range — issuer-agnostic, so target-side
+    conflicts stay covered).  Everything else is statically race-free
+    and can skip the runtime hook entirely.
+    """
+    # all one-sided footprints, program-wide (any rank may be in flight
+    # concurrently with any line)
+    onesided: List[Tuple[str, int, Interval]] = []
+    for rank, ops in program.ops.items():
+        for op in ops:
+            if op.is_onesided:
+                for symbol, owner, rng, _typ in op_accesses(op, rank):
+                    onesided.append((symbol, owner, rng))
+
+    plan: Dict[int, bool] = {}
+    for rank, ops in program.ops.items():
+        for op in ops:
+            if op.is_sync:
+                continue
+            needed = plan.get(op.line, False)
+            if op.is_onesided:
+                needed = True  # one-sided calls are always intercepted
+            else:
+                for symbol, owner, rng, _typ in op_accesses(op, rank):
+                    for s2, o2, r2 in onesided:
+                        if symbol == s2 and owner == o2 and rng.overlaps(r2):
+                            needed = True
+                            break
+                    if needed:
+                        break
+            plan[op.line] = needed
+    return plan

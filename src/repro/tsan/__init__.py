@@ -1,0 +1,21 @@
+"""ThreadSanitizer-style substrate: vector clocks, happens-before, shadow memory.
+
+Used by the MUST-RMA behavioural model
+(:class:`repro.detectors.must_rma.MustRma`) and by the MC-CChecker
+post-mortem analysis.
+"""
+
+from .happens_before import HappensBefore
+from .shadow import GRANULE, ShadowCell, ShadowMemory
+from .vector_clock import Entity, Stamp, VectorClock, join_all
+
+__all__ = [
+    "Entity",
+    "GRANULE",
+    "HappensBefore",
+    "ShadowCell",
+    "ShadowMemory",
+    "Stamp",
+    "VectorClock",
+    "join_all",
+]

@@ -1,0 +1,87 @@
+"""Happens-before engine for MPI-RMA executions.
+
+Models the concurrency structure MUST-RMA derives from MPI calls:
+
+* each rank's program order is one axis ``("app", r)``;
+* every one-sided operation is asynchronous from its issue point until
+  its epoch completes.  We give each (rank, window) an axis
+  ``("rma", r, wid)``: an operation's *stamp* is a fresh tick on that
+  axis, while the clock used to *order the operation against others* is
+  the issuing rank's application clock at issue time (the op knows
+  everything the program knew, but nobody knows the op until it
+  completes);
+* ``MPI_Win_unlock_all`` completes the rank's outstanding operations on
+  that window: the app clock absorbs the RMA axis;
+* ``MPI_Barrier`` / ``MPI_Win_allocate`` join all application clocks
+  (two-sided synchronization), which *propagates completion knowledge*
+  but — per the MPI standard, and per the paper's §6 discussion — does
+  **not** complete outstanding one-sided operations;
+* ``MPI_Win_flush`` is deliberately not modelled (MUST-RMA "does not
+  instrument it well"), which reproduces the CFD-Proxy false positive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .vector_clock import Entity, Stamp, VectorClock
+
+__all__ = ["HappensBefore"]
+
+
+class HappensBefore:
+    """Vector-clock bookkeeping for ``nranks`` simulated processes."""
+
+    def __init__(self, nranks: int = 0) -> None:
+        """``nranks`` pre-creates clocks; ranks also appear lazily."""
+        self._app: Dict[int, VectorClock] = {}
+        for r in range(nranks):
+            self.app_clock(r)
+        # last issued op time per (rank, wid)
+        self._issued: Dict[Tuple[int, int], int] = {}
+
+    # -- clocks ------------------------------------------------------------
+
+    def app_clock(self, rank: int) -> VectorClock:
+        vc = self._app.get(rank)
+        if vc is None:
+            vc = VectorClock()
+            vc.tick(("app", rank))
+            self._app[rank] = vc
+        return vc
+
+    # -- events ----------------------------------------------------------------
+
+    def local_event(self, rank: int) -> Tuple[Stamp, VectorClock]:
+        """A local load/store: stamped on the app axis."""
+        vc = self.app_clock(rank)
+        entity: Entity = ("app", rank)
+        t = vc.tick(entity)
+        return (entity, t), vc.copy()
+
+    def rma_event(self, rank: int, wid: int) -> Tuple[Stamp, VectorClock]:
+        """A one-sided op: fresh tick on the RMA axis, app clock as view."""
+        key = (rank, wid)
+        t = self._issued.get(key, 0) + 1
+        self._issued[key] = t
+        entity: Entity = ("rma", rank, wid)
+        view = self.app_clock(rank).copy()  # does NOT include this op's tick
+        return (entity, t), view
+
+    def complete_epoch(self, rank: int, wid: int) -> None:
+        """unlock_all: the rank's ops on this window are now complete."""
+        t = self._issued.get((rank, wid), 0)
+        self.app_clock(rank).set_at_least(("rma", rank, wid), t)
+
+    def barrier(self) -> None:
+        """Join all application clocks (completion knowledge propagates)."""
+        top = VectorClock()
+        for vc in self._app.values():
+            top.join(vc)
+        for r in list(self._app):
+            self._app[r] = top.copy()
+            self._app[r].tick(("app", r))
+
+    def clock_size(self) -> int:
+        """Entries in a rank's clock — the message payload MUST-RMA ships."""
+        return max((len(vc) for vc in self._app.values()), default=0)

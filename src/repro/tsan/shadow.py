@@ -1,0 +1,119 @@
+"""ThreadSanitizer-style shadow memory.
+
+TSan keeps a small fixed number of *shadow cells* per 8-byte granule of
+application memory; each cell describes one recent access (who, when,
+read/write, which bytes).  A new access is checked against the cells of
+every granule it touches: overlapping bytes + at least one write + not
+ordered by happens-before = race.  When a granule's cell set is full the
+oldest cell is evicted — a genuine TSan behaviour that can drop history
+(we keep the default of 4 cells).
+
+Unlike real TSan we store the exact byte interval in the cell rather
+than a (offset, size) code, so sub-granule adjacency never produces a
+spurious overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..intervals import Interval, MemoryAccess
+from .vector_clock import Stamp, VectorClock
+
+__all__ = ["ShadowCell", "ShadowMemory", "GRANULE"]
+
+GRANULE = 8  # bytes per shadow granule
+CELLS_PER_GRANULE = 4
+
+
+@dataclass(frozen=True, slots=True)
+class ShadowCell:
+    """One remembered access."""
+
+    stamp: Stamp
+    interval: Interval
+    is_write: bool
+    access: MemoryAccess  # for reporting
+
+
+class ShadowMemory:
+    """Per-rank shadow state: (rank, granule index) -> recent cells."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[int, int], List[ShadowCell]] = {}
+        self.cells_touched = 0  # work counter (overhead accounting)
+
+    @staticmethod
+    def _granules(interval: Interval) -> Iterator[int]:
+        return iter(range(interval.lo // GRANULE, (interval.hi - 1) // GRANULE + 1))
+
+    def check_and_update(
+        self,
+        rank: int,
+        access: MemoryAccess,
+        stamp: Stamp,
+        clock: VectorClock,
+        is_write: bool,
+    ) -> List[ShadowCell]:
+        """Race-check ``access`` on ``rank``'s memory, then record it.
+
+        Returns the conflicting cells (empty when no race).  ``clock`` is
+        the accessor's view at the time of the access.
+        """
+        conflicts: List[ShadowCell] = []
+        new_cell = ShadowCell(stamp, access.interval, is_write, access)
+        for g in self._granules(access.interval):
+            key = (rank, g)
+            cells = self._cells.get(key)
+            if cells is None:
+                cells = []
+                self._cells[key] = cells
+            for cell in cells:
+                self.cells_touched += 1
+                if not cell.interval.overlaps(access.interval):
+                    continue
+                if not (cell.is_write or is_write):
+                    continue
+                if cell.stamp == stamp:
+                    continue  # the same logical event (multi-granule access)
+                if cell.access.is_atomic and access.is_atomic and (
+                    cell.access.accum_op == access.accum_op
+                    or cell.access.origin == access.origin
+                ):
+                    # same-op accumulates are element-wise atomic, and
+                    # same-origin accumulates are ordered by MPI's
+                    # default accumulate_ordering
+                    continue
+                if (
+                    cell.access.excl_epoch is not None
+                    and access.excl_epoch is not None
+                    and cell.access.excl_epoch != access.excl_epoch
+                ):
+                    continue  # serialized by exclusive MPI_Win_lock epochs
+                if clock.knows(cell.stamp):
+                    continue  # ordered: no race
+                conflicts.append(cell)
+            cells.append(new_cell)
+            if len(cells) > CELLS_PER_GRANULE:
+                cells.pop(0)  # evict the oldest (TSan history loss)
+        # deduplicate conflicts found in several granules
+        seen = set()
+        unique: List[ShadowCell] = []
+        for cell in conflicts:
+            ident = (cell.stamp, cell.interval, cell.is_write)
+            if ident not in seen:
+                seen.add(ident)
+                unique.append(cell)
+        return unique
+
+    def clear_rank(self, rank: int) -> None:
+        for key in [k for k in self._cells if k[0] == rank]:
+            del self._cells[key]
+
+    def clear(self) -> None:
+        self._cells.clear()
+
+    def __len__(self) -> int:
+        """Total live cells (the MUST-RMA analysis-state size metric)."""
+        return sum(len(cells) for cells in self._cells.values())

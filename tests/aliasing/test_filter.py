@@ -1,0 +1,65 @@
+"""Unit tests for the instrumentation filter policies."""
+
+from repro.aliasing import AliasFilter, FilterPolicy
+from repro.mpi import RegionInfo, RegionKind
+
+STACK = RegionInfo(RegionKind.STACK, False)
+STACK_RMA = RegionInfo(RegionKind.STACK, True)
+HEAP = RegionInfo(RegionKind.HEAP, False)
+HEAP_RMA = RegionInfo(RegionKind.HEAP, True)
+WINDOW = RegionInfo(RegionKind.WINDOW, True)
+
+
+class TestAliasPolicy:
+    """RMA-Analyzer / our contribution: LLVM-alias-analysis filtering."""
+
+    def test_keeps_window_memory(self):
+        assert AliasFilter(FilterPolicy.ALIAS).instrument(WINDOW)
+
+    def test_keeps_rma_aliasing_buffers(self):
+        f = AliasFilter(FilterPolicy.ALIAS)
+        assert f.instrument(HEAP_RMA)
+        assert f.instrument(STACK_RMA)
+
+    def test_drops_pure_compute_memory(self):
+        f = AliasFilter(FilterPolicy.ALIAS)
+        assert not f.instrument(HEAP)
+        assert not f.instrument(STACK)
+
+
+class TestTsanPolicy:
+    """MUST-RMA: everything except stack arrays."""
+
+    def test_keeps_all_heap(self):
+        f = AliasFilter(FilterPolicy.TSAN)
+        assert f.instrument(HEAP)
+        assert f.instrument(HEAP_RMA)
+        assert f.instrument(WINDOW)
+
+    def test_drops_stack_even_when_rma_related(self):
+        # the §5.2 blind spot: stack arrays are invisible, period
+        f = AliasFilter(FilterPolicy.TSAN)
+        assert not f.instrument(STACK)
+        assert not f.instrument(STACK_RMA)
+
+
+class TestAllPolicy:
+    def test_keeps_everything(self):
+        f = AliasFilter(FilterPolicy.ALL)
+        for info in (STACK, STACK_RMA, HEAP, HEAP_RMA, WINDOW):
+            assert f.instrument(info)
+
+
+class TestCounters:
+    def test_seen_kept_filtered(self):
+        f = AliasFilter(FilterPolicy.ALIAS)
+        f.instrument(HEAP)
+        f.instrument(WINDOW)
+        f.instrument(STACK)
+        assert f.seen == 3 and f.kept == 1 and f.filtered == 2
+
+    def test_reset(self):
+        f = AliasFilter(FilterPolicy.ALIAS)
+        f.instrument(WINDOW)
+        f.reset()
+        assert f.seen == 0 and f.kept == 0

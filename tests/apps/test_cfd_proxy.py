@@ -1,0 +1,87 @@
+"""Tests for the CFD-Proxy-like halo-exchange application."""
+
+import pytest
+
+from repro.apps import CfdConfig, CfdResult, cfd_program, default_partitions
+from repro.core import OurDetector
+from repro.detectors import MustRma, RmaAnalyzerLegacy
+from repro.mpi import World
+
+CFG = CfdConfig(cells_per_rank=128, iterations=6, bookkeeping_accesses=8)
+
+
+def run(det=None, nranks=6, config=CFG):
+    parts = default_partitions(nranks, config)
+    result = CfdResult()
+    world = World(nranks, [det] if det else [])
+    world.run(cfd_program, parts, config, result)
+    return world, result
+
+
+class TestSolver:
+    def test_runs_to_completion(self):
+        _, result = run()
+        assert result.iterations_done == CFG.iterations
+        assert result.residual >= 0
+
+    def test_smoothing_reduces_residual(self):
+        _, short = run(config=CfdConfig(cells_per_rank=128, iterations=2,
+                                        bookkeeping_accesses=8))
+        _, long = run(config=CfdConfig(cells_per_rank=128, iterations=30,
+                                       bookkeeping_accesses=8))
+        assert long.residual < short.residual
+
+
+class TestDetectorBehaviour:
+    def test_our_contribution_is_clean(self):
+        det = OurDetector()
+        run(det)
+        assert det.reports_total == 0, det.reports[:2]
+
+    def test_legacy_reports_flush_false_positive(self):
+        """§6: RMA-Analyzer mis-handles MPI_Win_flush on CFD-Proxy."""
+        det = RmaAnalyzerLegacy()
+        run(det)
+        assert det.reports_total >= 1
+
+    def test_must_rma_reports_it_too(self):
+        det = MustRma()
+        run(det)
+        assert det.reports_total >= 1
+
+    def test_bst_stays_flat_for_ours(self):
+        short_cfg = CfdConfig(cells_per_rank=128, iterations=3,
+                              bookkeeping_accesses=8)
+        long_cfg = CfdConfig(cells_per_rank=128, iterations=12,
+                             bookkeeping_accesses=8)
+        short_det, long_det = OurDetector(), OurDetector()
+        run(short_det, config=short_cfg)
+        run(long_det, config=long_cfg)
+        # 4x the iterations, same peak state: the Fig. 10 flatness
+        assert long_det.node_stats().total_max_nodes <= \
+            short_det.node_stats().total_max_nodes + 4
+
+    def test_legacy_bst_grows_linearly(self):
+        short_cfg = CfdConfig(cells_per_rank=128, iterations=3,
+                              bookkeeping_accesses=8)
+        long_cfg = CfdConfig(cells_per_rank=128, iterations=12,
+                             bookkeeping_accesses=8)
+        short_det, long_det = RmaAnalyzerLegacy(), RmaAnalyzerLegacy()
+        run(short_det, config=short_cfg)
+        run(long_det, config=long_cfg)
+        ratio = (long_det.node_stats().total_max_nodes
+                 / short_det.node_stats().total_max_nodes)
+        assert ratio == pytest.approx(4.0, rel=0.15)
+
+    def test_node_reduction_is_massive(self):
+        """The 90,004 -> 54 story: >95% node reduction on CFD-Proxy."""
+        legacy, ours = RmaAnalyzerLegacy(), OurDetector()
+        run(legacy)
+        run(ours)
+        nl = legacy.node_stats().total_max_nodes
+        no = ours.node_stats().total_max_nodes
+        assert no < nl * 0.05
+
+    def test_two_windows_created(self):
+        world, _ = run()
+        assert len(world.windows) == 2

@@ -1,0 +1,91 @@
+"""Unit tests for the synthetic graph generator and partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.apps import Graph, block_range, generate_graph, owner_of
+
+
+class TestGeneration:
+    def test_csr_well_formed(self):
+        g = generate_graph(500, avg_degree=6.0, seed=1)
+        assert g.xadj[0] == 0
+        assert g.xadj[-1] == len(g.adjncy)
+        assert np.all(np.diff(g.xadj) >= 0)
+
+    def test_symmetric(self):
+        g = generate_graph(300, seed=2)
+        edges = set()
+        for u in range(g.nvertices):
+            for v in g.neighbors(u):
+                edges.add((u, int(v)))
+        for u, v in edges:
+            assert (v, u) in edges
+
+    def test_no_self_loops(self):
+        g = generate_graph(300, seed=3)
+        for u in range(g.nvertices):
+            assert u not in set(int(v) for v in g.neighbors(u))
+
+    def test_no_duplicate_edges(self):
+        g = generate_graph(300, seed=4)
+        for u in range(g.nvertices):
+            neigh = [int(v) for v in g.neighbors(u)]
+            assert len(neigh) == len(set(neigh))
+
+    def test_deterministic_by_seed(self):
+        a = generate_graph(200, seed=7)
+        b = generate_graph(200, seed=7)
+        assert np.array_equal(a.adjncy, b.adjncy)
+        c = generate_graph(200, seed=8)
+        assert not np.array_equal(a.adjncy, c.adjncy)
+
+    def test_locality_shortens_edges(self):
+        local = generate_graph(2000, locality=1.0, seed=5)
+        random = generate_graph(2000, locality=0.0, seed=5)
+
+        def mean_span(g):
+            spans = []
+            for u in range(g.nvertices):
+                for v in g.neighbors(u):
+                    d = abs(u - int(v))
+                    spans.append(min(d, g.nvertices - d))
+            return np.mean(spans)
+
+        assert mean_span(local) < mean_span(random) / 3
+
+    def test_degree_accessor(self):
+        g = generate_graph(100, seed=6)
+        for v in range(g.nvertices):
+            assert g.degree(v) == len(g.neighbors(v))
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ValueError):
+            generate_graph(1)
+
+
+class TestPartitioning:
+    def test_blocks_cover_everything(self):
+        n, p = 1003, 7
+        covered = []
+        for r in range(p):
+            b, e = block_range(n, p, r)
+            covered.extend(range(b, e))
+        assert covered == list(range(n))
+
+    def test_blocks_balanced(self):
+        n, p = 1003, 7
+        sizes = [block_range(n, p, r)[1] - block_range(n, p, r)[0] for r in range(p)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_owner_of_consistent_with_blocks(self):
+        n, p = 517, 9
+        for r in range(p):
+            b, e = block_range(n, p, r)
+            for v in (b, (b + e) // 2, e - 1):
+                if b < e:
+                    assert owner_of(n, p, v) == r
+
+    def test_single_rank(self):
+        assert block_range(10, 1, 0) == (0, 10)
+        assert owner_of(10, 1, 5) == 0

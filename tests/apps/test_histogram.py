@@ -1,0 +1,78 @@
+"""Tests for the distributed-histogram application (accumulate workload)."""
+
+import pytest
+
+from repro.apps.histogram import HistogramConfig, HistogramResult, histogram_program
+from repro.core import OurDetector
+from repro.detectors import MustRma, RmaAnalyzerLegacy
+from repro.mpi import World
+
+
+def run(config, det=None, nranks=4):
+    result = HistogramResult()
+    world = World(nranks, [det] if det else [])
+    world.run(histogram_program, config, result)
+    return result
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("nranks", [1, 3, 4])
+    def test_all_samples_counted_with_accumulate(self, nranks):
+        cfg = HistogramConfig(samples_per_rank=100)
+        result = run(cfg, nranks=nranks)
+        assert result.total_counted == nranks * 100
+        assert result.max_bin >= 1
+
+    def test_locked_variant_counts_correctly(self):
+        cfg = HistogramConfig(use_accumulate=False, use_locks=True,
+                              samples_per_rank=64)
+        result = run(cfg)
+        assert result.total_counted == 4 * 64
+
+    def test_deterministic(self):
+        cfg = HistogramConfig()
+        a, b = run(cfg), run(cfg)
+        assert (a.total_counted, a.max_bin) == (b.total_counted, b.max_bin)
+
+
+class TestRaceVerdicts:
+    def test_accumulate_variant_clean_everywhere(self):
+        cfg = HistogramConfig()
+        for factory in (OurDetector, RmaAnalyzerLegacy, MustRma):
+            det = factory()
+            run(cfg, det)
+            assert det.reports_total == 0, factory.__name__
+
+    def test_manual_rmw_flagged_everywhere(self):
+        cfg = HistogramConfig(use_accumulate=False, samples_per_rank=64)
+        for factory in (OurDetector, MustRma):
+            det = factory()
+            run(cfg, det)
+            assert det.reports_total >= 1, factory.__name__
+
+    def test_manual_rmw_report_blames_the_rmw_lines(self):
+        cfg = HistogramConfig(use_accumulate=False, samples_per_rank=64)
+        det = OurDetector()
+        run(cfg, det)
+        message = det.reports[0].message
+        assert "histogram.c" in message
+
+    def test_locked_variant_clean_for_our_detector(self):
+        """Needs BOTH per-target-lock support and precise flush handling
+        (the RMW flushes between the Get and the Put)."""
+        cfg = HistogramConfig(use_accumulate=False, use_locks=True,
+                              samples_per_rank=64)
+        det = OurDetector()
+        run(cfg, det)
+        assert det.reports_total == 0
+
+    def test_locked_variant_fp_for_flush_blind_tools(self):
+        """MUST-RMA ignores MPI_Win_flush (§6): it cannot see that the
+        Get completed before the Put was issued; the original tool
+        additionally lacks per-target-lock support (§5.1)."""
+        cfg = HistogramConfig(use_accumulate=False, use_locks=True,
+                              samples_per_rank=64)
+        for factory in (MustRma, RmaAnalyzerLegacy):
+            det = factory()
+            run(cfg, det)
+            assert det.reports_total >= 1, factory.__name__

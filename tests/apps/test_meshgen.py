@@ -1,0 +1,54 @@
+"""Unit tests for the mesh partition generator."""
+
+import pytest
+
+from repro.apps import make_partitions
+
+
+class TestRingTopology:
+    def test_each_rank_has_two_neighbors(self):
+        parts = make_partitions(8)
+        for p in parts:
+            assert len(p.neighbors) == 2
+            assert p.rank not in p.neighbors
+
+    def test_halo_symmetric(self):
+        parts = make_partitions(8, cells_per_rank=256)
+        for p in parts:
+            for nb, cells in p.halo.items():
+                assert parts[nb].halo[p.rank] == cells
+
+    def test_wider_halo(self):
+        parts = make_partitions(12, halo_width=2)
+        for p in parts:
+            assert len(p.neighbors) == 4
+
+    def test_farther_neighbors_share_less(self):
+        parts = make_partitions(12, cells_per_rank=1000, halo_width=2,
+                                halo_fraction=0.1)
+        p = parts[0]
+        near = p.halo[1]
+        far = p.halo[2]
+        assert far <= near
+
+    def test_two_ranks(self):
+        parts = make_partitions(2)
+        assert parts[0].neighbors == [1]
+        assert parts[1].neighbors == [0]
+
+    def test_single_rank_no_neighbors(self):
+        parts = make_partitions(1)
+        assert parts[0].neighbors == []
+        assert parts[0].halo_cells_total == 0
+
+    def test_halo_at_least_one_cell(self):
+        parts = make_partitions(4, cells_per_rank=10, halo_fraction=0.01)
+        for p in parts:
+            for cells in p.halo.values():
+                assert cells >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_partitions(0)
+        with pytest.raises(ValueError):
+            make_partitions(4, halo_fraction=0.0)

@@ -1,0 +1,135 @@
+"""Unit tests for the from-scratch AVL multiset."""
+
+import random
+
+import pytest
+
+from repro.bst import AVLTree
+
+
+def make_tree(values, balanced=True):
+    tree = AVLTree(balanced=balanced)
+    for v in values:
+        tree.insert(v, v)
+    return tree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = AVLTree()
+        assert len(tree) == 0
+        assert not tree
+        assert list(tree) == []
+        assert tree.height() == 0
+
+    def test_single(self):
+        tree = make_tree([5])
+        assert len(tree) == 1 and tree.height() == 1
+        assert list(tree) == [5]
+
+    def test_inorder_sorted(self):
+        values = [5, 3, 8, 1, 9, 2, 7]
+        assert list(make_tree(values)) == sorted(values)
+
+    def test_duplicates_kept(self):
+        tree = make_tree([4, 4, 4])
+        assert len(tree) == 3
+        assert list(tree) == [4, 4, 4]
+
+    def test_clear(self):
+        tree = make_tree(range(10))
+        tree.clear()
+        assert len(tree) == 0 and list(tree) == []
+
+
+class TestBalance:
+    def test_ascending_inserts_stay_logarithmic(self):
+        tree = make_tree(range(1024))
+        assert tree.height() <= 11 + 4  # 1.44 * log2(n) bound
+        tree.check_invariants()
+
+    def test_descending_inserts(self):
+        tree = make_tree(range(1024, 0, -1))
+        assert tree.height() <= 15
+        tree.check_invariants()
+
+    def test_unbalanced_mode_degenerates(self):
+        tree = make_tree(range(100), balanced=False)
+        assert tree.height() == 100  # a linked list
+        assert list(tree) == list(range(100))
+
+    def test_rotations_counted(self):
+        tree = make_tree(range(64))
+        assert tree.stats.rotations > 0
+        assert make_tree([1], balanced=True).stats.rotations == 0
+
+
+class TestRemoval:
+    def test_remove_leaf(self):
+        tree = make_tree([5, 3, 8])
+        assert tree.remove_value(3, 3)
+        assert list(tree) == [5, 8]
+        tree.check_invariants()
+
+    def test_remove_root_with_two_children(self):
+        tree = make_tree([5, 3, 8, 1, 4, 7, 9])
+        assert tree.remove_value(5, 5)
+        assert list(tree) == [1, 3, 4, 7, 8, 9]
+        tree.check_invariants()
+
+    def test_remove_absent_returns_false(self):
+        tree = make_tree([5])
+        assert not tree.remove_value(3, 3)
+        assert not tree.remove_value(5, 6)  # key there, value mismatch
+        assert len(tree) == 1
+
+    def test_remove_one_duplicate_only(self):
+        tree = AVLTree()
+        tree.insert(4, "a")
+        tree.insert(4, "b")
+        tree.insert(4, "a")
+        assert tree.remove_value(4, "a")
+        assert sorted(list(tree)) == ["a", "b"]
+
+    def test_remove_all_one_by_one(self):
+        values = list(range(200))
+        random.Random(7).shuffle(values)
+        tree = make_tree(values)
+        random.Random(8).shuffle(values)
+        for v in values:
+            assert tree.remove_value(v, v)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_stats_track_max_size(self):
+        tree = make_tree(range(50))
+        for v in range(50):
+            tree.remove_value(v, v)
+        assert tree.stats.max_size == 50
+        assert tree.stats.inserts == 50
+        assert tree.stats.removals == 50
+
+
+class TestAugmentation:
+    def test_augment_hook_called_bottom_up(self):
+        # aug = subtree max of values
+        def augment(node):
+            node.aug = max(
+                node.value,
+                node.left.aug if node.left else 0,
+                node.right.aug if node.right else 0,
+            )
+
+        tree = AVLTree(augment)
+        for v in [5, 2, 9, 1, 7]:
+            tree.insert(v, v)
+        assert tree.root.aug == 9
+        tree.remove_value(9, 9)
+        assert tree.root.aug == 7
+
+    def test_stats_merge(self):
+        a = make_tree(range(10)).stats
+        b = make_tree(range(20)).stats
+        a.merge(b)
+        assert a.inserts == 30
+        assert a.max_size == 20

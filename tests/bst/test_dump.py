@@ -1,0 +1,72 @@
+"""Tests for the ASCII BST renderer."""
+
+from repro.bst import IntervalBST, dump_bst, dump_detector_stores
+from repro.core import OurDetector
+from repro.mpi import World
+from tests.conftest import LR, LW, RR, acc
+
+
+def fig5a_tree():
+    bst = IntervalBST()
+    bst.insert(acc(4, 5, LR, line=10))
+    bst.insert(acc(2, 13, RR, line=11))
+    bst.insert(acc(7, 8, LW, line=12))
+    return bst
+
+
+class TestDumpBst:
+    def test_empty(self):
+        assert dump_bst(IntervalBST()) == "(empty)"
+
+    def test_fig5a_shape(self):
+        text = dump_bst(fig5a_tree())
+        lines = text.splitlines()
+        assert lines[0] == "([4], LOCAL_READ)"
+        assert "L: ([2...12], RMA_READ)" in lines[1]
+        assert "R: ([7], LOCAL_WRITE)" in lines[2]
+
+    def test_debug_locations(self):
+        text = dump_bst(fig5a_tree(), debug=True)
+        assert "t.c:11" in text
+
+    def test_deep_tree_renders_every_node(self):
+        bst = IntervalBST()
+        for i in range(16):
+            bst.insert(acc(i * 4, i * 4 + 2, LR, line=i))
+        text = dump_bst(bst)
+        assert len(text.splitlines()) == 16
+
+    def test_accumulate_tag(self):
+        bst = IntervalBST()
+        bst.insert(acc(0, 4, RR).__class__(
+            acc(0, 4, RR).interval, RR, acc(0, 4, RR).debug, 0, 0, 0, "sum"
+        ))
+        assert "[sum]" in dump_bst(bst)
+
+
+class TestDumpDetector:
+    def test_live_stores_rendered(self):
+        det = OurDetector()
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 32)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.put(win, 1, 0, buf, 0, 8)
+            yield
+            text = dump_detector_stores(det)
+            if ctx.rank == 0:
+                assert "rank 0, window 0" in text
+                assert "RMA_READ" in text  # the put's origin side
+                assert "rank 1, window 0" in text
+                assert "RMA_WRITE" in text  # the put's target side
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2, [det]).run(program)
+
+    def test_no_stores(self):
+        assert dump_detector_stores(OurDetector()) == "(no live stores)"

@@ -1,0 +1,118 @@
+"""Unit tests for the interval-augmented BST."""
+
+import pytest
+
+from repro.bst import IntervalBST
+from repro.intervals import Interval
+from tests.conftest import LR, LW, RR, RW, acc
+
+
+def bst_with(*accesses):
+    bst = IntervalBST()
+    for a in accesses:
+        bst.insert(a)
+    return bst
+
+
+class TestBasics:
+    def test_len_and_iter(self):
+        bst = bst_with(acc(0, 4), acc(8, 12), acc(4, 8))
+        assert len(bst) == 3
+        assert [a.lo for a in bst] == [0, 4, 8]
+
+    def test_remove(self):
+        a = acc(0, 4)
+        bst = bst_with(a, acc(8, 12))
+        assert bst.remove(a)
+        assert len(bst) == 1
+        assert not bst.remove(a)
+
+    def test_clear_keeps_stats(self):
+        bst = bst_with(*(acc(i * 4, i * 4 + 4) for i in range(10)))
+        bst.clear()
+        assert len(bst) == 0
+        assert bst.stats.max_size == 10
+
+    def test_snapshot(self):
+        accs = [acc(0, 4), acc(4, 8)]
+        bst = bst_with(*accs)
+        assert bst.snapshot() == accs
+
+
+class TestOverlapQuery:
+    def test_single_node(self):
+        a = acc(4224, 4232, RW)
+        bst = bst_with(a)
+        assert bst.find_overlapping(Interval(4224, 4225)) == [a]
+        assert bst.find_overlapping(Interval(4232, 4240)) == []
+
+    def test_finds_wide_interval_off_the_search_path(self):
+        """The Fig. 5 scenario: the correct query cannot miss [2...12]."""
+        load4 = acc(4, 5, LR)
+        put = acc(2, 13, RR)
+        bst = bst_with(load4, put)
+        hits = bst.find_overlapping(Interval(7, 8))
+        assert hits == [put]
+
+    def test_returns_all_overlaps_in_order(self):
+        accs = [acc(i, i + 10) for i in range(0, 50, 5)]
+        bst = bst_with(*accs)
+        hits = bst.find_overlapping(Interval(12, 23))
+        assert [a.lo for a in hits] == [5, 10, 15, 20]
+
+    def test_half_open_boundaries(self):
+        bst = bst_with(acc(0, 4), acc(4, 8))
+        hits = bst.find_overlapping(Interval(4, 5))
+        assert [a.lo for a in hits] == [4]
+
+    def test_large_random_against_bruteforce(self):
+        import random
+
+        rng = random.Random(42)
+        accs = [
+            acc(lo, lo + rng.randint(1, 30))
+            for lo in (rng.randint(0, 500) for _ in range(300))
+        ]
+        bst = bst_with(*accs)
+        for _ in range(50):
+            lo = rng.randint(0, 520)
+            q = Interval(lo, lo + rng.randint(1, 40))
+            expected = sorted(
+                (a for a in accs if a.interval.overlaps(q)),
+                key=lambda a: (a.interval.lo, a.interval.hi),
+            )
+            assert bst.find_overlapping(q) == expected
+
+    def test_find_containing(self):
+        bst = bst_with(acc(0, 10), acc(5, 15), acc(20, 30))
+        assert len(bst.find_containing(7)) == 2
+        assert len(bst.find_containing(19)) == 0
+
+    def test_query_after_removals(self):
+        accs = [acc(i * 8, i * 8 + 8) for i in range(20)]
+        bst = bst_with(*accs)
+        for a in accs[::2]:
+            assert bst.remove(a)
+        bst.check_invariants()
+        hits = bst.find_overlapping(Interval(0, 160))
+        assert [a.lo for a in hits] == [i * 8 for i in range(1, 20, 2)]
+
+
+class TestAugmentationInvariant:
+    def test_invariants_after_mixed_workload(self):
+        import random
+
+        rng = random.Random(1)
+        bst = IntervalBST()
+        live = []
+        for step in range(500):
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                assert bst.remove(victim)
+            else:
+                lo = rng.randint(0, 1000)
+                a = acc(lo, lo + rng.randint(1, 50))
+                bst.insert(a)
+                live.append(a)
+        bst.check_invariants()
+        assert len(bst) == len(live)

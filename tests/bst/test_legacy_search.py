@@ -1,0 +1,71 @@
+"""Unit tests for the legacy lower-bound-only search (the unsound one)."""
+
+from repro.bst import IntervalBST, legacy_find_overlapping
+from repro.intervals import Interval
+from tests.conftest import LR, LW, RR, RW, acc
+
+
+def bst_with(*accesses):
+    bst = IntervalBST()
+    for a in accesses:
+        bst.insert(a)
+    return bst
+
+
+class TestFig5Reproduction:
+    """The exact false-negative scenario of paper Fig. 5a."""
+
+    def test_misses_wide_interval_off_path(self):
+        # Load(4); MPI_Put(2,12); the wide interval goes LEFT of [4]
+        load4 = acc(4, 5, LR)
+        put = acc(2, 13, RR)
+        bst = bst_with(load4, put)
+        # querying for Store(7): 7 > 4 descends right, never sees the Put
+        hits = legacy_find_overlapping(bst, Interval(7, 8))
+        assert hits == []
+
+    def test_correct_query_finds_it(self):
+        load4 = acc(4, 5, LR)
+        put = acc(2, 13, RR)
+        bst = bst_with(load4, put)
+        assert bst.find_overlapping(Interval(7, 8)) == [put]
+
+    def test_finds_overlaps_on_the_path(self):
+        # two-operation codes always hit (first access is the root)
+        a = acc(2, 13, RR)
+        bst = bst_with(a)
+        assert legacy_find_overlapping(bst, Interval(7, 8)) == [a]
+
+    def test_exact_lower_bound_match_found(self):
+        a = acc(7, 15, RW)
+        bst = bst_with(acc(4, 5), a)
+        assert a in legacy_find_overlapping(bst, Interval(7, 9))
+
+
+class TestSubsetProperty:
+    def test_legacy_results_are_subset_of_correct(self):
+        import random
+
+        rng = random.Random(3)
+        accs = [
+            acc(lo, lo + rng.randint(1, 30))
+            for lo in (rng.randint(0, 300) for _ in range(200))
+        ]
+        bst = bst_with(*accs)
+        for _ in range(40):
+            lo = rng.randint(0, 320)
+            q = Interval(lo, lo + rng.randint(1, 40))
+            legacy = legacy_find_overlapping(bst, q)
+            correct = bst.find_overlapping(q)
+            assert set(
+                (a.interval.lo, a.interval.hi) for a in legacy
+            ) <= set((a.interval.lo, a.interval.hi) for a in correct)
+            for a in legacy:
+                assert a.interval.overlaps(q)
+
+    def test_legacy_path_length_bounded_by_height(self):
+        bst = bst_with(*(acc(i * 4, i * 4 + 2) for i in range(128)))
+        before = bst.stats.comparisons
+        legacy_find_overlapping(bst, Interval(200, 202))
+        walked = bst.stats.comparisons - before
+        assert walked <= bst.height()

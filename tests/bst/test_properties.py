@@ -1,0 +1,99 @@
+"""Property-based tests for the AVL multiset and the interval tree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bst import AVLTree, IntervalBST
+from repro.intervals import Interval
+from tests.conftest import acc
+
+keys = st.lists(st.integers(0, 200), max_size=120)
+
+
+@given(keys)
+def test_avl_inorder_is_sorted_multiset(values):
+    tree = AVLTree()
+    for v in values:
+        tree.insert(v, v)
+    assert list(tree) == sorted(values)
+    tree.check_invariants()
+
+
+@given(keys)
+def test_avl_height_logarithmic(values):
+    tree = AVLTree()
+    for v in values:
+        tree.insert(v, v)
+    n = len(values)
+    if n:
+        assert tree.height() <= int(1.45 * (n.bit_length() + 1)) + 1
+
+
+@given(keys, st.randoms(use_true_random=False))
+def test_avl_insert_remove_roundtrip(values, rng):
+    tree = AVLTree()
+    for v in values:
+        tree.insert(v, v)
+    order = list(values)
+    rng.shuffle(order)
+    for v in order:
+        assert tree.remove_value(v, v)
+    assert len(tree) == 0
+
+
+# interval-tree strategies -------------------------------------------------
+
+access_lists = st.lists(
+    st.builds(
+        lambda lo, ln: acc(lo, lo + ln),
+        st.integers(0, 300),
+        st.integers(1, 40),
+    ),
+    max_size=80,
+)
+queries = st.builds(
+    lambda lo, ln: Interval(lo, lo + ln),
+    st.integers(0, 340),
+    st.integers(1, 50),
+)
+
+
+@given(access_lists, queries)
+@settings(max_examples=60)
+def test_interval_query_matches_bruteforce(accesses, q):
+    bst = IntervalBST()
+    for a in accesses:
+        bst.insert(a)
+    expected = sorted(
+        (a for a in accesses if a.interval.overlaps(q)),
+        key=lambda a: (a.interval.lo, a.interval.hi),
+    )
+    assert bst.find_overlapping(q) == expected
+
+
+@given(access_lists)
+@settings(max_examples=40)
+def test_interval_tree_invariants(accesses):
+    bst = IntervalBST()
+    for a in accesses:
+        bst.insert(a)
+    bst.check_invariants()
+
+
+@given(access_lists, st.randoms(use_true_random=False))
+@settings(max_examples=40)
+def test_interval_tree_invariants_after_removals(accesses, rng):
+    bst = IntervalBST()
+    for a in accesses:
+        bst.insert(a)
+    order = list(accesses)
+    rng.shuffle(order)
+    for a in order[: len(order) // 2]:
+        assert bst.remove(a)
+    bst.check_invariants()
+    remaining = sorted(
+        order[len(order) // 2 :], key=lambda a: (a.interval.lo, a.interval.hi)
+    )
+    assert sorted(
+        bst.snapshot(), key=lambda a: (a.interval.lo, a.interval.hi)
+    ) == remaining

@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the whole test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.intervals import AccessType, DebugInfo, Interval, MemoryAccess
+
+
+def acc(
+    lo: int,
+    hi: int,
+    type: AccessType = AccessType.LOCAL_READ,
+    *,
+    file: str = "t.c",
+    line: int = 1,
+    origin: int = 0,
+    flush_gen: int = 0,
+) -> MemoryAccess:
+    """Terse MemoryAccess factory used across the suite."""
+    return MemoryAccess(
+        Interval(lo, hi), type, DebugInfo(file, line), origin, 0, flush_gen
+    )
+
+
+@pytest.fixture
+def make_acc():
+    return acc
+
+
+# re-export the enum members as conveniences for test modules
+LR = AccessType.LOCAL_READ
+LW = AccessType.LOCAL_WRITE
+RR = AccessType.RMA_READ
+RW = AccessType.RMA_WRITE

@@ -1,0 +1,231 @@
+"""Unit tests for OurDetector (the full §4 + §6 detector)."""
+
+import pytest
+
+from repro.core import DataRaceError, OurDetector
+from repro.mpi import World
+from tests.conftest import LR, LW, RR, RW
+
+
+def two_rank_world(det):
+    return World(2, [det])
+
+
+def simple_epoch(body):
+    """A 2-rank program template: body(ctx, win, buf) runs inside an epoch."""
+
+    def program(ctx):
+        win = yield ctx.win_allocate("w", 64)
+        buf = ctx.alloc("buf", 64, rma_hint=True)
+        ctx.win_lock_all(win)
+        yield
+        yield from body(ctx, win, buf) or ()
+        yield
+        ctx.win_unlock_all(win)
+        yield ctx.win_free(win)
+
+    return program
+
+
+class TestBasicDetection:
+    def test_get_then_load_races(self):
+        det = OurDetector()
+
+        def body(ctx, win, buf):
+            if ctx.rank == 0:
+                ctx.get(win, 1, 0, buf, 0, 8)
+                ctx.load(buf, 0)
+            return ()
+
+        two_rank_world(det).run(simple_epoch(body))
+        assert det.reports_total == 1
+        assert det.reports[0].new.type == LR
+        assert det.reports[0].stored.type == RW
+
+    def test_load_then_get_safe(self):
+        det = OurDetector()
+
+        def body(ctx, win, buf):
+            if ctx.rank == 0:
+                ctx.load(buf, 0)
+                ctx.get(win, 1, 0, buf, 0, 8)
+            return ()
+
+        two_rank_world(det).run(simple_epoch(body))
+        assert det.reports_total == 0
+
+    def test_cross_process_put_put_races(self):
+        det = OurDetector()
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield
+            ctx.put(win, 0, 0, buf, 0, 8)  # both ranks write rank 0's window
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2, [det]).run(program)
+        assert det.reports_total == 1
+
+    def test_abort_on_race_raises(self):
+        det = OurDetector(abort_on_race=True)
+
+        def body(ctx, win, buf):
+            if ctx.rank == 0:
+                ctx.get(win, 1, 0, buf, 0, 8)
+                ctx.load(buf, 0)
+            return ()
+
+        with pytest.raises(DataRaceError):
+            two_rank_world(det).run(simple_epoch(body))
+
+
+class TestEpochScoping:
+    def test_bst_cleared_at_epoch_end(self):
+        det = OurDetector()
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            # epoch 1: the get
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                ctx.get(win, 1, 0, buf, 0, 8)
+            ctx.win_unlock_all(win)
+            yield ctx.barrier()
+            # epoch 2: the load — no race, different epoch
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                ctx.load(buf, 0)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2, [det]).run(program)
+        assert det.reports_total == 0
+
+    def test_accesses_outside_epochs_ignored(self):
+        det = OurDetector()
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.load(buf, 0)  # before any epoch: not tracked
+            ctx.win_lock_all(win)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2, [det]).run(program)
+        assert det.node_stats().accesses_processed == 0
+
+
+class TestFlushSemantics:
+    """The §6 discussion: precise MPI_Win_flush handling."""
+
+    def test_flush_barrier_orders_same_origin_puts(self):
+        det = OurDetector()
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield
+            if ctx.rank == 0:
+                ctx.put(win, 1, 0, buf, 0, 8)
+                ctx.win_flush_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.put(win, 1, 0, buf, 0, 8)  # same range again: completed
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2, [det]).run(program)
+        assert det.reports_total == 0
+
+    def test_flush_without_barrier_does_not_order_other_ranks(self):
+        """Flush only completes the *caller's* ops; another origin still races."""
+        det = OurDetector()
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield
+            if ctx.rank == 0:
+                ctx.put(win, 2, 0, buf, 0, 8)
+                ctx.win_flush_all(win)
+            yield
+            if ctx.rank == 1:
+                ctx.put(win, 2, 0, buf, 0, 8)  # concurrent with rank 0's put
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(3, [det]).run(program)
+        assert det.reports_total == 1
+
+    def test_unflushed_puts_survive_barrier(self):
+        det = OurDetector()
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield
+            if ctx.rank == 0:
+                ctx.put(win, 1, 0, buf, 0, 8)  # NOT flushed
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.put(win, 1, 0, buf, 0, 8)  # still pending: race
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2, [det]).run(program)
+        assert det.reports_total == 1
+
+    def test_barrier_prunes_completed_local_accesses(self):
+        det = OurDetector()
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield
+            if ctx.rank == 1:
+                ctx.store(buf, 0, 1)  # completed local write
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                # remote write to rank 1's *window*, not buf — plus a put
+                # overlapping nothing; the pruned store cannot race anyway
+                pass
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2, [det]).run(program)
+        bst = det.bst_of(1, 0)
+        assert bst is None or len(bst) == 0
+
+
+class TestStatistics:
+    def test_merge_counters(self):
+        det = OurDetector()
+
+        def body(ctx, win, buf):
+            if ctx.rank == 0:
+                from repro.intervals import DebugInfo
+                d = DebugInfo("x.c", 1)
+                for i in range(8):
+                    ctx.get(win, 1, i, buf, i, 1, debug=d)
+            return ()
+
+        two_rank_world(det).run(simple_epoch(body))
+        assert det.merges_performed > 0
+        stats = det.node_stats()
+        # 8 gets -> 1 origin node + 1 target node
+        assert stats.total_current_nodes == 0  # cleared at epoch end
+        assert stats.total_max_nodes <= 4

@@ -1,0 +1,110 @@
+"""Unit tests for the §4.1 fragmentation algorithm."""
+
+import pytest
+
+from repro.core import fragment_accesses, fragment_pair
+from repro.intervals import Interval
+from tests.conftest import LR, LW, RR, RW, acc
+
+
+class TestFig6SingleOverlap:
+    """The three-fragment picture of paper Fig. 6."""
+
+    def test_three_fragments(self):
+        stored = acc(0, 10, LR, line=1)  # Type A
+        new = acc(6, 16, RR, line=2)  # Type B
+        frags = fragment_pair(stored, new)
+        assert [f.interval for f in frags] == [
+            Interval(0, 6), Interval(6, 10), Interval(10, 16)
+        ]
+        l_frag, inter_frag, r_frag = frags
+        assert l_frag.type == LR and l_frag.debug.line == 1
+        assert inter_frag.type == RR  # Table 1: RMA prevails
+        assert inter_frag.debug.line == 2
+        assert r_frag.type == RR and r_frag.debug.line == 2
+
+    def test_new_inside_stored(self):
+        stored = acc(2, 13, RR, line=11)
+        new = acc(7, 8, LW, line=12)
+        # NOTE: this pair is a Table-1 race cell, unreachable in practice
+        # (the race check fires first); fragmentation itself is total and
+        # resolves it by dominance order (RMA beats local)
+        frags = fragment_pair(stored, new)
+        assert [f.interval for f in frags] == [
+            Interval(2, 7), Interval(7, 8), Interval(8, 13)
+        ]
+        assert frags[0].type == RR and frags[2].type == RR
+        assert frags[1].type == RR and frags[1].debug.line == 11
+
+    def test_stored_inside_new(self):
+        stored = acc(5, 8, LR, line=1)
+        new = acc(0, 12, LW, line=2)
+        frags = fragment_pair(stored, new)
+        assert [f.interval for f in frags] == [
+            Interval(0, 5), Interval(5, 8), Interval(8, 12)
+        ]
+        assert [f.type for f in frags] == [LW, LW, LW]
+        # intersection took the new (write) access's debug info
+        assert frags[1].debug.line == 2
+
+    def test_identical_intervals_collapse_to_one(self):
+        stored = acc(4, 8, LR, line=1)
+        new = acc(4, 8, LR, line=2)
+        frags = fragment_pair(stored, new)
+        assert len(frags) == 1
+        assert frags[0].interval == Interval(4, 8)
+        assert frags[0].debug.line == 2  # ties keep the newest
+
+    def test_empty_fragments_not_emitted(self):
+        stored = acc(0, 8, LR)
+        new = acc(0, 4, LW, line=2)
+        frags = fragment_pair(stored, new)
+        assert [f.interval for f in frags] == [Interval(0, 4), Interval(4, 8)]
+
+
+class TestMultiOverlap:
+    def test_two_stored_accesses(self):
+        s1 = acc(0, 4, LR, line=1)
+        s2 = acc(8, 12, LW, line=2)
+        new = acc(2, 10, RR, line=3)
+        frags = fragment_accesses([s1, s2], new)
+        assert [f.interval for f in frags] == [
+            Interval(0, 2), Interval(2, 4), Interval(4, 8),
+            Interval(8, 10), Interval(10, 12),
+        ]
+        assert [f.type for f in frags] == [LR, RR, RR, RR, LW]
+
+    def test_gap_between_stored_filled_by_new(self):
+        s1 = acc(0, 2, LR)
+        s2 = acc(6, 8, LR)
+        new = acc(0, 8, LR, line=9)
+        frags = fragment_accesses([s1, s2], new)
+        total = sum(len(f.interval) for f in frags)
+        assert total == 8
+        assert frags[0].interval.lo == 0 and frags[-1].interval.hi == 8
+
+    def test_adjacent_stored_pass_through_unchanged(self):
+        # an adjacent (non-overlapping) access is retrieved for merging but
+        # fragmentation must not cut it
+        s = acc(8, 12, LR, line=1)
+        new = acc(4, 8, LR, line=2)
+        frags = fragment_accesses([s], new)
+        assert acc(8, 12, LR, line=1) in frags
+        assert acc(4, 8, LR, line=2) in frags
+
+    def test_disjointness_postcondition(self):
+        s1 = acc(0, 6, LR)
+        s2 = acc(10, 16, RW, origin=1)
+        new = acc(4, 12, RR, line=2)
+        frags = fragment_accesses([s1, s2], new)
+        for i, a in enumerate(frags):
+            for b in frags[i + 1 :]:
+                assert not a.interval.overlaps(b.interval)
+
+    def test_overlapping_stored_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_accesses([acc(0, 6, LR), acc(4, 10, LR)], acc(2, 8, LR))
+
+    def test_no_stored_returns_new_only(self):
+        new = acc(4, 8, RW)
+        assert fragment_accesses([], new) == [new]

@@ -1,0 +1,192 @@
+"""Unit tests for Algorithm 1 (insert_access) and its helpers."""
+
+import pytest
+
+from repro.bst import IntervalBST
+from repro.core import (
+    data_race_detection,
+    finish_insertion,
+    get_intersecting_accesses,
+    insert_access,
+)
+from repro.intervals import Interval, is_race_legacy
+from tests.conftest import LR, LW, RR, RW, acc
+
+
+def insert_all(bst, *accesses):
+    outcomes = [insert_access(a, bst) for a in accesses]
+    return outcomes
+
+
+class TestDataRaceDetection:
+    def test_detects_conflict(self):
+        bst = IntervalBST()
+        bst.insert(acc(2, 13, RR, origin=0))
+        conflict = data_race_detection(acc(7, 8, LW, origin=0), bst)
+        assert conflict is not None
+        assert conflict.type == RR
+
+    def test_no_conflict_when_disjoint(self):
+        bst = IntervalBST()
+        bst.insert(acc(2, 5, RW))
+        assert data_race_detection(acc(6, 8, LW), bst) is None
+
+    def test_custom_predicate(self):
+        bst = IntervalBST()
+        bst.insert(acc(2, 5, LR, origin=0))
+        new = acc(2, 5, RW, origin=0)
+        # fixed predicate: local-then-RMA same rank is safe
+        assert data_race_detection(new, bst) is None
+        # legacy predicate flags it
+        assert data_race_detection(new, bst, is_race_legacy) is not None
+
+
+class TestGetIntersecting:
+    def test_includes_adjacent(self):
+        bst = IntervalBST()
+        stored = acc(4, 8, RW, line=1)
+        bst.insert(stored)
+        got = get_intersecting_accesses(acc(8, 12, RW, line=1), bst)
+        assert got == [stored]
+
+    def test_excludes_separated(self):
+        bst = IntervalBST()
+        bst.insert(acc(4, 8, RW))
+        assert get_intersecting_accesses(acc(10, 12, RW), bst) == []
+
+    def test_zero_lower_bound(self):
+        bst = IntervalBST()
+        bst.insert(acc(0, 4, LR))
+        assert len(get_intersecting_accesses(acc(0, 2, LR), bst)) == 1
+
+
+class TestInsertAccess:
+    def test_insert_into_empty(self):
+        bst = IntervalBST()
+        out = insert_access(acc(4, 8, LR), bst)
+        assert not out.has_race
+        assert bst.snapshot() == [acc(4, 8, LR)]
+
+    def test_race_leaves_bst_untouched(self):
+        bst = IntervalBST()
+        insert_all(bst, acc(2, 13, RR, origin=0))
+        before = bst.snapshot()
+        out = insert_access(acc(7, 8, LW, origin=0), bst)
+        assert out.has_race
+        assert out.conflict == before[0]
+        assert bst.snapshot() == before
+
+    def test_fig5b_tree_content(self):
+        """Code 1's BST after our insertions covers Fig. 5b's state.
+
+        The paper's Fig. 5b draws the three fragments [2...3] / [4] /
+        [5...12], all RMA_Read with the Put's debug info; §4.2's merging
+        then coalesces them (same type, same debug info) into one node —
+        strictly fewer nodes, identical detection behaviour.
+        """
+        bst = IntervalBST()
+        insert_all(
+            bst,
+            acc(4, 5, LR, line=10),    # Load(4)
+            acc(2, 13, RR, line=11),   # MPI_Put(2,12) origin side
+        )
+        snap = bst.snapshot()
+        assert snap == [acc(2, 13, RR, line=11)]
+        # and the Store(7) race is now caught (the Fig. 5a miss, fixed)
+        out = insert_access(acc(7, 8, LW, line=12), bst)
+        assert out.has_race
+
+    def test_disjointness_invariant_maintained(self):
+        bst = IntervalBST()
+        insert_all(
+            bst,
+            acc(0, 10, LR, line=1),
+            acc(5, 15, LR, line=2),
+            acc(3, 7, LR, line=3),
+            acc(20, 25, LW, line=4),
+            acc(24, 30, LW, line=5),
+        )
+        snap = bst.snapshot()
+        for i, a in enumerate(snap):
+            for b in snap[i + 1 :]:
+                assert not a.interval.overlaps(b.interval)
+
+    def test_merging_collapses_adjacent_loop(self):
+        """The Code-2 effect: same-line adjacent accesses become one node."""
+        bst = IntervalBST()
+        for i in range(100):
+            out = insert_access(acc(i, i + 1, RW, line=10), bst)
+            assert not out.has_race
+        assert len(bst) == 1
+        assert bst.snapshot()[0].interval == Interval(0, 100)
+
+    def test_no_merge_across_debug_lines(self):
+        bst = IntervalBST()
+        insert_all(bst, acc(0, 4, RW, line=1), acc(4, 8, RW, line=2))
+        assert len(bst) == 2
+
+    def test_same_type_reinsert_keeps_one_node(self):
+        bst = IntervalBST()
+        insert_all(bst, acc(0, 8, LR, line=1), acc(0, 8, LR, line=1))
+        assert len(bst) == 1
+
+    def test_write_upgrades_read(self):
+        bst = IntervalBST()
+        insert_all(bst, acc(0, 8, LR, line=1), acc(0, 8, LW, line=2))
+        snap = bst.snapshot()
+        assert snap == [acc(0, 8, LW, line=2)]
+
+    def test_partial_upgrade_fragments(self):
+        bst = IntervalBST()
+        insert_all(bst, acc(0, 12, LR, line=1), acc(4, 8, LW, line=2))
+        snap = bst.snapshot()
+        assert [a.interval for a in snap] == [
+            Interval(0, 4), Interval(4, 8), Interval(8, 12)
+        ]
+        assert [a.type for a in snap] == [LR, LW, LR]
+
+    def test_outcome_reports_merged_and_removed(self):
+        bst = IntervalBST()
+        insert_access(acc(0, 4, RW, line=1), bst)
+        out = insert_access(acc(4, 8, RW, line=1), bst)
+        assert out.merged == [acc(0, 8, RW, line=1)]
+        assert out.removed == [acc(0, 4, RW, line=1)]
+
+    def test_growth_bounded_per_overlap(self):
+        """§4.1's "-1 node, +3 nodes": +2 net per intersecting stored
+        node; an insert overlapping k nodes nets at most k + 1."""
+        import random
+
+        rng = random.Random(9)
+        bst = IntervalBST()
+        prev = 0
+        for _ in range(300):
+            lo = rng.randint(0, 400)
+            a = acc(lo, lo + rng.randint(1, 30), LR, line=rng.randint(1, 3))
+            out = insert_access(a, bst)
+            bound = max(len(out.removed) + 1, 1)
+            assert len(bst) - prev <= bound + (1 if not out.removed else 0)
+            prev = len(bst)
+
+    def test_single_overlap_nets_at_most_two(self):
+        """The exact case the paper describes: one stored access split by
+        one new access -> one node removed, at most three added."""
+        bst = IntervalBST()
+        insert_access(acc(0, 30, LR, line=1), bst)
+        out = insert_access(acc(10, 20, LW, line=2), bst)
+        assert len(out.removed) == 1
+        assert len(bst) <= 1 + 2
+
+
+class TestFinishInsertion:
+    def test_swap(self):
+        bst = IntervalBST()
+        old = acc(0, 4, LR)
+        bst.insert(old)
+        finish_insertion([old], [acc(0, 2, LR), acc(2, 4, LW)], bst)
+        assert len(bst) == 2
+
+    def test_missing_old_raises(self):
+        bst = IntervalBST()
+        with pytest.raises(RuntimeError):
+            finish_insertion([acc(0, 4, LR)], [], bst)

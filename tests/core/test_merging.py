@@ -1,0 +1,83 @@
+"""Unit tests for the §4.2 merging algorithm."""
+
+from repro.core import merge_accesses
+from repro.intervals import Interval
+from tests.conftest import LR, LW, RR, RW, acc
+
+
+class TestMergeConditions:
+    def test_adjacent_same_site_merge(self):
+        merged = merge_accesses([acc(0, 4, RW, line=10), acc(4, 8, RW, line=10)])
+        assert merged == [acc(0, 8, RW, line=10)]
+
+    def test_non_adjacent_do_not_merge(self):
+        frags = [acc(0, 4, RW, line=10), acc(5, 8, RW, line=10)]
+        assert merge_accesses(frags) == frags
+
+    def test_different_type_do_not_merge(self):
+        frags = [acc(0, 4, RW, line=10), acc(4, 8, RR, line=10)]
+        assert merge_accesses(frags) == frags
+
+    def test_different_debug_info_do_not_merge(self):
+        # §4.2: "they will not be fixed in the same way"
+        frags = [acc(0, 4, RW, line=10), acc(4, 8, RW, line=11)]
+        assert merge_accesses(frags) == frags
+
+    def test_different_origin_do_not_merge(self):
+        frags = [acc(0, 4, RW, line=10, origin=0), acc(4, 8, RW, line=10, origin=1)]
+        assert merge_accesses(frags) == frags
+
+    def test_different_flush_gen_do_not_merge(self):
+        frags = [
+            acc(0, 4, RW, line=10, flush_gen=0),
+            acc(4, 8, RW, line=10, flush_gen=1),
+        ]
+        assert merge_accesses(frags) == frags
+
+
+class TestMergeMechanics:
+    def test_long_run_collapses(self):
+        frags = [acc(i, i + 1, RW, line=10) for i in range(100)]
+        merged = merge_accesses(frags)
+        assert merged == [acc(0, 100, RW, line=10)]
+
+    def test_unsorted_input(self):
+        frags = [acc(4, 8, RW, line=1), acc(0, 4, RW, line=1), acc(8, 12, RW, line=1)]
+        assert merge_accesses(frags) == [acc(0, 12, RW, line=1)]
+
+    def test_fig7_shape(self):
+        # Fig. 7: a Type-A island followed by three mergeable Type-B parts
+        frags = [
+            acc(0, 4, LR, line=1),
+            acc(6, 8, RW, line=2),
+            acc(8, 10, RW, line=2),
+            acc(10, 14, RW, line=2),
+        ]
+        merged = merge_accesses(frags)
+        assert merged == [acc(0, 4, LR, line=1), acc(6, 14, RW, line=2)]
+
+    def test_idempotent(self):
+        frags = [
+            acc(0, 4, RW, line=1),
+            acc(4, 8, RW, line=2),
+            acc(8, 12, RW, line=2),
+        ]
+        once = merge_accesses(frags)
+        assert merge_accesses(once) == once
+
+    def test_empty(self):
+        assert merge_accesses([]) == []
+
+    def test_single(self):
+        a = acc(0, 4, LW)
+        assert merge_accesses([a]) == [a]
+
+    def test_alternating_types_unchanged(self):
+        frags = [acc(i * 2, i * 2 + 2, RW if i % 2 else RR, line=1) for i in range(6)]
+        assert merge_accesses(frags) == frags
+
+    def test_preserves_total_coverage(self):
+        frags = [acc(i * 3, i * 3 + 3, RW, line=1) for i in range(10)]
+        merged = merge_accesses(frags)
+        assert sum(len(f.interval) for f in merged) == 30
+        assert merged[0].interval == Interval(0, 30)

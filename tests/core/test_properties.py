@@ -1,0 +1,145 @@
+"""Property-based tests for fragmentation/merging/insertion invariants."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bst import IntervalBST
+from repro.core import fragment_accesses, insert_access, merge_accesses
+from repro.intervals import AccessType, Interval
+from tests.conftest import acc
+
+# strategies -----------------------------------------------------------------
+
+atypes = st.sampled_from(list(AccessType))
+
+
+def _access(lo, ln, t, line, origin):
+    return acc(lo, lo + ln, t, line=line, origin=origin)
+
+
+accesses = st.builds(
+    _access,
+    st.integers(0, 200),
+    st.integers(1, 30),
+    atypes,
+    st.integers(1, 3),
+    st.integers(0, 2),
+)
+
+
+@st.composite
+def disjoint_sets(draw):
+    """A list of pairwise-disjoint accesses (the BST invariant)."""
+    n = draw(st.integers(0, 8))
+    cursor = 0
+    out = []
+    for _ in range(n):
+        gap = draw(st.integers(0, 10))
+        ln = draw(st.integers(1, 20))
+        t = draw(atypes)
+        line = draw(st.integers(1, 3))
+        origin = draw(st.integers(0, 2))
+        out.append(acc(cursor + gap, cursor + gap + ln, t, line=line,
+                       origin=origin))
+        cursor += gap + ln
+    return out
+
+
+def covered_bytes(accs):
+    c = Counter()
+    for a in accs:
+        for b in range(a.interval.lo, a.interval.hi):
+            c[b] += 1
+    return c
+
+
+# fragmentation ---------------------------------------------------------------
+
+
+@given(disjoint_sets(), accesses)
+@settings(max_examples=120)
+def test_fragmentation_covers_union_exactly_once(stored, new):
+    relevant = [s for s in stored if s.interval.overlaps(new.interval)
+                or s.interval.is_adjacent(new.interval)]
+    frags = fragment_accesses(relevant, new)
+    want = set(covered_bytes(relevant)) | set(covered_bytes([new]))
+    got = covered_bytes(frags)
+    assert set(got) == want
+    assert all(v == 1 for v in got.values())  # pairwise disjoint
+
+
+@given(disjoint_sets(), accesses)
+@settings(max_examples=120)
+def test_fragment_types_dominate(stored, new):
+    relevant = [s for s in stored if s.interval.overlaps(new.interval)]
+    frags = fragment_accesses(relevant, new)
+    key = lambda t: (t.is_rma, t.is_write)
+    for f in frags:
+        for s in relevant:
+            inter = f.interval.intersection(s.interval)
+            if inter is not None and new.interval.contains_interval(inter):
+                assert key(f.type) >= key(s.type)
+                assert key(f.type) >= key(new.type)
+
+
+# merging ----------------------------------------------------------------------
+
+
+@given(disjoint_sets())
+@settings(max_examples=120)
+def test_merge_preserves_coverage_and_is_canonical(frags):
+    merged = merge_accesses(frags)
+    assert covered_bytes(merged) == covered_bytes(frags)
+    # result is sorted and pairwise non-mergeable
+    for a, b in zip(merged, merged[1:]):
+        assert a.interval.lo <= b.interval.lo
+        assert not (a.interval.is_adjacent(b.interval) and a.same_site(b))
+    assert merge_accesses(merged) == merged
+
+
+# insertion ---------------------------------------------------------------------
+
+
+@given(st.lists(accesses, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_insert_maintains_disjointness_and_tree_invariants(stream):
+    bst = IntervalBST()
+    for a in stream:
+        insert_access(a, bst)
+    snap = bst.snapshot()
+    for x, y in zip(snap, snap[1:]):
+        assert x.interval.hi <= y.interval.lo or not x.interval.overlaps(y.interval)
+    cover = covered_bytes(snap)
+    assert all(v == 1 for v in cover.values())
+    bst.check_invariants()
+
+
+@given(st.lists(accesses, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_inserted_bytes_stay_covered_unless_raced(stream):
+    """Every byte of every successfully inserted access stays covered."""
+    bst = IntervalBST()
+    inserted_bytes = set()
+    for a in stream:
+        out = insert_access(a, bst)
+        if not out.has_race:
+            inserted_bytes |= set(range(a.interval.lo, a.interval.hi))
+    covered = set(covered_bytes(bst.snapshot()))
+    assert inserted_bytes <= covered
+
+
+@given(st.lists(accesses, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_net_growth_bounded_by_overlap_count(stream):
+    """§4.1's "-1 node, +3 nodes" holds per intersecting pair: a new
+    access overlapping k disjoint stored nodes nets at most k + 1 new
+    nodes (the paper's +2 is the single-overlap case)."""
+    bst = IntervalBST()
+    prev = 0
+    for a in stream:
+        k = len(bst.find_overlapping(a.interval))
+        insert_access(a, bst)
+        assert len(bst) - prev <= k + 1
+        prev = len(bst)

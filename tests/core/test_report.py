@@ -1,0 +1,41 @@
+"""Unit tests for race reports (the Fig. 9b output format)."""
+
+import pytest
+
+from repro.core import DataRaceError, RaceReport
+from tests.conftest import RW, acc
+
+
+class TestRaceReport:
+    def test_message_matches_fig9b_format(self):
+        stored = acc(0, 16, RW, file="./dspl.hpp", line=612)
+        new = acc(0, 16, RW, file="./dspl.hpp", line=614)
+        report = RaceReport(1, 0, stored, new, "Our Contribution")
+        assert report.message == (
+            "Error when inserting memory access of type RMA_WRITE from file "
+            "./dspl.hpp:614 with already inserted interval of type RMA_WRITE "
+            "from file ./dspl.hpp:612. The program will be exiting now with "
+            "MPI_Abort."
+        )
+
+    def test_str_is_message(self):
+        report = RaceReport(0, 0, acc(0, 4, RW), acc(0, 4, RW))
+        assert str(report) == report.message
+
+    def test_frozen(self):
+        report = RaceReport(0, 0, acc(0, 4, RW), acc(0, 4, RW))
+        with pytest.raises(AttributeError):
+            report.rank = 3  # type: ignore[misc]
+
+
+class TestDataRaceError:
+    def test_carries_report(self):
+        report = RaceReport(0, 0, acc(0, 4, RW), acc(0, 4, RW))
+        err = DataRaceError(report)
+        assert err.report is report
+        assert str(err) == report.message
+
+    def test_is_runtime_error(self):
+        report = RaceReport(0, 0, acc(0, 4, RW), acc(0, 4, RW))
+        with pytest.raises(RuntimeError):
+            raise DataRaceError(report)

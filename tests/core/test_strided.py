@@ -1,0 +1,172 @@
+"""Tests for the strided-merging extension (§6(3) future work)."""
+
+import pytest
+
+from repro.core import OurDetector
+from repro.core.strided import StridedChain, StridedDetector, site_key
+from repro.intervals import DebugInfo, Interval
+from repro.mpi import BYTE, World
+from repro.mpi.simulator import Buffer
+from tests.conftest import LR, LW, RR, RW, acc
+
+
+class TestStridedChain:
+    def chain(self, base=0, stride=24, reps=4, length=8):
+        return StridedChain(acc(base, base + length, LR, line=1),
+                            base, stride, reps)
+
+    def test_envelope(self):
+        c = self.chain()
+        assert c.envelope == Interval(0, 24 * 3 + 8)
+
+    def test_members(self):
+        c = self.chain(reps=3)
+        assert [m.interval.lo for m in c.members()] == [0, 24, 48]
+        assert all(len(m.interval) == 8 for m in c.members())
+
+    def test_overlapping_member_hit(self):
+        c = self.chain()
+        m = c.overlapping_member(Interval(26, 28))
+        assert m is not None and m.interval == Interval(24, 32)
+
+    def test_overlapping_member_gap_miss(self):
+        c = self.chain()
+        # [10, 20) sits between member 0 ([0,8)) and member 1 ([24,32))
+        assert c.overlapping_member(Interval(10, 20)) is None
+
+    def test_overlapping_member_outside_envelope(self):
+        c = self.chain()
+        assert c.overlapping_member(Interval(200, 210)) is None
+
+    def test_extends(self):
+        c = self.chain(reps=2)
+        assert c.extends(acc(48, 56, LR, line=1))
+        assert not c.extends(acc(49, 57, LR, line=1))
+        assert not c.extends(acc(48, 60, LR, line=1))  # wrong length
+
+    def test_site_key_discriminates(self):
+        a = acc(0, 8, LR, line=1)
+        assert site_key(a) == site_key(acc(24, 32, LR, line=1))
+        assert site_key(a) != site_key(acc(24, 32, LR, line=2))
+        assert site_key(a) != site_key(acc(24, 32, LW, line=1))
+        assert site_key(a) != site_key(acc(24, 36, LR, line=1))
+
+
+def strided_loads_program(ctx, n=32, stride=3, race_at=None):
+    """n strided single-byte window loads at one source line."""
+    win = yield ctx.win_allocate("w", 256, BYTE)
+    buf = ctx.alloc("buf", 8, BYTE, rma_hint=True)
+    ctx.win_lock_all(win)
+    yield ctx.barrier()
+    if ctx.rank == 0:
+        winbuf = Buffer(win.region_of(0), BYTE)
+        d = DebugInfo("s.c", 7)
+        for i in range(n):
+            ctx.load(winbuf, i * stride, 1, debug=d)
+    yield
+    if race_at is not None and ctx.rank == 1:
+        ctx.put(win, 0, race_at, buf, 0, 1)
+    yield
+    ctx.win_unlock_all(win)
+    yield ctx.win_free(win)
+
+
+class TestStridedDetector:
+    def test_strided_accesses_collapse(self):
+        det = StridedDetector()
+        World(2, [det]).run(strided_loads_program)
+        # 32 strided loads -> one chain (plus nothing else at rank 0)
+        assert det.chains_formed == 1
+        assert det.accesses_absorbed == 31
+        assert det.node_stats().max_nodes_per_rank.get(0, 0) <= 1
+
+    def test_plain_detector_keeps_them_all(self):
+        det = OurDetector()
+        World(2, [det]).run(strided_loads_program)
+        # stride 3 with 1-byte loads: nothing adjacent, nothing merges
+        assert det.node_stats().max_nodes_per_rank[0] == 32
+
+    def test_race_with_chain_member_detected(self):
+        det = StridedDetector()
+        World(2, [det]).run(strided_loads_program, 32, 3, 30)  # hits member 10
+        assert det.reports_total == 1
+        report = det.reports[0]
+        assert report.new.type == RW  # the incoming put
+
+    def test_write_into_gap_is_safe(self):
+        det = StridedDetector()
+        World(2, [det]).run(strided_loads_program, 32, 3, None)
+        assert det.reports_total == 0
+
+    def test_access_between_members_explodes_chain_soundly(self):
+        """A same-rank store into a gap must not hide later races."""
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 256, BYTE)
+            buf = ctx.alloc("buf", 8, BYTE, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                winbuf = Buffer(win.region_of(0), BYTE)
+                d = DebugInfo("s.c", 7)
+                for i in range(8):
+                    ctx.load(winbuf, i * 4, 2, debug=d)  # members [4i, 4i+2)
+                # overlaps member 3 ([12,14)) -> chain must explode, and
+                # the loads must still be individually race-checkable
+                ctx.store(winbuf, 13, 1, 1, debug=DebugInfo("s.c", 9))
+            yield
+            if ctx.rank == 1:
+                ctx.put(win, 0, 4, buf, 0, 1)  # races with member 1
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = StridedDetector()
+        World(2, [det]).run(program)
+        assert det.reports_total >= 1
+
+    def test_epoch_end_clears_chains(self):
+        det = StridedDetector()
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 256, BYTE)
+            for _ in range(2):
+                ctx.win_lock_all(win)
+                if ctx.rank == 0:
+                    winbuf = Buffer(win.region_of(0), BYTE)
+                    d = DebugInfo("s.c", 7)
+                    for i in range(8):
+                        ctx.load(winbuf, i * 4, 1, debug=d)
+                ctx.win_unlock_all(win)
+                yield ctx.barrier()
+            yield ctx.win_free(win)
+
+        World(2, [det]).run(program)
+        assert det.chains_formed == 2  # one per epoch, none leaks across
+
+    def test_verdict_parity_with_plain_detector_on_microbench(self):
+        """The extension must not change any suite verdict."""
+        from repro.microbench import generate_suite, run_code
+
+        suite = generate_suite()
+        for spec in suite[::7]:  # a systematic sample
+            plain = OurDetector()
+            strided = StridedDetector()
+            reported_plain, _ = run_code(spec, plain)
+            reported_strided, _ = run_code(spec, strided)
+            assert reported_plain == reported_strided == spec.racy, spec.name
+
+    def test_minivite_node_reduction(self):
+        from repro.apps import (MiniViteConfig, MiniViteResult, default_graph,
+                                make_comm_plan, minivite_program)
+
+        cfg = MiniViteConfig(nvertices=1024)
+        graph = default_graph(cfg)
+        plan = make_comm_plan(graph, 4)
+        plain, strided = OurDetector(), StridedDetector()
+        for det in (plain, strided):
+            World(4, [det]).run(minivite_program, graph, plan, cfg,
+                                MiniViteResult())
+            assert det.reports_total == 0
+        assert strided.node_stats().total_max_nodes < \
+            0.5 * plain.node_stats().total_max_nodes

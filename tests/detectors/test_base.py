@@ -1,0 +1,81 @@
+"""Tests for the shared detector machinery (base class, NodeStats)."""
+
+import pytest
+
+from repro.core import DataRaceError
+from repro.detectors import Detector, NodeStats
+from tests.conftest import RW, acc
+
+
+class TestReportPlumbing:
+    def test_reports_collected(self):
+        det = Detector()
+        det._report(0, 0, acc(0, 4, RW), acc(0, 4, RW, origin=1))
+        assert det.race_detected
+        assert det.reports_total == 1
+        assert det.reports[0].detector == "base"
+
+    def test_cap_keeps_counting(self):
+        det = Detector()
+        det.MAX_KEPT_REPORTS = 3
+        for i in range(10):
+            det._report(0, 0, acc(0, 4, RW), acc(0, 4, RW, origin=1))
+        assert len(det.reports) == 3
+        assert det.reports_total == 10
+
+    def test_reset(self):
+        det = Detector()
+        det._report(0, 0, acc(0, 4, RW), acc(0, 4, RW, origin=1))
+        det.reset_reports()
+        assert not det.race_detected
+        assert det.reports == []
+
+    def test_abort_mode(self):
+        det = Detector(abort_on_race=True)
+        with pytest.raises(DataRaceError):
+            det._report(0, 0, acc(0, 4, RW), acc(0, 4, RW, origin=1))
+
+    def test_default_hooks_are_noops(self):
+        det = Detector()
+        det.on_epoch_start(0, 0)
+        det.on_epoch_end(0, 0)
+        det.on_flush(0, 0)
+        det.on_barrier()
+        det.on_win_free(0)
+        det.finalize()
+        assert det.node_stats().total_max_nodes == 0
+
+    def test_default_fence_decomposes_into_epochs_and_barrier(self):
+        calls = []
+
+        class Probe(Detector):
+            def on_epoch_end(self, rank, wid):
+                calls.append(("end", rank, wid))
+
+            def on_epoch_start(self, rank, wid):
+                calls.append(("start", rank, wid))
+
+            def on_barrier(self):
+                calls.append(("barrier",))
+
+        Probe().on_fence(7, 3)
+        assert calls == [
+            ("end", 0, 7), ("end", 1, 7), ("end", 2, 7),
+            ("barrier",),
+            ("start", 0, 7), ("start", 1, 7), ("start", 2, 7),
+        ]
+
+    def test_cost_declarations_default_zero(self):
+        det = Detector()
+        assert det.rma_notify_bytes == 0
+        assert det.sync_notify_bytes(128) == 0
+        assert det.analysis_work() == 0.0
+
+
+class TestNodeStats:
+    def test_max_nodes_one_rank(self):
+        stats = NodeStats(max_nodes_per_rank={0: 5, 1: 9, 2: 3})
+        assert stats.max_nodes_one_rank == 9
+
+    def test_empty(self):
+        assert NodeStats().max_nodes_one_rank == 0

@@ -1,0 +1,135 @@
+"""Unit tests for the MUST-RMA behavioural model."""
+
+import pytest
+
+from repro.detectors import MustRma
+from repro.mpi import World
+
+
+def run(program, nranks=2):
+    det = MustRma()
+    World(nranks, [det]).run(program)
+    return det
+
+
+def epoch_program(body):
+    def program(ctx):
+        win = yield ctx.win_allocate("w", 64)
+        buf = ctx.alloc("buf", 8, rma_hint=True)
+        ctx.win_lock_all(win)
+        yield
+        yield from body(ctx, win, buf) or ()
+        yield
+        ctx.win_unlock_all(win)
+        yield ctx.win_free(win)
+
+    return program
+
+
+class TestOrderAwareness:
+    """No false positives: the happens-before relation is respected."""
+
+    def test_load_then_get_safe(self):
+        def body(ctx, win, buf):
+            if ctx.rank == 0:
+                ctx.load(buf, 0)
+                ctx.get(win, 1, 0, buf, 0, 8)
+            return ()
+
+        assert run(epoch_program(body)).reports_total == 0
+
+    def test_get_then_load_races(self):
+        def body(ctx, win, buf):
+            if ctx.rank == 0:
+                ctx.get(win, 1, 0, buf, 0, 8)
+                ctx.load(buf, 0)
+            return ()
+
+        assert run(epoch_program(body)).reports_total == 1
+
+    def test_access_after_epoch_completion_safe(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                ctx.get(win, 1, 0, buf, 0, 8)
+            ctx.win_unlock_all(win)
+            if ctx.rank == 0:
+                ctx.load(buf, 0)  # ordered by unlock_all
+            yield ctx.win_free(win)
+
+        assert run(program).reports_total == 0
+
+    def test_cross_rank_put_put_races(self):
+        def body(ctx, win, buf):
+            ctx.put(win, 0, 0, buf, 0, 8)
+            return ()
+
+        assert run(epoch_program(body), nranks=2).reports_total >= 1
+
+
+class TestStackBlindSpot:
+    """The §5.2 false negatives: stack arrays are not instrumented."""
+
+    def test_misses_race_on_stack_buffer(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.stack_alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                ctx.get(win, 1, 0, buf, 0, 8)
+                ctx.load(buf, 0)  # race, but both sides are stack
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        assert run(program).reports_total == 0
+
+    def test_misses_race_in_stack_backed_window(self):
+        def program(ctx):
+            backing = ctx.stack_alloc("mem", 64)
+            win = yield ctx.win_create("w", backing)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield
+            ctx.put(win, 0, 0, buf, 0, 8)  # both ranks write rank 0's window
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        assert run(program).reports_total == 0
+
+    def test_detects_same_race_with_heap_window(self):
+        # §5.2: "when using heap arrays, the error is detected"
+        def body(ctx, win, buf):
+            ctx.put(win, 0, 0, buf, 0, 8)
+            return ()
+
+        assert run(epoch_program(body)).reports_total >= 1
+
+
+class TestCosts:
+    def test_instruments_everything_not_stack(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            pure = ctx.alloc("pure", 8)  # no RMA relation at all
+            ctx.win_lock_all(win)
+            ctx.load(pure, 0)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = run(program)
+        assert det.node_stats().accesses_processed >= 2  # both ranks' loads
+
+    def test_sync_bytes_scale_with_ranks(self):
+        det = MustRma()
+        assert det.sync_notify_bytes(256) == 8 * det.sync_notify_bytes(32)
+
+    def test_clock_size_property(self):
+        def body(ctx, win, buf):
+            ctx.put(win, 0, 0, buf, 0, 8)
+            return ()
+
+        det = MustRma()
+        World(4, [det]).run(epoch_program(body))
+        assert det.clock_size >= 4

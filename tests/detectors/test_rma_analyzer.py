@@ -1,0 +1,141 @@
+"""Unit tests for the original RMA-Analyzer baseline."""
+
+import pytest
+
+from repro.detectors import RmaAnalyzerLegacy
+from repro.intervals import DebugInfo
+from repro.mpi import World
+
+
+def run(program, nranks=2, det=None):
+    det = det or RmaAnalyzerLegacy()
+    World(nranks, [det]).run(program)
+    return det
+
+
+class TestKnownDefects:
+    def test_false_positive_on_load_then_get(self):
+        """§5.2: the order-insensitive predicate flags a safe code."""
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                ctx.load(buf, 0)
+                ctx.get(win, 1, 0, buf, 0, 8)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = run(program)
+        assert det.reports_total == 1  # a false positive
+
+    def test_false_negative_on_code1_shape(self):
+        """Fig. 5a: the wide Put interval off the search path is missed."""
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 16, rma_hint=True)
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                ctx.load(buf, 4, 1)
+                ctx.put(win, 1, 0, buf, 2, 11)
+                ctx.store(buf, 7, 1, 1)  # races with the put, missed
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = run(program)
+        assert det.reports_total == 0
+
+    def test_no_merging_linear_growth(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 64, rma_hint=True)
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                d = DebugInfo("x.c", 1)
+                for i in range(50):
+                    ctx.get(win, 1, i, buf, i, 1, debug=d)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = run(program)
+        # 50 origin-side + nothing merged
+        assert det.node_stats().max_nodes_per_rank[0] == 50
+
+    def test_ignores_flush_reports_cross_iteration_fp(self):
+        """§6: flush is 'not well instrumented' — the CFD false positive."""
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield
+            if ctx.rank == 0:
+                ctx.put(win, 1, 0, buf, 0, 8)
+                ctx.win_flush_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.put(win, 1, 0, buf, 0, 8)  # ordered by flush+barrier
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = run(program)
+        assert det.reports_total >= 1  # false positive
+
+
+class TestTruePositives:
+    def test_detects_two_op_races(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield
+            ctx.put(win, 0, 0, buf, 0, 8)  # everyone writes rank 0's window
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = run(program, nranks=3)
+        assert det.reports_total >= 1
+
+    def test_report_cap_keeps_counting(self):
+        det = RmaAnalyzerLegacy()
+        det.MAX_KEPT_REPORTS = 2
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield
+            if ctx.rank == 0:
+                for _ in range(5):
+                    ctx.put(win, 1, 0, buf, 0, 8)
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        run(program, det=det)
+        assert len(det.reports) == 2
+        assert det.reports_total > 2
+
+    def test_epoch_end_clears_store(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            for _ in range(3):
+                ctx.win_lock_all(win)
+                if ctx.rank == 0:
+                    ctx.get(win, 1, 0, buf, 0, 8)
+                ctx.win_unlock_all(win)
+                yield ctx.barrier()
+            yield ctx.win_free(win)
+
+        det = run(program)
+        stats = det.node_stats()
+        assert stats.total_current_nodes == 0
+        # peaks per epoch do not accumulate: one origin-side access per
+        # epoch at rank 0 (the target side lands in rank 1's BST)
+        assert stats.max_nodes_per_rank[0] == 1
+        assert stats.max_nodes_per_rank[1] == 1

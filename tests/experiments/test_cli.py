@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("table1", "fig3", "table3", "fig10", "table4"):
+            assert exp in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "RMA_W-2" in out
+        assert "regenerated in" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "table1", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "== table1" in out and "== fig3" in out
+
+    def test_suite_summary(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "codes" in out and "race" in out
+
+    def test_suite_names(self, capsys):
+        assert main(["suite", "--names"]) == 0
+        out = capsys.readouterr().out
+        assert "ll_get_load_outwindow_origin_race" in out
+
+
+class TestJsonOutput:
+    def test_json_flag_emits_json(self, capsys):
+        import json
+
+        assert main(["run", "table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table1"
+        assert "rows" in payload["data"]
+
+    def test_json_handles_dataclasses(self, capsys):
+        import json
+
+        assert main(["run", "static", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["data"]["static_fp"] == 0
+
+    def test_new_experiments_registered(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out and "extensions" in out

@@ -1,0 +1,95 @@
+"""Tests of the algorithm-level experiment drivers (Tables 1-3, Figs 3/5/8)."""
+
+import pytest
+
+from repro.experiments import (
+    fig3_race_matrix,
+    fig5_code1,
+    fig8_code2,
+    table1_combine,
+    table2_named_codes,
+    table3_confusion,
+)
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        result = table1_combine()
+        rows = result.data["rows"]
+        assert rows[2][2] == "x"  # RMA_R-1 x Local_W-2
+        assert rows[3] == ["RMA_W-1", "x", "x", "x", "x"]
+        assert rows[0][1] == "Local_R-2"
+
+
+class TestFig3:
+    def test_20_cells(self):
+        result = fig3_race_matrix()
+        assert len(result.data["matrix"]) == 20
+
+    def test_known_cells(self):
+        matrix = fig3_race_matrix().data["matrix"]
+        assert matrix[("get", "origin1", "load")]["inwindow"] == (0, 1)
+        assert matrix[("get", "target", "get")]["inwindow"] == (1, 1)
+        assert matrix[("get", "origin2", "put")]["inwindow"] == (1, 0)
+
+
+class TestFig5:
+    def test_outcome(self):
+        result = fig5_code1()
+        assert result.data["RMA-Analyzer"] == 0
+        assert result.data["Our Contribution"] == 1
+        assert "MPI_Abort" in result.text
+
+
+class TestFig8:
+    def test_node_counts(self):
+        result = fig8_code2(iterations=200)
+        assert result.data["RMA-Analyzer"] == 5 * 200 + 2
+        assert result.data["Our Contribution"] == 2
+
+
+class TestTable2:
+    def test_matches_paper_verdicts(self):
+        result = table2_named_codes()
+        d = result.data
+        # row 1: everyone detects
+        row = d["ll_get_load_outwindow_origin_race"]
+        assert row["RMA-Analyzer"] and row["MUST-RMA"] and row["Our Contribution"]
+        # row 2: nobody reports
+        row = d["ll_get_get_inwindow_origin_safe"]
+        assert not any(row.values())
+        # row 3: MUST-RMA misses (stack window)
+        row = d["ll_get_load_inwindow_origin_race"]
+        assert row["RMA-Analyzer"] and row["Our Contribution"]
+        assert not row["MUST-RMA"]
+        # row 4: only the legacy tool false-positives
+        row = d["ll_load_get_inwindow_origin_safe"]
+        assert row["RMA-Analyzer"]
+        assert not row["MUST-RMA"] and not row["Our Contribution"]
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3_confusion()
+
+    def test_discriminating_counts(self, result):
+        d = result.data
+        assert d["Our Contribution"]["FP"] == 0
+        assert d["Our Contribution"]["FN"] == 0
+        assert d["RMA-Analyzer"]["FP"] == 6
+        assert d["RMA-Analyzer"]["FN"] == 0
+        assert d["MUST-RMA"]["FP"] == 0
+        assert d["MUST-RMA"]["FN"] == 15
+
+    def test_totals_consistent(self, result):
+        for tool, cells in result.data.items():
+            assert cells["FP"] + cells["FN"] + cells["TP"] + cells["TN"] == \
+                sum(result.data["Our Contribution"].values())
+
+    def test_related_work_flag(self):
+        result = table3_confusion(include_related_work=True)
+        assert "Park-Mirror" in result.data
+        assert "MC-CChecker" in result.data
+        # the mirror approach misses every local-access race
+        assert result.data["Park-Mirror"]["FN"] > 15

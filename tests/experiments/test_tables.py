@@ -1,0 +1,50 @@
+"""Unit tests for the table/bars renderers."""
+
+from repro.experiments import ExperimentResult, render_bars, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, "xyz"], [22222, "q"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # columns align: every row has the same separator positions
+        assert len(set(len(l.rstrip()) for l in lines[2:])) <= 2
+
+    def test_number_formatting(self):
+        text = render_table(["n"], [[1234567], [0.123456], [12.3]])
+        assert "1,234,567" in text
+        assert "0.123" in text
+        assert "12.3" in text
+
+    def test_bool_formatting(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestRenderBars:
+    def test_scales_to_max(self):
+        text = render_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_zero_value_no_bar(self):
+        text = render_bars(["a", "b"], [0.0, 2.0])
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_small_nonzero_gets_a_tick(self):
+        text = render_bars(["a", "b"], [0.001, 100.0])
+        assert text.splitlines()[0].count("#") == 1
+
+    def test_unit_suffix(self):
+        text = render_bars(["a"], [3.0], unit=" ms")
+        assert text.endswith(" ms")
+
+
+class TestExperimentResult:
+    def test_str_includes_header(self):
+        r = ExperimentResult("fig0", "a title", "body")
+        assert "== fig0: a title ==" in str(r)
+        assert "body" in str(r)

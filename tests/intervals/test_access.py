@@ -1,0 +1,84 @@
+"""Unit tests for access types and MemoryAccess."""
+
+import pytest
+
+from repro.intervals import AccessType, DebugInfo, Interval, MemoryAccess, make_access
+from tests.conftest import LR, LW, RR, RW, acc
+
+
+class TestAccessType:
+    def test_rma_flags(self):
+        assert RR.is_rma and RW.is_rma
+        assert not LR.is_rma and not LW.is_rma
+        assert LR.is_local and LW.is_local
+
+    def test_write_flags(self):
+        assert LW.is_write and RW.is_write
+        assert LR.is_read and RR.is_read
+        assert not LR.is_write and not RR.is_write
+
+    def test_str_names(self):
+        assert str(RW) == "RMA_WRITE"
+        assert str(LR) == "LOCAL_READ"
+
+    def test_short_names_match_table1_headers(self):
+        assert LR.short == "Local_R"
+        assert LW.short == "Local_W"
+        assert RR.short == "RMA_R"
+        assert RW.short == "RMA_W"
+
+    def test_put_get_side_semantics(self):
+        # §2.1: Put = RMA_Read at origin + RMA_Write at target; Get inverse
+        put_origin, put_target = RR, RW
+        get_origin, get_target = RW, RR
+        assert put_origin.is_read and put_target.is_write
+        assert get_origin.is_write and get_target.is_read
+
+
+class TestDebugInfo:
+    def test_str(self):
+        assert str(DebugInfo("./dspl.hpp", 614)) == "./dspl.hpp:614"
+
+    def test_equality(self):
+        assert DebugInfo("a.c", 1) == DebugInfo("a.c", 1)
+        assert DebugInfo("a.c", 1) != DebugInfo("a.c", 2)
+
+
+class TestMemoryAccess:
+    def test_proxies(self):
+        a = acc(2, 13, RW, origin=3)
+        assert a.lo == 2 and a.hi == 13
+        assert a.is_rma and a.is_write
+        assert a.origin == 3
+
+    def test_overlaps(self):
+        assert acc(2, 13, RR).overlaps(acc(7, 8, LW))
+        assert not acc(2, 5, RR).overlaps(acc(5, 8, LW))
+
+    def test_with_interval_preserves_metadata(self):
+        a = acc(2, 13, RW, file="f.c", line=7, origin=2, flush_gen=3)
+        b = a.with_interval(Interval(4, 6))
+        assert b.interval == Interval(4, 6)
+        assert b.type == RW and b.debug == a.debug
+        assert b.origin == 2 and b.flush_gen == 3
+
+    def test_same_site_requires_type_and_debug(self):
+        a = acc(0, 4, RR, line=5)
+        assert a.same_site(acc(4, 8, RR, line=5))
+        assert not a.same_site(acc(4, 8, RW, line=5))
+        assert not a.same_site(acc(4, 8, RR, line=6))
+
+    def test_same_site_requires_origin_and_flush_gen(self):
+        a = acc(0, 4, RR, origin=1, flush_gen=0)
+        assert not a.same_site(acc(4, 8, RR, origin=2, flush_gen=0))
+        assert not a.same_site(acc(4, 8, RR, origin=1, flush_gen=1))
+
+    def test_str_form(self):
+        assert str(acc(2, 13, RR)) == "([2...12], RMA_READ)"
+
+    def test_make_access_helper(self):
+        a = make_access(3, 9, AccessType.LOCAL_WRITE, filename="x.c", line=42,
+                        origin=5)
+        assert a.interval == Interval(3, 9)
+        assert a.debug == DebugInfo("x.c", 42)
+        assert a.origin == 5

@@ -1,0 +1,87 @@
+"""Exhaustive tests of the Table-1 combination rules."""
+
+import pytest
+
+from repro.intervals import AccessType, Interval, combine_accesses, combined_type
+from repro.intervals.combine import table1_rows
+from tests.conftest import LR, LW, RR, RW, acc
+
+ALL = [LR, LW, RR, RW]
+
+
+class TestCombinedType:
+    def test_rma_prevails_over_local(self):
+        assert combined_type(LR, RR) == (RR, 2)
+        assert combined_type(RR, LR) == (RR, 1)
+        assert combined_type(LW, RR) == (RR, 2)
+
+    def test_write_prevails_over_read(self):
+        assert combined_type(LR, LW) == (LW, 2)
+        assert combined_type(LW, LR) == (LW, 1)
+        assert combined_type(RR, RW) == (RW, 2)
+        assert combined_type(RW, RR) == (RW, 1)
+
+    def test_tie_keeps_most_recent(self):
+        for t in ALL:
+            assert combined_type(t, t) == (t, 2)
+
+    def test_rma_write_always_wins(self):
+        for t in ALL:
+            assert combined_type(t, RW)[0] == RW
+            assert combined_type(RW, t)[0] == RW
+
+    @pytest.mark.parametrize("stored", ALL)
+    @pytest.mark.parametrize("new", ALL)
+    def test_result_dominates_both(self, stored, new):
+        result, which = combined_type(stored, new)
+        # the combined type is at least as strong as either input
+        assert result.is_rma >= stored.is_rma or result.is_write >= stored.is_write
+        assert result.is_rma >= max(stored.is_rma, new.is_rma) or \
+            result.is_write >= max(stored.is_write, new.is_write)
+        assert which in (1, 2)
+
+    @pytest.mark.parametrize("stored", ALL)
+    @pytest.mark.parametrize("new", ALL)
+    def test_exact_dominance(self, stored, new):
+        result, _ = combined_type(stored, new)
+        key = lambda t: (t.is_rma, t.is_write)
+        assert key(result) == max(key(stored), key(new))
+
+
+class TestCombineAccesses:
+    def test_intersection_geometry(self):
+        stored = acc(2, 13, RR, line=11)
+        new = acc(7, 9, LR, line=12)
+        frag = combine_accesses(stored, new)
+        assert frag.interval == Interval(7, 9)
+        assert frag.type == RR  # RMA prevails
+        assert frag.debug == stored.debug  # stored won -> stored's line
+
+    def test_new_wins_takes_new_debug(self):
+        stored = acc(2, 13, LR, line=11)
+        new = acc(7, 9, RW, line=12, origin=1)
+        frag = combine_accesses(stored, new)
+        assert frag.type == RW
+        assert frag.debug.line == 12
+        assert frag.origin == 1
+
+    def test_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            combine_accesses(acc(2, 5, LR), acc(6, 9, LR))
+
+
+class TestTable1Rendering:
+    def test_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 4
+        assert all(len(r) == 5 for r in rows)
+
+    def test_matches_paper_table1(self):
+        # paper Table 1, cell for cell
+        expected = [
+            ["Local_R-1", "Local_R-2", "Local_W-2", "RMA_R-2", "RMA_W-2"],
+            ["Local_W-1", "Local_W-1", "Local_W-2", "RMA_R-2", "RMA_W-2"],
+            ["RMA_R-1", "RMA_R-1", "x", "RMA_R-2", "x"],
+            ["RMA_W-1", "x", "x", "x", "x"],
+        ]
+        assert table1_rows() == expected

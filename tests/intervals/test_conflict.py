@@ -1,0 +1,168 @@
+"""Tests of the race predicates and the Fig. 3 matrix."""
+
+import pytest
+
+from repro.intervals import (
+    Caller,
+    Op,
+    Placement,
+    fig3_matrix,
+    format_fig3,
+    is_race,
+    is_race_legacy,
+    types_conflict,
+)
+from tests.conftest import LR, LW, RR, RW, acc
+
+ALL = [LR, LW, RR, RW]
+
+
+class TestTypesConflict:
+    """The same-process (program-order-aware) conflict table."""
+
+    def test_local_local_never_conflicts(self):
+        for a in (LR, LW):
+            for b in (LR, LW):
+                assert not types_conflict(a, b)
+
+    def test_read_read_never_conflicts(self):
+        for a in (LR, RR):
+            for b in (LR, RR):
+                assert not types_conflict(a, b)
+
+    def test_local_then_rma_is_program_ordered(self):
+        # §5.2: Load; MPI_Get is safe — the local access completed first
+        assert not types_conflict(LR, RW)
+        assert not types_conflict(LW, RW)
+        assert not types_conflict(LW, RR)
+
+    def test_rma_then_local_conflicts(self):
+        # Fig. 2a: MPI_Get; Load races
+        assert types_conflict(RW, LR)
+        assert types_conflict(RW, LW)
+        assert types_conflict(RR, LW)
+
+    def test_rma_rma_conflicts_when_write(self):
+        assert types_conflict(RW, RW)
+        assert types_conflict(RR, RW)
+        assert types_conflict(RW, RR)
+        assert not types_conflict(RR, RR)
+
+    def test_matches_table1_red_cells(self):
+        # the x cells of Table 1: stored RMA_R with a write, stored RMA_W
+        # with anything but a pure-local read pair
+        red = {(s, n) for s in ALL for n in ALL if types_conflict(s, n)}
+        expected = {(RR, LW), (RR, RW), (RW, LR), (RW, LW), (RW, RR), (RW, RW)}
+        assert red == expected
+
+
+class TestIsRace:
+    def test_requires_overlap(self):
+        assert not is_race(acc(0, 4, RW), acc(4, 8, LW))
+
+    def test_requires_rma(self):
+        assert not is_race(acc(0, 4, LW), acc(0, 4, LW, origin=1))
+
+    def test_requires_write(self):
+        assert not is_race(acc(0, 4, RR), acc(0, 4, LR, origin=1))
+
+    def test_same_process_order_fix(self):
+        # stored local, new RMA, same origin: safe
+        assert not is_race(acc(0, 4, LR, origin=0), acc(0, 4, RW, origin=0))
+        # reversed roles: race
+        assert is_race(acc(0, 4, RW, origin=0), acc(0, 4, LR, origin=0))
+
+    def test_cross_process_ignores_order(self):
+        # stored local (by the BST owner), new RMA from another rank: race
+        assert is_race(acc(0, 4, LW, origin=1), acc(0, 4, RW, origin=0))
+        assert is_race(acc(0, 4, LR, origin=1), acc(0, 4, RW, origin=0))
+
+    def test_cross_process_rma_rma(self):
+        assert is_race(acc(0, 4, RW, origin=0), acc(0, 4, RW, origin=2))
+        assert not is_race(acc(0, 4, RR, origin=0), acc(0, 4, RR, origin=2))
+
+    @pytest.mark.parametrize("stored", ALL)
+    @pytest.mark.parametrize("new", ALL)
+    def test_symmetric_in_cross_process_pairs(self, stored, new):
+        a = acc(0, 4, stored, origin=0)
+        b = acc(0, 4, new, origin=1)
+        # cross-process: verdict must not depend on recording order
+        assert is_race(a, b) == is_race(
+            acc(0, 4, new, origin=1), acc(0, 4, stored, origin=0)
+        )
+
+
+class TestIsRaceLegacy:
+    def test_flags_local_then_rma(self):
+        # the original tool's false positive
+        assert is_race_legacy(acc(0, 4, LR), acc(0, 4, RW))
+
+    def test_agrees_with_fixed_predicate_elsewhere(self):
+        for s in ALL:
+            for n in ALL:
+                a, b = acc(0, 4, s), acc(0, 4, n)
+                if not (s.is_local and n.is_rma):
+                    assert is_race_legacy(a, b) == is_race(a, b)
+
+
+class TestFig3Matrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return fig3_matrix()
+
+    def test_has_20_cells(self, matrix):
+        assert len(matrix) == 20
+
+    def test_get_load_origin1_is_01(self, matrix):
+        # the Fig. 2a cell: error only at origin side
+        cell = matrix[(Op.GET, Caller.ORIGIN1, Op.LOAD)]
+        assert cell[Placement.IN_WINDOW] == (0, 1)
+        assert cell[Placement.OUT_WINDOW] == (0, 1)
+
+    def test_get_get_target_is_fig2b(self, matrix):
+        # Fig. 2b: both sides race, but only with in-window buffers
+        cell = matrix[(Op.GET, Caller.TARGET, Op.GET)]
+        assert cell[Placement.IN_WINDOW] == (1, 1)
+        assert cell[Placement.OUT_WINDOW] == (0, 0)
+
+    def test_origin2_columns(self, matrix):
+        assert matrix[(Op.GET, Caller.ORIGIN2, Op.GET)][Placement.IN_WINDOW] == (0, 0)
+        assert matrix[(Op.GET, Caller.ORIGIN2, Op.PUT)][Placement.IN_WINDOW] == (1, 0)
+        assert matrix[(Op.PUT, Caller.ORIGIN2, Op.GET)][Placement.IN_WINDOW] == (1, 0)
+        assert matrix[(Op.PUT, Caller.ORIGIN2, Op.PUT)][Placement.IN_WINDOW] == (1, 0)
+
+    def test_put_origin1_load_safe(self, matrix):
+        # Put reads the buffer; a later Load also reads: no race anywhere
+        cell = matrix[(Op.PUT, Caller.ORIGIN1, Op.LOAD)]
+        assert cell[Placement.IN_WINDOW] == (0, 0)
+
+    def test_put_put_same_origin(self, matrix):
+        # two Puts by the same origin to the same window range: target race
+        cell = matrix[(Op.PUT, Caller.ORIGIN1, Op.PUT)]
+        assert cell[Placement.IN_WINDOW] == (1, 0)
+
+    def test_origin2_race_never_at_origin(self, matrix):
+        # ORIGIN2 shares no local memory with ORIGIN1
+        for (op1, caller, op2), cells in matrix.items():
+            if caller is Caller.ORIGIN2:
+                for bits in cells.values():
+                    assert bits[1] == 0
+
+    def test_target_cells_safe_out_of_window(self, matrix):
+        # a buffer outside every window is unreachable remotely, so
+        # ORIGIN1-vs-TARGET pairs cannot touch common memory at all
+        for (op1, caller, op2), cells in matrix.items():
+            if caller is Caller.TARGET:
+                assert cells[Placement.OUT_WINDOW] == (0, 0)
+
+    def test_origin2_cells_placement_independent(self, matrix):
+        # ORIGIN2 pairs only ever share the target's window range, which
+        # exists regardless of buffer placement
+        for (op1, caller, op2), cells in matrix.items():
+            if caller is Caller.ORIGIN2:
+                assert cells[Placement.IN_WINDOW] == cells[Placement.OUT_WINDOW]
+
+    def test_format_contains_all_cells(self, matrix):
+        text = format_fig3(matrix)
+        assert len(text.splitlines()) == 21  # header + 20 cells
+        assert "origin2" in text

@@ -1,0 +1,127 @@
+"""Unit tests for the half-open interval algebra."""
+
+import pytest
+
+from repro.intervals import Interval
+
+
+class TestConstruction:
+    def test_basic(self):
+        iv = Interval(2, 13)
+        assert iv.lo == 2 and iv.hi == 13
+        assert len(iv) == 11
+
+    def test_from_inclusive_matches_paper_notation(self):
+        iv = Interval.from_inclusive(2, 12)  # the paper's [2...12]
+        assert iv == Interval(2, 13)
+        assert iv.to_inclusive() == (2, 12)
+
+    def test_point(self):
+        assert Interval.point(7) == Interval(7, 8)
+        assert Interval.point(7, 4) == Interval(7, 11)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(6, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 5)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            Interval(0.5, 2)  # type: ignore[arg-type]
+
+    def test_ordering_is_by_lo_then_hi(self):
+        assert Interval(1, 5) < Interval(2, 3)
+        assert Interval(1, 4) < Interval(1, 5)
+
+    def test_hashable(self):
+        assert len({Interval(1, 2), Interval(1, 2), Interval(1, 3)}) == 2
+
+
+class TestQueries:
+    def test_contains_addr(self):
+        iv = Interval(4, 8)
+        assert 4 in iv and 7 in iv
+        assert 3 not in iv and 8 not in iv
+
+    def test_contains_interval(self):
+        assert Interval(2, 10).contains_interval(Interval(4, 6))
+        assert Interval(2, 10).contains_interval(Interval(2, 10))
+        assert not Interval(2, 10).contains_interval(Interval(4, 11))
+
+    def test_overlap_positive(self):
+        assert Interval(2, 6).overlaps(Interval(5, 9))
+        assert Interval(5, 9).overlaps(Interval(2, 6))
+        assert Interval(2, 9).overlaps(Interval(4, 5))
+
+    def test_touching_is_not_overlap(self):
+        assert not Interval(2, 5).overlaps(Interval(5, 9))
+
+    def test_disjoint_is_not_overlap(self):
+        assert not Interval(2, 5).overlaps(Interval(6, 9))
+
+    def test_adjacency(self):
+        assert Interval(2, 5).is_adjacent(Interval(5, 9))
+        assert Interval(5, 9).is_adjacent(Interval(2, 5))
+        assert not Interval(2, 5).is_adjacent(Interval(6, 9))
+        assert not Interval(2, 6).is_adjacent(Interval(5, 9))
+
+    def test_touches_is_overlap_or_adjacent(self):
+        assert Interval(2, 5).touches(Interval(5, 9))
+        assert Interval(2, 6).touches(Interval(5, 9))
+        assert not Interval(2, 5).touches(Interval(6, 9))
+
+
+class TestAlgebra:
+    def test_intersection(self):
+        assert Interval(2, 6).intersection(Interval(4, 9)) == Interval(4, 6)
+        assert Interval(2, 6).intersection(Interval(6, 9)) is None
+
+    def test_union_of_adjacent(self):
+        assert Interval(2, 5).union(Interval(5, 9)) == Interval(2, 9)
+
+    def test_union_of_overlapping(self):
+        assert Interval(2, 6).union(Interval(4, 9)) == Interval(2, 9)
+
+    def test_union_of_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            Interval(2, 5).union(Interval(6, 9))
+
+    def test_difference_inner(self):
+        # the paper's l_frag / r_frag split
+        left, right = Interval(2, 13).difference(Interval(5, 9))
+        assert left == Interval(2, 5)
+        assert right == Interval(9, 13)
+
+    def test_difference_covering(self):
+        left, right = Interval(5, 9).difference(Interval(2, 13))
+        assert left is None and right is None
+
+    def test_difference_left_overhang_only(self):
+        left, right = Interval(2, 9).difference(Interval(5, 13))
+        assert left == Interval(2, 5) and right is None
+
+    def test_difference_disjoint_returns_self(self):
+        left, right = Interval(2, 5).difference(Interval(7, 9))
+        assert left == Interval(2, 5) and right is None
+
+    def test_split_at(self):
+        parts = list(Interval(0, 10).split_at(3, 7))
+        assert parts == [Interval(0, 3), Interval(3, 7), Interval(7, 10)]
+
+    def test_split_at_ignores_out_of_range_cuts(self):
+        parts = list(Interval(5, 10).split_at(2, 5, 10, 20, 7))
+        assert parts == [Interval(5, 7), Interval(7, 10)]
+
+    def test_shift(self):
+        assert Interval(2, 5).shift(10) == Interval(12, 15)
+
+    def test_str_uses_paper_notation(self):
+        assert str(Interval(2, 13)) == "[2...12]"
+        assert str(Interval(4, 5)) == "[4]"

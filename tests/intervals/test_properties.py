@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the interval/access algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import AccessType, Interval, combined_type, is_race
+from tests.conftest import acc
+
+intervals = st.builds(
+    lambda lo, length: Interval(lo, lo + length),
+    st.integers(0, 10_000),
+    st.integers(1, 512),
+)
+access_types = st.sampled_from(list(AccessType))
+
+
+@given(intervals, intervals)
+def test_overlap_is_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(intervals, intervals)
+def test_adjacent_is_symmetric_and_exclusive_with_overlap(a, b):
+    assert a.is_adjacent(b) == b.is_adjacent(a)
+    if a.is_adjacent(b):
+        assert not a.overlaps(b)
+
+
+@given(intervals, intervals)
+def test_intersection_commutes_and_is_contained(a, b):
+    inter1 = a.intersection(b)
+    inter2 = b.intersection(a)
+    assert inter1 == inter2
+    if inter1 is not None:
+        assert a.contains_interval(inter1)
+        assert b.contains_interval(inter1)
+        assert a.overlaps(b)
+    else:
+        assert not a.overlaps(b)
+
+
+@given(intervals, intervals)
+def test_union_of_touching_covers_both(a, b):
+    if a.touches(b):
+        u = a.union(b)
+        assert u.contains_interval(a) and u.contains_interval(b)
+        assert len(u) <= len(a) + len(b)
+
+
+@given(intervals, intervals)
+def test_difference_partition(a, b):
+    """a is exactly (a \\ b) plus (a & b), with no overlaps."""
+    left, right = a.difference(b)
+    inter = a.intersection(b)
+    pieces = [p for p in (left, inter, right) if p is not None]
+    assert sum(len(p) for p in pieces) == len(a)
+    for i, p in enumerate(pieces):
+        assert a.contains_interval(p)
+        for q in pieces[i + 1 :]:
+            assert not p.overlaps(q)
+
+
+@given(intervals, st.lists(st.integers(0, 11_000), max_size=6))
+def test_split_at_partitions(iv, cuts):
+    parts = list(iv.split_at(*cuts))
+    assert parts[0].lo == iv.lo
+    assert parts[-1].hi == iv.hi
+    for a, b in zip(parts, parts[1:]):
+        assert a.hi == b.lo
+    assert sum(len(p) for p in parts) == len(iv)
+
+
+@given(access_types, access_types)
+def test_combined_type_is_lub(stored, new):
+    """The combined type is exactly the dominance-order maximum."""
+    result, which = combined_type(stored, new)
+    key = lambda t: (t.is_rma, t.is_write)
+    assert key(result) == max(key(stored), key(new))
+    winner = new if which == 2 else stored
+    assert winner == result
+
+
+@given(access_types, access_types, st.integers(0, 3), st.integers(0, 3))
+def test_race_predicate_needs_rma_and_write(stored_t, new_t, o1, o2):
+    stored = acc(0, 8, stored_t, origin=o1)
+    new = acc(4, 12, new_t, origin=o2)
+    if is_race(stored, new):
+        assert stored_t.is_rma or new_t.is_rma
+        assert stored_t.is_write or new_t.is_write
+
+
+@given(access_types, access_types, st.integers(0, 3), st.integers(0, 3))
+def test_cross_process_race_is_order_insensitive(stored_t, new_t, o1, o2):
+    if o1 == o2:
+        return
+    a = acc(0, 8, stored_t, origin=o1)
+    b = acc(0, 8, new_t, origin=o2)
+    assert is_race(a, b) == is_race(b, a)

@@ -1,0 +1,107 @@
+"""Unit tests for the microbenchmark model vocabulary."""
+
+import pytest
+
+from repro.intervals import AccessType
+from repro.microbench import OpInst, OpKind, Placement, SiteSpec, SlotKind
+from repro.microbench.model import ORIGIN1, ORIGIN2, TARGET, ground_truth, slot_access_type
+
+
+class TestOpInst:
+    def test_onesided_needs_target(self):
+        with pytest.raises(ValueError):
+            OpInst(OpKind.GET, ORIGIN1)
+
+    def test_local_takes_no_target(self):
+        with pytest.raises(ValueError):
+            OpInst(OpKind.LOAD, ORIGIN1, TARGET)
+
+    def test_slot_owner(self):
+        op = OpInst(OpKind.PUT, ORIGIN1, TARGET)
+        assert op.slot_owner(SlotKind.BUF) == ORIGIN1
+        assert op.slot_owner(SlotKind.WIN) == TARGET
+
+    def test_self_targeting(self):
+        assert OpInst(OpKind.GET, ORIGIN1, ORIGIN1).is_self_targeting
+        assert not OpInst(OpKind.GET, ORIGIN1, TARGET).is_self_targeting
+
+    def test_str(self):
+        assert str(OpInst(OpKind.GET, 0, 1)) == "get(0->1)"
+        assert str(OpInst(OpKind.LOAD, 1)) == "load(1)"
+
+
+class TestSlotAccessTypes:
+    """The §2.1 table: what each op does to each of its slots."""
+
+    def test_get(self):
+        get = OpInst(OpKind.GET, ORIGIN1, TARGET)
+        assert slot_access_type(get, SlotKind.BUF) == AccessType.RMA_WRITE
+        assert slot_access_type(get, SlotKind.WIN) == AccessType.RMA_READ
+
+    def test_put(self):
+        put = OpInst(OpKind.PUT, ORIGIN1, TARGET)
+        assert slot_access_type(put, SlotKind.BUF) == AccessType.RMA_READ
+        assert slot_access_type(put, SlotKind.WIN) == AccessType.RMA_WRITE
+
+    def test_local(self):
+        assert slot_access_type(OpInst(OpKind.LOAD, 0), SlotKind.BUF) == \
+            AccessType.LOCAL_READ
+        assert slot_access_type(OpInst(OpKind.STORE, 0), SlotKind.BUF) == \
+            AccessType.LOCAL_WRITE
+
+    def test_local_has_no_win_slot(self):
+        with pytest.raises(ValueError):
+            slot_access_type(OpInst(OpKind.LOAD, 0), SlotKind.WIN)
+
+
+class TestSiteSpec:
+    def test_window_slots_must_be_in_window(self):
+        with pytest.raises(ValueError):
+            SiteSpec(SlotKind.WIN, SlotKind.WIN, TARGET, Placement.OUT_WINDOW)
+
+    def test_buffer_site_accepts_both(self):
+        for placement in Placement:
+            SiteSpec(SlotKind.BUF, SlotKind.BUF, ORIGIN1, placement)
+
+
+class TestGroundTruth:
+    def site(self, s1=SlotKind.BUF, s2=SlotKind.BUF, owner=ORIGIN1):
+        return SiteSpec(s1, s2, owner, Placement.OUT_WINDOW)
+
+    def test_fig2a_get_load(self):
+        get = OpInst(OpKind.GET, ORIGIN1, TARGET)
+        load = OpInst(OpKind.LOAD, ORIGIN1)
+        assert ground_truth(get, load, self.site())
+
+    def test_load_get_safe(self):
+        get = OpInst(OpKind.GET, ORIGIN1, TARGET)
+        load = OpInst(OpKind.LOAD, ORIGIN1)
+        assert not ground_truth(load, get, self.site())
+
+    def test_put_load_safe_both_read(self):
+        put = OpInst(OpKind.PUT, ORIGIN1, TARGET)
+        load = OpInst(OpKind.LOAD, ORIGIN1)
+        assert not ground_truth(put, load, self.site())
+
+    def test_put_store_races(self):
+        put = OpInst(OpKind.PUT, ORIGIN1, TARGET)
+        store = OpInst(OpKind.STORE, ORIGIN1)
+        assert ground_truth(put, store, self.site())
+        assert not ground_truth(store, put, self.site())  # program order
+
+    def test_cross_process_is_order_insensitive(self):
+        put = OpInst(OpKind.PUT, ORIGIN1, TARGET)
+        store = OpInst(OpKind.STORE, TARGET)
+        site = SiteSpec(SlotKind.WIN, SlotKind.BUF, TARGET, Placement.IN_WINDOW)
+        site_rev = SiteSpec(SlotKind.BUF, SlotKind.WIN, TARGET, Placement.IN_WINDOW)
+        assert ground_truth(put, store, site)
+        assert ground_truth(store, put, site_rev)
+
+    def test_two_gets_same_window_read_safe(self):
+        g = OpInst(OpKind.GET, ORIGIN1, ORIGIN1)
+        site = SiteSpec(SlotKind.WIN, SlotKind.WIN, ORIGIN1, Placement.IN_WINDOW)
+        assert not ground_truth(g, g, site)
+
+    def test_two_gets_same_buffer_race(self):
+        g = OpInst(OpKind.GET, ORIGIN1, TARGET)
+        assert ground_truth(g, g, self.site())  # both write the buffer

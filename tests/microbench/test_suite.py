@@ -1,0 +1,95 @@
+"""Tests of the generated suite's structure."""
+
+import pytest
+
+from repro.microbench import SuiteConfig, TABLE2_NAMES, generate_suite, suite_by_name
+from repro.microbench.model import ORIGIN1
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return generate_suite()
+
+
+class TestStructure:
+    def test_deterministic(self, suite):
+        again = generate_suite()
+        assert [s.name for s in suite] == [c.name for c in again]
+        assert [s.racy for s in suite] == [c.racy for c in again]
+
+    def test_unique_names(self, suite):
+        names = [s.name for s in suite]
+        assert len(names) == len(set(names))
+
+    def test_every_code_has_a_onesided_op(self, suite):
+        for spec in suite:
+            assert spec.first.kind.is_onesided or spec.second.kind.is_onesided
+
+    def test_names_encode_verdict(self, suite):
+        for spec in suite:
+            last = spec.name.split("_")[-1]
+            assert last.startswith(spec.expected)
+
+    def test_table2_names_present(self, suite):
+        names = {s.name for s in suite}
+        for name in TABLE2_NAMES:
+            assert name in names
+
+    def test_disjoint_twins_are_safe(self, suite):
+        for spec in suite:
+            if spec.disjoint:
+                assert not spec.racy
+                assert "disjoint" in spec.name
+
+    def test_twins_mirror_every_overlapping_code(self, suite):
+        overlapping = [s for s in suite if not s.disjoint]
+        twins = [s for s in suite if s.disjoint]
+        assert len(overlapping) == len(twins)
+
+    def test_race_and_safe_both_well_represented(self, suite):
+        races = sum(1 for s in suite if s.racy)
+        safes = len(suite) - races
+        assert races >= 40  # paper: 47
+        assert safes > races  # paper: 107 safe of 154
+
+    def test_suite_by_name_roundtrip(self, suite):
+        byname = suite_by_name()
+        assert len(byname) == len(suite)
+        assert byname[suite[0].name] == suite[0]
+
+
+class TestConfig:
+    def test_no_twins_halves_the_suite(self, suite):
+        lean = generate_suite(SuiteConfig(disjoint_twins=False))
+        assert len(lean) * 2 == len(suite)
+
+    def test_tt_locals_extend_the_suite(self, suite):
+        extended = generate_suite(SuiteConfig(include_tt_locals=True))
+        assert len(extended) > len(suite)
+        # the extra codes are T's one-sided ops against T's own locals
+        extra = {s.name for s in extended} - {s.name for s in suite}
+        assert all(name.startswith("tt_") for name in extra)
+
+
+class TestGroundTruthSpotChecks:
+    """Verdicts of the named Table 2 codes."""
+
+    @pytest.fixture(scope="class")
+    def byname(self):
+        return suite_by_name()
+
+    def test_get_load_outwindow_race(self, byname):
+        assert byname["ll_get_load_outwindow_origin_race"].racy
+
+    def test_get_get_inwindow_safe(self, byname):
+        spec = byname["ll_get_get_inwindow_origin_safe"]
+        assert not spec.racy
+        assert spec.first.is_self_targeting  # reads its own window twice
+
+    def test_get_load_inwindow_race(self, byname):
+        assert byname["ll_get_load_inwindow_origin_race"].racy
+
+    def test_load_get_inwindow_safe(self, byname):
+        spec = byname["ll_load_get_inwindow_origin_safe"]
+        assert not spec.racy
+        assert spec.first.kind.value == "load"

@@ -1,0 +1,63 @@
+"""Unit tests for the cluster cost model."""
+
+import pytest
+
+from repro.mpi import CostParams, SimClock
+
+
+class TestCharging:
+    def test_charge_advances_one_rank(self):
+        clock = SimClock(3)
+        clock.charge(1, 500.0, "compute")
+        assert clock.now == [0.0, 500.0, 0.0]
+        assert clock.breakdown[1]["compute"] == 500.0
+
+    def test_charge_rma_alpha_beta(self):
+        params = CostParams(rma_latency_ns=1000.0, ns_per_byte=0.5)
+        clock = SimClock(2, params)
+        clock.charge_rma(0, 100)
+        assert clock.now[0] == pytest.approx(1050.0)
+        assert clock.breakdown[0]["comm"] == pytest.approx(1050.0)
+
+    def test_charge_compute_scales_with_units(self):
+        clock = SimClock(1, CostParams(compute_ns_per_unit=10.0))
+        clock.charge_compute(0, 7)
+        assert clock.now[0] == pytest.approx(70.0)
+
+    def test_charge_analysis_scaled(self):
+        clock = SimClock(1, CostParams(analysis_scale=0.01))
+        clock.charge_analysis(0, 1.0)  # one measured second
+        assert clock.now[0] == pytest.approx(1e7)  # 10 ms simulated
+
+
+class TestSynchronize:
+    def test_barrier_advances_to_max(self):
+        clock = SimClock(3)
+        clock.charge(0, 100.0, "compute")
+        clock.charge(2, 900.0, "compute")
+        clock.synchronize([0, 1, 2])
+        assert clock.now[0] == clock.now[1] == clock.now[2]
+        assert clock.now[0] > 900.0
+        # the straggler wait is booked as sync time
+        assert clock.breakdown[0]["sync"] > clock.breakdown[2]["sync"]
+
+    def test_empty_barrier_noop(self):
+        clock = SimClock(2)
+        clock.synchronize([])
+        assert clock.elapsed() == 0.0
+
+
+class TestReporting:
+    def test_elapsed_is_makespan(self):
+        clock = SimClock(2)
+        clock.charge(0, 4e6, "compute")
+        clock.charge(1, 9e6, "compute")
+        assert clock.elapsed() == pytest.approx(9e6)
+        assert clock.elapsed_ms() == pytest.approx(9.0)
+
+    def test_total_by_category(self):
+        clock = SimClock(2)
+        clock.charge(0, 100.0, "comm")
+        clock.charge(1, 200.0, "comm")
+        assert clock.total("comm") == pytest.approx(300.0)
+        assert clock.total("compute") == 0.0

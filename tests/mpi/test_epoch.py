@@ -1,0 +1,93 @@
+"""Unit tests for the passive-target epoch tracker."""
+
+import pytest
+
+from repro.mpi import EpochError, EpochTracker
+
+
+class TestTransitions:
+    def test_lock_unlock_cycle(self):
+        t = EpochTracker()
+        t.lock_all(0, 0)
+        assert t.active(0, 0)
+        t.unlock_all(0, 0)
+        assert not t.active(0, 0)
+        assert t.epochs_completed(0, 0) == 1
+
+    def test_double_lock_raises(self):
+        t = EpochTracker()
+        t.lock_all(0, 0)
+        with pytest.raises(EpochError):
+            t.lock_all(0, 0)
+
+    def test_unlock_without_lock_raises(self):
+        with pytest.raises(EpochError):
+            EpochTracker().unlock_all(0, 0)
+
+    def test_independent_per_rank_and_window(self):
+        t = EpochTracker()
+        t.lock_all(0, 0)
+        t.lock_all(1, 0)
+        t.lock_all(0, 1)
+        t.unlock_all(1, 0)
+        assert t.active(0, 0) and t.active(0, 1)
+        assert not t.active(1, 0)
+
+    def test_reopen_after_close(self):
+        t = EpochTracker()
+        t.lock_all(0, 0)
+        t.unlock_all(0, 0)
+        t.lock_all(0, 0)
+        assert t.active(0, 0)
+
+
+class TestOps:
+    def test_note_op_requires_epoch(self):
+        t = EpochTracker()
+        with pytest.raises(EpochError):
+            t.note_op(0, 0)
+
+    def test_op_counter_resets_per_epoch(self):
+        t = EpochTracker()
+        t.lock_all(0, 0)
+        t.note_op(0, 0)
+        t.note_op(0, 0)
+        assert t.ops_in_epoch(0, 0) == 2
+        t.unlock_all(0, 0)
+        t.lock_all(0, 0)
+        assert t.ops_in_epoch(0, 0) == 0
+
+
+class TestFlush:
+    def test_flush_requires_epoch(self):
+        with pytest.raises(EpochError):
+            EpochTracker().flush(0, 0)
+
+    def test_flush_generation_monotonic(self):
+        t = EpochTracker()
+        t.lock_all(0, 0)
+        assert t.flush_gen(0, 0) == 0
+        assert t.flush(0, 0) == 1
+        assert t.flush(0, 0) == 2
+        assert t.flush_gen(0, 0) == 2
+
+    def test_flush_gen_survives_epoch_close(self):
+        t = EpochTracker()
+        t.lock_all(0, 0)
+        t.flush(0, 0)
+        t.unlock_all(0, 0)
+        assert t.flush_gen(0, 0) == 1
+
+
+class TestAssertAllClosed:
+    def test_passes_when_closed(self):
+        t = EpochTracker()
+        t.lock_all(0, 0)
+        t.unlock_all(0, 0)
+        t.assert_all_closed(0, 2)
+
+    def test_raises_when_open(self):
+        t = EpochTracker()
+        t.lock_all(1, 0)
+        with pytest.raises(EpochError):
+            t.assert_all_closed(0, 2)

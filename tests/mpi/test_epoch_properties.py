@@ -1,0 +1,113 @@
+"""Property-based state-machine test for the epoch tracker."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import EpochError, EpochTracker
+
+ACTIONS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["lock_all", "unlock_all", "fence", "flush", "lock", "unlock",
+             "note_op"]
+        ),
+        st.integers(0, 2),  # target for lock/unlock
+        st.booleans(),  # exclusive flag
+    ),
+    max_size=40,
+)
+
+
+class _Model:
+    """Reference model: explicit mode + lock set."""
+
+    def __init__(self):
+        self.mode = None  # None | "lock" | "fence"
+        self.targets = {}
+
+    def apply(self, action, target, exclusive):
+        if action == "lock_all":
+            if self.mode is not None:
+                return "error"
+            self.mode = "lock"
+        elif action == "unlock_all":
+            if self.mode != "lock":
+                return "error"
+            self.mode = None
+        elif action == "fence":
+            if self.mode == "lock" or self.targets:
+                return "error"
+            self.mode = "fence"
+        elif action == "flush":
+            if self.mode is None and not self.targets:
+                return "error"
+        elif action == "lock":
+            if self.mode == "fence" or self.mode == "lock":
+                return "error"
+            if target in self.targets:
+                return "error"
+            self.targets[target] = exclusive
+        elif action == "unlock":
+            if target not in self.targets:
+                return "error"
+            del self.targets[target]
+        elif action == "note_op":
+            if self.mode is None and not self.targets:
+                return "error"
+        return "ok"
+
+
+@given(ACTIONS)
+@settings(max_examples=200, deadline=None)
+def test_epoch_tracker_matches_reference_model(actions):
+    tracker = EpochTracker()
+    model = _Model()
+    for action, target, exclusive in actions:
+        expected = model.apply(action, target, exclusive)
+        try:
+            if action == "lock_all":
+                tracker.lock_all(0, 0)
+            elif action == "unlock_all":
+                tracker.unlock_all(0, 0)
+            elif action == "fence":
+                tracker.fence(0, 0)
+            elif action == "flush":
+                tracker.flush(0, 0)
+            elif action == "lock":
+                tracker.lock(0, 0, target, exclusive)
+            elif action == "unlock":
+                tracker.unlock(0, 0, target)
+            elif action == "note_op":
+                tracker.note_op(0, 0)
+            got = "ok"
+        except EpochError:
+            got = "error"
+        assert got == expected, (action, target, actions)
+
+
+@given(ACTIONS)
+@settings(max_examples=100, deadline=None)
+def test_flush_generation_never_decreases(actions):
+    tracker = EpochTracker()
+    last = 0
+    for action, target, exclusive in actions:
+        try:
+            if action == "lock_all":
+                tracker.lock_all(0, 0)
+            elif action == "unlock_all":
+                tracker.unlock_all(0, 0)
+            elif action == "fence":
+                tracker.fence(0, 0)
+            elif action == "flush":
+                tracker.flush(0, 0)
+            elif action == "lock":
+                tracker.lock(0, 0, target, exclusive)
+            elif action == "unlock":
+                tracker.unlock(0, 0, target)
+            elif action == "note_op":
+                tracker.note_op(0, 0)
+        except EpochError:
+            pass
+        gen = tracker.flush_gen(0, 0)
+        assert gen >= last
+        last = gen

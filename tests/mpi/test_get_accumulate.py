@@ -1,0 +1,169 @@
+"""Tests for MPI_Get_accumulate / MPI_Fetch_and_op."""
+
+import pytest
+
+from repro.core import OurDetector
+from repro.detectors import MustRma
+from repro.mpi import INT64, RmaUsageError, World
+
+
+class TestDataSemantics:
+    def test_fetch_and_add_returns_old_values(self):
+        olds = {}
+
+        def program(ctx):
+            win = yield ctx.win_allocate("ctr", 1, INT64)
+            one = ctx.alloc("one", 1, INT64)
+            one.np[0] = 1
+            old = ctx.alloc("old", 1, INT64)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            # ranks run their op in rank order (scheduler determinism)
+            for r in range(ctx.size):
+                if ctx.rank == r:
+                    ctx.fetch_and_op(win, 0, 0, one, old)
+                yield
+            ctx.win_flush_all(win)
+            yield ctx.barrier()
+            olds[ctx.rank] = int(old.np[0])
+            ctx.win_unlock_all(win)
+            if ctx.rank == 0:
+                assert int(win.memory(0)[0]) == ctx.size
+            yield ctx.win_free(win)
+
+        World(4).run(program)
+        # each rank fetched the value before its own increment
+        assert sorted(olds.values()) == [0, 1, 2, 3]
+
+    def test_no_op_is_atomic_read(self):
+        seen = {}
+
+        def program(ctx):
+            win = yield ctx.win_allocate("ctr", 2, INT64)
+            dummy = ctx.alloc("dummy", 2, INT64)
+            out = ctx.alloc("out", 2, INT64)
+            if ctx.rank == 0:
+                win.memory(0)[:] = [41, 42]
+            yield ctx.barrier()
+            ctx.win_lock_all(win)
+            ctx.get_accumulate(win, 0, 0, dummy, out, count=2, op="no_op")
+            ctx.win_flush_all(win)
+            seen[ctx.rank] = list(out.np)
+            ctx.win_unlock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                assert list(win.memory(0)) == [41, 42]  # unchanged
+            yield ctx.win_free(win)
+
+        World(2).run(program)
+        assert seen[1] == [41, 42]
+
+    def test_result_buffer_required(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 1, INT64)
+            buf = ctx.alloc("buf", 1, INT64)
+            ctx.win_lock_all(win)
+            ctx._world._rma("get_accumulate", ctx.rank, 0, win, 0, buf, 0, 1,
+                            None, accum_op="sum", result=None)
+
+        with pytest.raises(RmaUsageError):
+            World(1).run(program)
+
+
+class TestRaceSemantics:
+    def _counter_program(self, read_without_sync):
+        def program(ctx):
+            win = yield ctx.win_allocate("ctr", 1, INT64)
+            one = ctx.alloc("one", 1, INT64, rma_hint=True)
+            one.np[0] = 1
+            old = ctx.alloc("old", 1, INT64, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            ctx.fetch_and_op(win, 0, 0, one, old)
+            if read_without_sync:
+                ctx.load(old, 0)  # fetch may not have landed yet
+            else:
+                ctx.win_flush_all(win)
+            yield ctx.barrier()
+            if not read_without_sync:
+                ctx.load(old, 0)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        return program
+
+    def test_concurrent_fetch_and_ops_race_free(self):
+        # the flush+barrier read needs precise flush support: only ours
+        det = OurDetector()
+        World(4, [det]).run(self._counter_program(False))
+        assert det.reports_total == 0
+
+    def test_must_rma_flush_blindness_on_result_read(self):
+        """MUST-RMA ignores MPI_Win_flush (§6): the flushed result read
+        looks concurrent to it — the same FP family as CFD-Proxy."""
+        det = MustRma()
+        World(4, [det]).run(self._counter_program(False))
+        assert det.reports_total >= 1
+
+    def test_must_rma_clean_when_read_after_unlock(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("ctr", 1, INT64)
+            one = ctx.alloc("one", 1, INT64, rma_hint=True)
+            one.np[0] = 1
+            old = ctx.alloc("old", 1, INT64, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            ctx.fetch_and_op(win, 0, 0, one, old)
+            yield ctx.barrier()
+            ctx.win_unlock_all(win)
+            ctx.load(old, 0)  # ordered by epoch completion
+            yield ctx.win_free(win)
+
+        for factory in (OurDetector, MustRma):
+            det = factory()
+            World(4, [det]).run(program)
+            assert det.reports_total == 0, factory.__name__
+
+    def test_unsynchronized_result_read_races(self):
+        det = OurDetector()
+        World(2, [det]).run(self._counter_program(True))
+        assert det.reports_total >= 1
+
+    def test_mixed_with_put_races(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("ctr", 1, INT64)
+            one = ctx.alloc("one", 1, INT64, rma_hint=True)
+            old = ctx.alloc("old", 1, INT64, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.fetch_and_op(win, 2, 0, one, old)
+            if ctx.rank == 1:
+                ctx.put(win, 2, 0, one, 0, 1)  # plain write vs atomic op
+            yield ctx.barrier()
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = OurDetector()
+        World(3, [det]).run(program)
+        assert det.reports_total >= 1
+
+    def test_same_origin_repeated_faa_ordered(self):
+        """MPI accumulate ordering: same-origin atomic ops never race."""
+
+        def program(ctx):
+            win = yield ctx.win_allocate("ctr", 1, INT64)
+            one = ctx.alloc("one", 1, INT64, rma_hint=True)
+            old = ctx.alloc("old", 1, INT64, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                for _ in range(4):
+                    ctx.fetch_and_op(win, 1, 0, one, old)
+            yield ctx.barrier()
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = OurDetector()
+        World(2, [det]).run(program)
+        assert det.reports_total == 0

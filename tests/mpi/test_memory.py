@@ -1,0 +1,109 @@
+"""Unit tests for per-rank address spaces and regions."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import AddressSpace, RegionKind, RmaUsageError
+from repro.intervals import Interval
+
+
+class TestAlloc:
+    def test_basic_alloc(self):
+        space = AddressSpace(0)
+        region = space.alloc("buf", 64, RegionKind.HEAP)
+        assert region.size == 64
+        assert region.rank == 0
+        assert len(region.interval) == 64
+        assert np.all(region.data == 0)
+
+    def test_regions_never_overlap(self):
+        space = AddressSpace(0)
+        regions = [space.alloc(f"r{i}", 32, RegionKind.HEAP) for i in range(20)]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.interval.overlaps(b.interval)
+
+    def test_guard_gap_prevents_adjacency(self):
+        space = AddressSpace(0)
+        a = space.alloc("a", 16, RegionKind.HEAP)
+        b = space.alloc("b", 16, RegionKind.HEAP)
+        assert not a.interval.is_adjacent(b.interval)
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace(0)
+        space.alloc("x", 8, RegionKind.STACK)
+        with pytest.raises(RmaUsageError):
+            space.alloc("x", 8, RegionKind.HEAP)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(RmaUsageError):
+            AddressSpace(0).alloc("x", 0, RegionKind.HEAP)
+
+    def test_lookup(self):
+        space = AddressSpace(1)
+        region = space.alloc("buf", 8, RegionKind.WINDOW)
+        assert space["buf"] is region
+        assert "buf" in space
+        assert "nope" not in space
+
+    def test_region_at(self):
+        space = AddressSpace(0)
+        region = space.alloc("buf", 8, RegionKind.HEAP)
+        assert space.region_at(region.base) is region
+        assert space.region_at(region.base + 7) is region
+        assert space.region_at(region.base + 8) is None
+
+
+class TestFree:
+    def test_free(self):
+        space = AddressSpace(0)
+        region = space.alloc("buf", 8, RegionKind.HEAP)
+        space.free(region)
+        assert "buf" not in space
+
+    def test_double_free_rejected(self):
+        space = AddressSpace(0)
+        region = space.alloc("buf", 8, RegionKind.HEAP)
+        space.free(region)
+        with pytest.raises(RmaUsageError):
+            space.free(region)
+
+    def test_addresses_not_reused(self):
+        space = AddressSpace(0)
+        a = space.alloc("a", 8, RegionKind.HEAP)
+        base_a = a.base
+        space.free(a)
+        b = space.alloc("b", 8, RegionKind.HEAP)
+        assert b.base > base_a
+
+
+class TestRegion:
+    def test_sub_interval(self):
+        space = AddressSpace(0)
+        region = space.alloc("buf", 32, RegionKind.HEAP)
+        iv = region.sub_interval(8, 4)
+        assert iv == Interval(region.base + 8, region.base + 12)
+
+    def test_sub_interval_bounds_checked(self):
+        region = AddressSpace(0).alloc("buf", 32, RegionKind.HEAP)
+        with pytest.raises(RmaUsageError):
+            region.sub_interval(30, 4)
+        with pytest.raises(RmaUsageError):
+            region.sub_interval(-1, 2)
+        with pytest.raises(RmaUsageError):
+            region.sub_interval(0, 0)
+
+    def test_typed_view_shares_memory(self):
+        region = AddressSpace(0).alloc("buf", 32, RegionKind.HEAP)
+        v64 = region.view(np.dtype(np.int64))
+        v64[0] = 0x01020304
+        assert region.data[0] != 0
+
+    def test_info_snapshot(self):
+        region = AddressSpace(0).alloc("buf", 8, RegionKind.STACK)
+        info = region.info
+        assert info.is_stack and not info.is_window
+        assert not info.may_alias_rma
+        region.may_alias_rma = True
+        assert not info.may_alias_rma  # snapshot, not live view
+        assert region.info.may_alias_rma

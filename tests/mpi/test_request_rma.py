@@ -1,0 +1,130 @@
+"""Tests for request-based RMA (MPI_Rput / MPI_Rget / MPI_Wait)."""
+
+import pytest
+
+from repro.core import OurDetector
+from repro.mpi import INT64, RmaUsageError, World
+
+
+def reuse_program(ctx, use_wait):
+    """Rank 0 rputs from buf and then reuses buf (store)."""
+    win = yield ctx.win_allocate("w", 8, INT64)
+    buf = ctx.alloc("buf", 8, INT64, rma_hint=True)
+    ctx.win_lock_all(win)
+    yield ctx.barrier()
+    if ctx.rank == 0:
+        req = ctx.rput(win, 1, 0, buf, 0, 8)
+        if use_wait:
+            ctx.wait(req)
+        ctx.store(buf, 0, 7)
+    yield ctx.barrier()
+    ctx.win_unlock_all(win)
+    yield ctx.win_free(win)
+
+
+class TestSemantics:
+    def test_wait_permits_buffer_reuse(self):
+        det = OurDetector()
+        World(2, [det]).run(reuse_program, True)
+        assert det.reports_total == 0
+
+    def test_reuse_without_wait_races(self):
+        det = OurDetector()
+        World(2, [det]).run(reuse_program, False)
+        assert det.reports_total == 1
+
+    def test_rget_wait_permits_result_read(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, INT64, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                req = ctx.rget(win, 1, 0, buf, 0, 8)
+                ctx.wait(req)
+                ctx.load(buf, 0)
+            yield ctx.barrier()
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = OurDetector()
+        World(2, [det]).run(program)
+        assert det.reports_total == 0
+
+    def test_wait_is_local_only_target_still_races(self):
+        """§6 family: MPI_Wait does not order the op at the target —
+        another origin's overlapping put must still be reported."""
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, INT64, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                req = ctx.rput(win, 2, 0, buf, 0, 8)
+                ctx.wait(req)
+            yield
+            if ctx.rank == 1:
+                ctx.put(win, 2, 0, buf, 0, 8)  # concurrent at the target
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = OurDetector()
+        World(3, [det]).run(program)
+        assert det.reports_total == 1
+
+    def test_data_lands(self):
+        seen = {}
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 4, INT64)
+            buf = ctx.alloc("buf", 4, INT64)
+            buf.np[:] = 5
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                req = ctx.rput(win, 1, 0, buf, 0, 4)
+                ctx.wait(req)
+            yield ctx.barrier()
+            ctx.win_unlock_all(win)
+            if ctx.rank == 1:
+                seen["mem"] = list(win.memory(1))
+            yield ctx.win_free(win)
+
+        World(2).run(program)
+        assert seen["mem"] == [5, 5, 5, 5]
+
+
+class TestMisuse:
+    def test_double_wait_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, INT64)
+            ctx.win_lock_all(win)
+            req = ctx.rput(win, 0, 0, buf, 0, 4)
+            ctx.wait(req)
+            ctx.wait(req)
+
+        with pytest.raises(RmaUsageError):
+            World(1).run(program)
+
+    def test_foreign_wait_rejected(self):
+        reqs = {}
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, INT64)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                reqs["r"] = ctx.rput(win, 1, 0, buf, 0, 4)
+            yield
+            if ctx.rank == 1:
+                ctx.wait(reqs["r"])  # not my request
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        with pytest.raises(RmaUsageError):
+            World(2).run(program)

@@ -1,0 +1,322 @@
+"""Unit tests for the simulated MPI-RMA world and its scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.intervals import AccessType
+from repro.mpi import (
+    BYTE,
+    CollectiveMismatchError,
+    DeadlockError,
+    EpochError,
+    INT64,
+    OutOfWindowError,
+    RmaUsageError,
+    World,
+    run_spmd,
+)
+from repro.mpi.trace import LocalEvent, RmaEvent, SyncEvent
+
+
+class TestScheduling:
+    def test_all_ranks_run_to_completion(self):
+        done = []
+
+        def program(ctx):
+            done.append(ctx.rank)
+            return
+            yield  # pragma: no cover
+
+        World(4).run(program)
+        assert sorted(done) == [0, 1, 2, 3]
+
+    def test_plain_yield_interleaves_in_rank_order(self):
+        log = []
+
+        def program(ctx):
+            log.append((0, ctx.rank))
+            yield
+            log.append((1, ctx.rank))
+
+        World(3).run(program)
+        assert log == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_barrier_releases_all(self):
+        log = []
+
+        def program(ctx):
+            log.append(("pre", ctx.rank))
+            yield ctx.barrier()
+            log.append(("post", ctx.rank))
+
+        World(2).run(program)
+        assert log.index(("post", 0)) > log.index(("pre", 1))
+
+    def test_mismatched_collectives_raise(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.barrier()
+            else:
+                yield ctx.win_allocate("w", 8)
+
+        with pytest.raises(CollectiveMismatchError):
+            World(2).run(program)
+
+    def test_missing_rank_deadlocks(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.barrier()
+
+        with pytest.raises(DeadlockError):
+            World(2).run(program)
+
+    def test_bad_yield_value_rejected(self):
+        def program(ctx):
+            yield 42
+
+        with pytest.raises(Exception):
+            World(1).run(program)
+
+    def test_allreduce(self):
+        results = {}
+
+        def program(ctx):
+            results[ctx.rank] = (yield ctx.allreduce(float(ctx.rank + 1), "sum"))
+
+        World(3).run(program)
+        assert results == {0: 6.0, 1: 6.0, 2: 6.0}
+
+    def test_allreduce_max_min(self):
+        results = {}
+
+        def program(ctx):
+            hi = yield ctx.allreduce(float(ctx.rank), "max")
+            lo = yield ctx.allreduce(float(ctx.rank), "min")
+            results[ctx.rank] = (lo, hi)
+
+        World(4).run(program)
+        assert results[2] == (0.0, 3.0)
+
+    def test_run_generators_mpmd(self):
+        log = []
+
+        def prog_a(ctx):
+            log.append("a")
+            yield ctx.barrier()
+
+        def prog_b(ctx):
+            log.append("b")
+            yield ctx.barrier()
+
+        world = World(2)
+        from repro.mpi.simulator import RankContext
+
+        world.run_generators(
+            [prog_a(RankContext(world, 0)), prog_b(RankContext(world, 1))]
+        )
+        assert sorted(log) == ["a", "b"]
+
+
+class TestWindows:
+    def test_win_allocate_data_movement(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 16, INT64)
+            buf = ctx.alloc("buf", 16, INT64)
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                buf.np[:4] = [10, 20, 30, 40]
+                ctx.put(win, 1, 2, buf, 0, 4)
+            yield
+            if ctx.rank == 1:
+                got = ctx.alloc("got", 4, INT64)
+                ctx.get(win, 1, 2, got, 0, 4)
+                assert list(got.np) == [10, 20, 30, 40]
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2).run(program)
+
+    def test_win_create_exposes_existing_stack_buffer(self):
+        def program(ctx):
+            backing = ctx.stack_alloc("mem", 32)
+            win = yield ctx.win_create("w", backing)
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                src = ctx.alloc("src", 4)
+                src.np[:] = 7
+                ctx.put(win, 1, 0, src, 0, 4)
+            yield
+            if ctx.rank == 1:
+                assert np.all(backing.np[:4] == 7)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2).run(program)
+
+    def test_win_create_keeps_region_kind(self):
+        kinds = {}
+
+        def program(ctx):
+            backing = ctx.stack_alloc("mem", 32)
+            win = yield ctx.win_create("w", backing)
+            kinds[ctx.rank] = win.region_of(ctx.rank).kind.value
+            yield ctx.win_free(win)
+
+        World(2).run(program)
+        assert kinds == {0: "stack", 1: "stack"}
+
+    def test_out_of_window_access_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            buf = ctx.alloc("buf", 16)
+            ctx.win_lock_all(win)
+            ctx.put(win, (ctx.rank + 1) % 2, 6, buf, 0, 8)  # 6+8 > 8
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        with pytest.raises(OutOfWindowError):
+            World(2).run(program)
+
+    def test_dtype_mismatch_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, BYTE)
+            ctx.win_lock_all(win)
+            ctx.put(win, 0, 0, buf, 0, 1)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        with pytest.raises(RmaUsageError):
+            World(1).run(program)
+
+    def test_invalid_target_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            buf = ctx.alloc("buf", 8)
+            ctx.win_lock_all(win)
+            ctx.put(win, 5, 0, buf, 0, 4)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        with pytest.raises(RmaUsageError):
+            World(2).run(program)
+
+
+class TestEpochRules:
+    def test_rma_outside_epoch_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            buf = ctx.alloc("buf", 8)
+            ctx.put(win, 0, 0, buf, 0, 4)  # no lock_all
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(1).run(program)
+
+    def test_double_lock_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            ctx.win_lock_all(win)
+            ctx.win_lock_all(win)
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(1).run(program)
+
+    def test_unlock_without_lock_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(1).run(program)
+
+    def test_flush_outside_epoch_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            ctx.win_flush_all(win)
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(1).run(program)
+
+    def test_free_with_open_epoch_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            ctx.win_lock_all(win)
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(1).run(program)
+
+    def test_use_after_free_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            yield ctx.win_free(win)
+            buf = ctx.alloc("buf", 8)
+            ctx.win_lock_all(win)
+
+        with pytest.raises(RmaUsageError):
+            World(1).run(program)
+
+
+class TestInstrumentedAccesses:
+    def test_load_store_roundtrip(self):
+        def program(ctx):
+            buf = ctx.alloc("buf", 8, INT64)
+            ctx.store(buf, 3, 77)
+            assert int(ctx.load(buf, 3)) == 77
+            vals = ctx.load(buf, 0, 4)
+            assert list(vals) == [0, 0, 0, 77]
+            return
+            yield  # pragma: no cover
+
+        World(1).run(program)
+
+    def test_trace_records_events(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            ctx.store(buf, 0, 1)
+            ctx.put(win, 0, 0, buf, 0, 4)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        world = World(1, trace=True)
+        world.run(program)
+        events = world.trace_log.events
+        assert any(isinstance(e, LocalEvent) for e in events)
+        assert any(isinstance(e, RmaEvent) for e in events)
+        assert any(isinstance(e, SyncEvent) for e in events)
+        rma = next(e for e in events if isinstance(e, RmaEvent))
+        assert rma.op == "put"
+        assert rma.origin_access.type == AccessType.RMA_READ
+        assert rma.target_access.type == AccessType.RMA_WRITE
+
+    def test_debug_info_auto_captured(self):
+        captured = {}
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8)
+            buf = ctx.alloc("buf", 8, rma_hint=True)
+            ctx.win_lock_all(win)
+            ctx.put(win, 0, 0, buf, 0, 4)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        world = World(1, trace=True)
+        world.run(program)
+        rma = world.trace_log.rma_events()[0]
+        assert rma.origin_access.debug.filename.endswith("test_simulator.py")
+        assert rma.origin_access.debug.line > 0
+
+    def test_run_spmd_helper(self):
+        def program(ctx, value):
+            assert value == 42
+            return
+            yield  # pragma: no cover
+
+        world = run_spmd(program, 3, (), 42)
+        assert world.nranks == 3

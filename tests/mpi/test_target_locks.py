@@ -1,0 +1,180 @@
+"""Tests for per-target passive locks (MPI_Win_lock/MPI_Win_unlock)."""
+
+import pytest
+
+from repro.core import OurDetector
+from repro.detectors import McCChecker, MustRma, RmaAnalyzerLegacy
+from repro.mpi import EpochError, INT64, RmaUsageError, World
+
+
+def counter_program(ctx, exclusive=True, workers=(0, 1), target=2):
+    """Ranks in ``workers`` put to the same range of ``target``'s window."""
+    win = yield ctx.win_allocate("w", 8, INT64)
+    buf = ctx.alloc("buf", 8, INT64, rma_hint=True)
+    buf.np[:] = ctx.rank + 1
+    yield ctx.barrier()
+    if ctx.rank in workers:
+        ctx.win_lock(win, target, exclusive=exclusive)
+        ctx.put(win, target, 0, buf, 0, 8)
+        ctx.win_unlock(win, target)
+    yield ctx.barrier()
+    yield ctx.win_free(win)
+
+
+class TestMechanics:
+    def test_rma_requires_lock_on_target(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, INT64)
+            ctx.win_lock(win, 1)
+            ctx.put(win, 0, 0, buf, 0, 8)  # locked 1, targeting 0
+            ctx.win_unlock(win, 1)
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(2).run(program)
+
+    def test_double_lock_same_target_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            ctx.win_lock(win, 1)
+            ctx.win_lock(win, 1)
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(2).run(program)
+
+    def test_unlock_without_lock_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            ctx.win_unlock(win, 1)
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(2).run(program)
+
+    def test_lock_inside_lock_all_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            ctx.win_lock_all(win)
+            ctx.win_lock(win, 1)
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(2).run(program)
+
+    def test_free_with_held_lock_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            ctx.win_lock(win, 1)
+            yield ctx.win_free(win)
+
+        with pytest.raises(EpochError):
+            World(2).run(program)
+
+    def test_invalid_target(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            ctx.win_lock(win, 9)
+            yield ctx.win_free(win)
+
+        with pytest.raises(RmaUsageError):
+            World(2).run(program)
+
+    def test_multiple_targets_lockable(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, INT64)
+            if ctx.rank == 0:
+                ctx.win_lock(win, 1)
+                ctx.win_lock(win, 2)
+                ctx.put(win, 1, 0, buf, 0, 4)
+                ctx.put(win, 2, 0, buf, 0, 4)
+                ctx.win_unlock(win, 2)
+                ctx.win_unlock(win, 1)
+            yield ctx.barrier()
+            yield ctx.win_free(win)
+
+        World(3).run(program)
+
+
+class TestDetection:
+    def test_exclusive_locks_serialize(self):
+        """Different exclusive epochs never race — mutual exclusion."""
+        for factory in (OurDetector, MustRma, McCChecker):
+            det = factory()
+            World(3, [det]).run(counter_program, True)
+            assert det.reports_total == 0, (factory.__name__, det.reports[:2])
+
+    def test_shared_locks_still_race(self):
+        for factory in (OurDetector, MustRma):
+            det = factory()
+            World(3, [det]).run(counter_program, False)
+            assert det.reports_total >= 1, factory.__name__
+
+    def test_legacy_tool_lacks_lock_support(self):
+        """§5.1: the original tool instruments lock_all only — per-target
+        exclusive locks are invisible, so it reports a false positive."""
+        det = RmaAnalyzerLegacy()
+        World(3, [det]).run(counter_program, True)
+        assert det.reports_total >= 1
+
+    def test_race_within_one_exclusive_epoch_still_caught(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, INT64, rma_hint=True)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.win_lock(win, 1, exclusive=True)
+                ctx.put(win, 1, 0, buf, 0, 8)
+                ctx.put(win, 1, 0, buf, 0, 8)  # same epoch: unordered!
+                ctx.win_unlock(win, 1)
+            yield ctx.barrier()
+            yield ctx.win_free(win)
+
+        det = OurDetector()
+        World(2, [det]).run(program)
+        assert det.reports_total == 1
+
+    def test_exclusive_vs_lock_all_races(self):
+        """An exclusive lock only orders against other exclusive epochs."""
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, INT64, rma_hint=True)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.win_lock(win, 2, exclusive=True)
+                ctx.put(win, 2, 0, buf, 0, 8)
+                ctx.win_unlock(win, 2)
+            yield
+            if ctx.rank == 1:
+                ctx.win_lock_all(win)
+                ctx.put(win, 2, 0, buf, 0, 8)
+                ctx.win_unlock_all(win)
+            yield ctx.barrier()
+            yield ctx.win_free(win)
+
+        det = OurDetector()
+        World(3, [det]).run(program)
+        assert det.reports_total == 1
+
+    def test_data_lands(self):
+        seen = {}
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 4, INT64)
+            buf = ctx.alloc("buf", 4, INT64)
+            buf.np[:] = 7
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.win_lock(win, 1, exclusive=True)
+                ctx.put(win, 1, 0, buf, 0, 4)
+                ctx.win_unlock(win, 1)
+            yield ctx.barrier()
+            if ctx.rank == 1:
+                seen["mem"] = list(win.memory(1))
+            yield ctx.win_free(win)
+
+        World(2).run(program)
+        assert seen["mem"] == [7, 7, 7, 7]

@@ -1,0 +1,118 @@
+"""Tests for trace persistence and offline replay."""
+
+import pytest
+
+from repro.core import OurDetector
+from repro.detectors import McCChecker, MustRma, RmaAnalyzerLegacy
+from repro.mpi import INT64, World, load_trace, replay_trace, save_trace
+
+
+def record(program, nranks=3, *args):
+    world = World(nranks, [], trace=True)
+    world.run(program, *args)
+    return world
+
+
+def racy_program(ctx):
+    win = yield ctx.win_allocate("w", 8, INT64)
+    buf = ctx.alloc("buf", 8, INT64, rma_hint=True)
+    ctx.win_lock_all(win)
+    yield ctx.barrier()
+    ctx.put(win, 0, 0, buf, 0, 8)
+    yield ctx.barrier()
+    ctx.win_unlock_all(win)
+    yield ctx.win_free(win)
+
+
+def mixed_program(ctx):
+    """Exercises every event kind: locks, flush, fence, accumulate.
+
+    Per-target locks and fences go to separate phases — the runtime
+    (correctly) rejects mixing the synchronization modes mid-epoch.
+    """
+    win = yield ctx.win_allocate("w", 8, INT64)
+    buf = ctx.alloc("buf", 8, INT64, rma_hint=True)
+    if ctx.rank == 0:
+        ctx.win_lock(win, 1, exclusive=True)
+        ctx.get(win, 1, 0, buf, 0, 4)
+        ctx.win_flush_all(win)
+        ctx.win_unlock(win, 1)
+        ctx.store(buf, 4, 9)
+    yield ctx.barrier()
+    yield ctx.win_fence(win)
+    ctx.accumulate(win, 0, 0, buf, 0, 4, op="sum")
+    yield ctx.win_fence(win)
+    yield ctx.barrier()
+    yield ctx.win_free(win)
+
+
+class TestRoundtrip:
+    def test_save_load_preserves_events(self, tmp_path):
+        world = record(mixed_program)
+        path = tmp_path / "run.trace"
+        save_trace(world.trace_log, path, nranks=3)
+        loaded = load_trace(path)
+        assert len(loaded) == len(world.trace_log)
+        assert loaded.nranks == 3
+        for a, b in zip(world.trace_log.events, loaded.log.events):
+            assert type(a) is type(b)
+            assert a.seq == b.seq and a.rank == b.rank
+
+    def test_access_metadata_preserved(self, tmp_path):
+        world = record(mixed_program)
+        path = tmp_path / "run.trace"
+        save_trace(world.trace_log, path, nranks=3)
+        loaded = load_trace(path)
+        originals = world.trace_log.rma_events()
+        replayed = loaded.log.rma_events()
+        assert [e.origin_access for e in originals] == \
+            [e.origin_access for e in replayed]
+        assert [e.target_access for e in originals] == \
+            [e.target_access for e in replayed]
+        # accumulate metadata specifically
+        acc = next(e for e in replayed if e.op == "accumulate")
+        assert acc.target_access.accum_op == "sum"
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestReplay:
+    @pytest.mark.parametrize(
+        "factory", [OurDetector, RmaAnalyzerLegacy, MustRma, McCChecker],
+        ids=lambda f: f.__name__,
+    )
+    def test_replay_matches_live_run(self, factory, tmp_path):
+        # live run with the detector attached
+        live = factory()
+        world = World(3, [live], trace=True)
+        world.run(racy_program)
+        # offline run over the recorded trace
+        path = tmp_path / "run.trace"
+        save_trace(world.trace_log, path, nranks=3)
+        offline = replay_trace(load_trace(path), factory())
+        assert offline.reports_total == live.reports_total
+        assert offline.node_stats().total_max_nodes == \
+            live.node_stats().total_max_nodes
+
+    def test_replay_with_different_detector(self, tmp_path):
+        """Record once, analyze with any tool later."""
+        world = record(racy_program)
+        path = tmp_path / "run.trace"
+        save_trace(world.trace_log, path, nranks=3)
+        loaded = load_trace(path)
+        verdicts = {
+            f.__name__: replay_trace(loaded, f()).race_detected
+            for f in (OurDetector, RmaAnalyzerLegacy, MustRma, McCChecker)
+        }
+        assert all(verdicts.values()), verdicts
+
+    def test_replay_handles_all_sync_kinds(self, tmp_path):
+        world = record(mixed_program)
+        path = tmp_path / "run.trace"
+        save_trace(world.trace_log, path, nranks=3)
+        detector = replay_trace(load_trace(path), OurDetector())
+        assert detector.reports_total == 0

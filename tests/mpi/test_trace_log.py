@@ -1,0 +1,62 @@
+"""Tests for the in-memory trace log helpers."""
+
+from repro.mpi import INT64, World
+from repro.mpi.trace import LocalEvent, RmaEvent, SyncEvent, SyncKind, TraceLog
+
+
+def traced_world():
+    def program(ctx):
+        win = yield ctx.win_allocate("w", 8, INT64)
+        buf = ctx.alloc("buf", 8, INT64, rma_hint=True)
+        ctx.win_lock_all(win)
+        yield ctx.barrier()
+        if ctx.rank == 0:
+            ctx.store(buf, 0, 1)
+            ctx.put(win, 1, 0, buf, 0, 4)
+        yield ctx.barrier()
+        ctx.win_unlock_all(win)
+        yield ctx.win_free(win)
+
+    world = World(2, [], trace=True)
+    world.run(program)
+    return world
+
+
+class TestTraceLog:
+    def test_sequence_numbers_strictly_increase(self):
+        events = traced_world().trace_log.events
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_of_rank_filters(self):
+        log = traced_world().trace_log
+        rank0 = log.of_rank(0)
+        assert rank0
+        assert all(e.rank == 0 for e in rank0)
+
+    def test_rma_events_helper(self):
+        log = traced_world().trace_log
+        rmas = log.rma_events()
+        assert len(rmas) == 1
+        assert rmas[0].op == "put"
+
+    def test_sync_kinds_present(self):
+        log = traced_world().trace_log
+        kinds = {e.kind for e in log.events if isinstance(e, SyncEvent)}
+        assert SyncKind.WIN_CREATE in kinds
+        assert SyncKind.LOCK_ALL in kinds
+        assert SyncKind.UNLOCK_ALL in kinds
+        assert SyncKind.BARRIER in kinds
+        assert SyncKind.WIN_FREE in kinds
+
+    def test_no_trace_by_default(self):
+        world = World(2)
+        assert world.trace_log is None
+
+    def test_manual_log(self):
+        log = TraceLog()
+        assert len(log) == 0
+        assert log.next_seq() == 1
+        assert log.next_seq() == 2
+        assert list(log) == []

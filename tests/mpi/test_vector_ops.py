@@ -1,0 +1,152 @@
+"""Tests for vector-datatype one-sided transfers (MPI_Type_vector style)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OurDetector, StridedDetector
+from repro.detectors import RmaAnalyzerLegacy
+from repro.mpi import INT64, RmaUsageError, World
+
+
+def vec_put_program(ctx, blocks=8, blocklen=1, stride=3):
+    win = yield ctx.win_allocate("w", 256, INT64)
+    buf = ctx.alloc("buf", 64, INT64, rma_hint=True)
+    buf.np[:] = ctx.rank + 1
+    ctx.win_lock_all(win)
+    yield ctx.barrier()
+    if ctx.rank == 0:
+        ctx.put_vector(win, 1, 0, buf, 0, blocks=blocks, blocklen=blocklen,
+                       stride=stride)
+    yield ctx.barrier()
+    ctx.win_unlock_all(win)
+    yield ctx.win_free(win)
+
+
+class TestDataMovement:
+    def test_strided_placement(self):
+        seen = {}
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 16, INT64)
+            buf = ctx.alloc("buf", 8, INT64)
+            buf.np[:] = [1, 2, 3, 4, 5, 6, 7, 8]
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.put_vector(win, 1, 0, buf, 0, blocks=3, blocklen=2,
+                               stride=5)
+            yield ctx.barrier()
+            ctx.win_unlock_all(win)
+            if ctx.rank == 1:
+                seen["mem"] = list(win.memory(1))
+            yield ctx.win_free(win)
+
+        World(2).run(program)
+        assert seen["mem"] == [1, 2, 0, 0, 0, 3, 4, 0, 0, 0, 5, 6, 0, 0, 0, 0]
+
+    def test_get_vector_roundtrip(self):
+        seen = {}
+
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 16, INT64)
+            if ctx.rank == 1:
+                win.memory(1)[:] = np.arange(16)
+            yield ctx.barrier()
+            buf = ctx.alloc("buf", 6, INT64)
+            ctx.win_lock_all(win)
+            if ctx.rank == 0:
+                ctx.get_vector(win, 1, 0, buf, 0, blocks=3, blocklen=2,
+                               stride=5)
+                seen["got"] = list(buf.np)
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        World(2).run(program)
+        assert seen["got"] == [0, 1, 5, 6, 10, 11]
+
+    def test_invalid_shapes_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 16, INT64)
+            buf = ctx.alloc("buf", 8, INT64)
+            ctx.win_lock_all(win)
+            ctx.put_vector(win, 0, 0, buf, 0, blocks=2, blocklen=3, stride=2)
+
+        with pytest.raises(RmaUsageError):
+            World(1).run(program)
+
+    def test_out_of_window_tail_rejected(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 8, INT64)
+            buf = ctx.alloc("buf", 8, INT64)
+            ctx.win_lock_all(win)
+            ctx.put_vector(win, 0, 0, buf, 0, blocks=4, blocklen=1, stride=3)
+
+        with pytest.raises(Exception):
+            World(1).run(program)
+
+
+class TestCosts:
+    def test_one_transaction_latency(self):
+        def comm(blocks):
+            world = World(2)
+            world.run(vec_put_program, blocks)
+            return world.clock.total("comm")
+
+        # doubling the blocks must NOT double the charged latency: only
+        # bytes grow (one network transaction per vector op)
+        lat = 1_000.0  # default rma_latency_ns
+        assert comm(16) - comm(8) < lat
+
+
+class TestDetection:
+    def test_strided_blocks_race_with_overlapping_put(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64, INT64)
+            buf = ctx.alloc("buf", 16, INT64, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.put_vector(win, 2, 0, buf, 0, blocks=4, blocklen=1,
+                               stride=4)
+            yield
+            if ctx.rank == 1:
+                ctx.put(win, 2, 8, buf, 0, 1)  # hits block 2 (disp 8)
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        det = OurDetector()
+        World(3, [det]).run(program)
+        assert det.reports_total == 1
+
+    def test_write_between_blocks_is_safe(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64, INT64)
+            buf = ctx.alloc("buf", 16, INT64, rma_hint=True)
+            ctx.win_lock_all(win)
+            yield ctx.barrier()
+            if ctx.rank == 0:
+                ctx.put_vector(win, 2, 0, buf, 0, blocks=4, blocklen=1,
+                               stride=4)
+            yield
+            if ctx.rank == 1:
+                ctx.put(win, 2, 2, buf, 0, 1)  # the gap between blocks
+            yield
+            ctx.win_unlock_all(win)
+            yield ctx.win_free(win)
+
+        for factory in (OurDetector, StridedDetector):
+            det = factory()
+            World(3, [det]).run(program)
+            assert det.reports_total == 0, factory.__name__
+
+    def test_strided_detector_collapses_vector_footprint(self):
+        plain, strided = OurDetector(), StridedDetector()
+        World(2, [plain, strided]).run(vec_put_program, 16)
+        assert plain.node_stats().max_nodes_per_rank[1] == 16
+        assert strided.node_stats().max_nodes_per_rank[1] == 1
+
+    def test_legacy_node_count_equals_blocks(self):
+        det = RmaAnalyzerLegacy()
+        World(2, [det]).run(vec_put_program, 12)
+        assert det.node_stats().max_nodes_per_rank[1] == 12

@@ -1,0 +1,81 @@
+"""Unit tests for windows and datatypes."""
+
+import numpy as np
+import pytest
+
+from repro.intervals import Interval
+from repro.mpi import (
+    BYTE,
+    FLOAT64,
+    GRAPH_TYPE,
+    INT32,
+    INT64,
+    AddressSpace,
+    OutOfWindowError,
+    RegionKind,
+    RmaUsageError,
+    Window,
+)
+
+
+def make_window(nranks=2, size=64, dtype=BYTE):
+    regions = [
+        AddressSpace(r).alloc("win", size, RegionKind.WINDOW)
+        for r in range(nranks)
+    ]
+    return Window(0, "w", regions, dtype)
+
+
+class TestDatatypes:
+    def test_extents(self):
+        assert BYTE.extent == 1
+        assert INT32.extent == 4
+        assert INT64.extent == 8
+        assert FLOAT64.extent == 8
+        assert GRAPH_TYPE.extent == 16  # the MiniVite pair type
+
+    def test_count_bytes(self):
+        assert INT64.count_bytes(4) == 32
+        with pytest.raises(ValueError):
+            INT64.count_bytes(-1)
+
+    def test_str(self):
+        assert str(INT32) == "MPI_INT"
+
+
+class TestWindow:
+    def test_target_interval(self):
+        win = make_window(dtype=INT64, size=64)
+        iv = win.target_interval(1, 2, 3)
+        base = win.regions[1].base
+        assert iv == Interval(base + 16, base + 40)
+
+    def test_target_interval_bounds(self):
+        win = make_window(dtype=INT64, size=64)
+        with pytest.raises(OutOfWindowError):
+            win.target_interval(0, 7, 2)  # 7*8 + 16 > 64
+        with pytest.raises(OutOfWindowError):
+            win.target_interval(0, -1, 1)
+        with pytest.raises(OutOfWindowError):
+            win.target_interval(0, 0, 0)
+
+    def test_bad_rank(self):
+        win = make_window(nranks=2)
+        with pytest.raises(RmaUsageError):
+            win.region_of(5)
+
+    def test_memory_view_typed(self):
+        win = make_window(dtype=FLOAT64, size=64)
+        mem = win.memory(0)
+        assert mem.dtype == np.float64
+        assert len(mem) == 8
+
+    def test_size_elems(self):
+        win = make_window(dtype=INT64, size=64)
+        assert win.size_elems(0) == 8
+
+    def test_freed_window_rejects_access(self):
+        win = make_window()
+        win.freed = True
+        with pytest.raises(RmaUsageError):
+            win.target_interval(0, 0, 1)

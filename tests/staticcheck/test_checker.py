@@ -1,0 +1,211 @@
+"""Tests for the compile-time local-concurrency checker (§7 extension)."""
+
+import pytest
+
+from repro.intervals import Interval
+from repro.staticcheck import (
+    SOp,
+    StaticProgram,
+    check_program,
+    code1_static,
+    code2_static,
+    from_codespec,
+    instrumentation_plan,
+)
+
+
+def prog(*rank_ops):
+    """Build a StaticProgram from (rank, SOp) pairs plus closing unlocks."""
+    p = StaticProgram()
+    ranks = set()
+    for rank, op in rank_ops:
+        p.add(rank, op)
+        ranks.add(rank)
+    for rank in ranks | {0}:
+        p.add(rank, SOp("unlock_all", 99))
+    return p
+
+
+def put(line, buf="buf", rng=(0, 8), target=1, win=(0, 8)):
+    return SOp("put", line, buf, Interval(*rng), target=target,
+               win_range=Interval(*win))
+
+
+def get(line, buf="buf", rng=(0, 8), target=1, win=(0, 8)):
+    return SOp("get", line, buf, Interval(*rng), target=target,
+               win_range=Interval(*win))
+
+
+def load(line, buf="buf", rng=(0, 8)):
+    return SOp("load", line, buf, Interval(*rng))
+
+
+def store(line, buf="buf", rng=(0, 8)):
+    return SOp("store", line, buf, Interval(*rng))
+
+
+class TestIrValidation:
+    def test_onesided_requires_target(self):
+        with pytest.raises(ValueError):
+            SOp("put", 1, "buf", Interval(0, 8))
+
+    def test_local_requires_range(self):
+        with pytest.raises(ValueError):
+            SOp("load", 1, "buf")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SOp("swizzle", 1, "buf", Interval(0, 8))
+
+
+class TestLocalDetection:
+    def test_get_then_load_is_static_race(self):
+        report = check_program(prog((0, get(1)), (0, load(2))))
+        assert len(report.races) == 1
+        race = report.races[0]
+        assert (race.first_line, race.second_line) == (1, 2)
+        assert race.definite
+
+    def test_load_then_get_is_safe(self):
+        report = check_program(prog((0, load(1)), (0, get(2))))
+        assert report.clean
+
+    def test_put_then_store_is_static_race(self):
+        report = check_program(prog((0, put(1)), (0, store(2))))
+        assert len(report.races) == 1
+
+    def test_put_then_load_is_safe(self):
+        report = check_program(prog((0, put(1)), (0, load(2))))
+        assert report.clean
+
+    def test_two_gets_same_buffer_race(self):
+        report = check_program(prog((0, get(1)), (0, get(2))))
+        assert len(report.races) == 1
+
+    def test_disjoint_ranges_safe(self):
+        report = check_program(
+            prog((0, get(1, rng=(0, 8))), (0, load(2, rng=(8, 16))))
+        )
+        assert report.clean
+
+    def test_different_symbols_safe(self):
+        report = check_program(
+            prog((0, get(1, buf="a")), (0, load(2, buf="b")))
+        )
+        assert report.clean
+
+    def test_completion_by_unlock(self):
+        p = StaticProgram()
+        p.add(0, get(1))
+        p.add(0, SOp("unlock_all", 2))
+        p.add(0, load(3))
+        p.add(1, SOp("unlock_all", 2))
+        report = check_program(p)
+        assert report.clean
+
+    def test_completion_by_flush(self):
+        """Per-process view: flush orders the caller's own ops."""
+        p = StaticProgram()
+        p.add(0, put(1))
+        p.add(0, SOp("flush_all", 2))
+        p.add(0, put(3))  # same window range: completed, safe locally
+        p.add(0, SOp("unlock_all", 4))
+        p.add(1, SOp("unlock_all", 4))
+        report = check_program(p)
+        assert report.clean
+
+    def test_completed_write_then_rma_read_safe(self):
+        p = StaticProgram()
+        p.add(0, get(1))
+        p.add(0, SOp("fence", 2))
+        p.add(0, put(3))  # reads buf; the completed get is like a store
+        p.add(0, SOp("unlock_all", 4))
+        report = check_program(p)
+        assert report.clean
+
+
+class TestCrossRankWarnings:
+    def test_two_origins_same_window_range(self):
+        report = check_program(
+            prog((0, put(1, target=2)), (1, put(5, target=2)))
+        )
+        assert report.clean  # no definite verdict possible statically
+        assert len(report.may_races) == 1
+        assert not report.may_races[0].definite
+
+    def test_read_read_not_warned(self):
+        report = check_program(
+            prog((0, get(1, target=2)), (1, get(5, target=2)))
+        )
+        assert not report.may_races
+
+    def test_different_targets_not_warned(self):
+        report = check_program(
+            prog((0, put(1, target=1)), (1, put(5, target=2)))
+        )
+        assert not report.may_races
+
+
+class TestPaperCodes:
+    def test_code1_statically_detectable(self):
+        report = check_program(code1_static())
+        assert len(report.races) == 1
+        assert "line 11" in report.races[0].message
+        assert "line 12" in report.races[0].message
+
+    def test_code2_statically_clean(self):
+        report = check_program(code2_static(50))
+        assert report.clean
+        assert not report.may_races
+
+
+class TestSuiteEvaluation:
+    def test_origin_side_only_limitation(self):
+        """[16]'s limitation: same-process races only, zero static FPs."""
+        from repro.microbench import generate_suite
+
+        suite = generate_suite()
+        tp = fp = 0
+        for spec in suite:
+            report = check_program(from_codespec(spec))
+            if report.races:
+                if spec.racy:
+                    tp += 1
+                else:
+                    fp += 1
+        races = sum(1 for s in suite if s.racy)
+        assert fp == 0
+        assert 0 < tp < races  # some but not all: origin-side only
+
+    def test_static_races_are_same_process(self):
+        from repro.microbench import generate_suite
+
+        for spec in generate_suite():
+            report = check_program(from_codespec(spec))
+            if report.races:
+                assert spec.first.caller == spec.second.caller
+
+
+class TestInstrumentationPlan:
+    def test_onesided_always_instrumented(self):
+        plan = instrumentation_plan(prog((0, put(1))))
+        assert plan[1]
+
+    def test_unrelated_local_skipped(self):
+        plan = instrumentation_plan(
+            prog((0, put(1)), (0, load(2, buf="other")))
+        )
+        assert plan[1] and not plan[2]
+
+    def test_aliasing_local_kept(self):
+        plan = instrumentation_plan(prog((0, put(1)), (0, load(2))))
+        assert plan[2]
+
+    def test_target_side_local_kept(self):
+        """A load of the window the put reaches must stay instrumented."""
+        p = prog(
+            (0, put(1, target=1, win=(0, 8))),
+            (1, SOp("load", 2, "win", Interval(0, 8))),
+        )
+        plan = instrumentation_plan(p)
+        assert plan[2]

@@ -1,0 +1,108 @@
+"""Unit tests for the MPI-RMA happens-before engine."""
+
+from repro.tsan import HappensBefore
+
+
+class TestProgramOrder:
+    def test_local_events_ordered_within_rank(self):
+        hb = HappensBefore(2)
+        s1, _ = hb.local_event(0)
+        _, c2 = hb.local_event(0)
+        assert c2.knows(s1)
+
+    def test_local_events_concurrent_across_ranks(self):
+        hb = HappensBefore(2)
+        s0, _ = hb.local_event(0)
+        _, c1 = hb.local_event(1)
+        assert not c1.knows(s0)
+
+
+class TestRmaAsynchrony:
+    def test_rma_op_knows_preceding_local(self):
+        # Load; MPI_Get — program order holds at the issue point
+        hb = HappensBefore(1)
+        s_load, _ = hb.local_event(0)
+        _, c_rma = hb.rma_event(0, 0)
+        assert c_rma.knows(s_load)
+
+    def test_later_local_does_not_know_rma(self):
+        # MPI_Get; Load — the get is still in flight: concurrent
+        hb = HappensBefore(1)
+        s_rma, _ = hb.rma_event(0, 0)
+        _, c_load = hb.local_event(0)
+        assert not c_load.knows(s_rma)
+
+    def test_two_rma_ops_same_rank_concurrent(self):
+        hb = HappensBefore(1)
+        s1, _ = hb.rma_event(0, 0)
+        _, c2 = hb.rma_event(0, 0)
+        assert not c2.knows(s1)
+
+    def test_epoch_completion_orders_rma(self):
+        hb = HappensBefore(1)
+        s_rma, _ = hb.rma_event(0, 0)
+        hb.complete_epoch(0, 0)
+        _, c_load = hb.local_event(0)
+        assert c_load.knows(s_rma)
+
+    def test_completion_is_per_window(self):
+        hb = HappensBefore(1)
+        s_w0, _ = hb.rma_event(0, 0)
+        s_w1, _ = hb.rma_event(0, 1)
+        hb.complete_epoch(0, 0)
+        _, c = hb.local_event(0)
+        assert c.knows(s_w0)
+        assert not c.knows(s_w1)
+
+
+class TestBarrier:
+    def test_barrier_orders_local_events(self):
+        hb = HappensBefore(2)
+        s0, _ = hb.local_event(0)
+        hb.barrier()
+        _, c1 = hb.local_event(1)
+        assert c1.knows(s0)
+
+    def test_barrier_propagates_completion_knowledge(self):
+        hb = HappensBefore(2)
+        s_rma, _ = hb.rma_event(0, 0)
+        hb.complete_epoch(0, 0)
+        hb.barrier()
+        _, c1 = hb.local_event(1)
+        assert c1.knows(s_rma)
+
+    def test_barrier_does_not_complete_outstanding_ops(self):
+        # the MPI standard / §6: MPI_Barrier does not terminate one-sided ops
+        hb = HappensBefore(2)
+        s_rma, _ = hb.rma_event(0, 0)
+        hb.barrier()
+        _, c1 = hb.local_event(1)
+        assert not c1.knows(s_rma)
+
+    def test_clock_size_grows_with_ranks(self):
+        small = HappensBefore(2)
+        big = HappensBefore(32)
+        for r in range(2):
+            small.local_event(r)
+        for r in range(32):
+            big.local_event(r)
+        small.barrier()
+        big.barrier()
+        assert big.clock_size() > small.clock_size()
+
+    def test_lazy_rank_creation(self):
+        hb = HappensBefore()
+        hb.app_clock(3)  # rank appears before the sync it participates in
+        s, _ = hb.local_event(7)
+        hb.barrier()
+        _, c = hb.local_event(3)
+        assert c.knows(s)
+
+    def test_rank_created_after_barrier_missed_it(self):
+        # laziness caveat: a rank materialized later has no pre-barrier
+        # knowledge (detectors pre-create all ranks at window creation)
+        hb = HappensBefore()
+        s, _ = hb.local_event(7)
+        hb.barrier()
+        _, c = hb.local_event(3)
+        assert not c.knows(s)

@@ -1,0 +1,85 @@
+"""Unit tests for the TSan-style shadow memory."""
+
+from repro.tsan import GRANULE, ShadowMemory, VectorClock
+from repro.tsan.shadow import CELLS_PER_GRANULE
+from tests.conftest import LR, LW, RR, RW, acc
+
+
+def check(shadow, rank, access, stamp, clock=None, write=None):
+    clock = clock if clock is not None else VectorClock()
+    write = access.is_write if write is None else write
+    return shadow.check_and_update(rank, access, stamp, clock, write)
+
+
+class TestConflictDetection:
+    def test_write_write_unordered_races(self):
+        shadow = ShadowMemory()
+        assert check(shadow, 0, acc(0, 8, LW), ("a", 1)) == []
+        conflicts = check(shadow, 0, acc(0, 8, LW), ("b", 1))
+        assert len(conflicts) == 1
+        assert conflicts[0].stamp == ("a", 1)
+
+    def test_read_read_never_races(self):
+        shadow = ShadowMemory()
+        check(shadow, 0, acc(0, 8, LR), ("a", 1))
+        assert check(shadow, 0, acc(0, 8, LR), ("b", 1)) == []
+
+    def test_ordered_accesses_do_not_race(self):
+        shadow = ShadowMemory()
+        check(shadow, 0, acc(0, 8, LW), ("a", 1))
+        clock = VectorClock({"a": 1})
+        assert check(shadow, 0, acc(0, 8, LW), ("b", 1), clock) == []
+
+    def test_disjoint_ranks_do_not_interact(self):
+        shadow = ShadowMemory()
+        check(shadow, 0, acc(0, 8, LW), ("a", 1))
+        assert check(shadow, 1, acc(0, 8, LW), ("b", 1)) == []
+
+    def test_sub_granule_precision(self):
+        # two disjoint 4-byte accesses inside one 8-byte granule: no race
+        shadow = ShadowMemory()
+        check(shadow, 0, acc(0, 4, LW), ("a", 1))
+        assert check(shadow, 0, acc(4, 8, LW), ("b", 1)) == []
+
+    def test_multi_granule_access_deduplicates(self):
+        shadow = ShadowMemory()
+        wide = acc(0, 4 * GRANULE, LW)
+        check(shadow, 0, wide, ("a", 1))
+        conflicts = check(shadow, 0, acc(0, 4 * GRANULE, LW), ("b", 1))
+        assert len(conflicts) == 1  # one logical conflict, many granules
+
+    def test_same_stamp_not_self_conflicting(self):
+        shadow = ShadowMemory()
+        wide = acc(0, 2 * GRANULE, LW)
+        check(shadow, 0, wide, ("a", 1))
+        # re-checking the same event (e.g. retry) must not self-report
+        assert check(shadow, 0, wide, ("a", 1)) == []
+
+
+class TestEviction:
+    def test_history_loss_after_overflow(self):
+        shadow = ShadowMemory()
+        first = acc(0, 8, LW)
+        check(shadow, 0, first, ("w", 1))
+        # flood the granule with reads until the write is evicted
+        for i in range(CELLS_PER_GRANULE):
+            clock = VectorClock({"w": 1})  # ordered: no race reported
+            shadow.check_and_update(0, acc(0, 8, LR), (f"r{i}", 1), clock, False)
+        conflicts = check(shadow, 0, acc(0, 8, LW), ("x", 1))
+        stamps = {c.stamp for c in conflicts}
+        assert ("w", 1) not in stamps  # evicted: TSan forgets
+
+    def test_len_counts_cells(self):
+        shadow = ShadowMemory()
+        check(shadow, 0, acc(0, 8, LR), ("a", 1))
+        check(shadow, 0, acc(8, 16, LR), ("b", 1))
+        assert len(shadow) == 2
+
+    def test_clear_rank(self):
+        shadow = ShadowMemory()
+        check(shadow, 0, acc(0, 8, LR), ("a", 1))
+        check(shadow, 1, acc(0, 8, LR), ("b", 1))
+        shadow.clear_rank(0)
+        assert len(shadow) == 1
+        shadow.clear()
+        assert len(shadow) == 0

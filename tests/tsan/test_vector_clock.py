@@ -1,0 +1,52 @@
+"""Unit tests for vector clocks."""
+
+from repro.tsan import VectorClock, join_all
+
+
+class TestVectorClock:
+    def test_empty_clock(self):
+        vc = VectorClock()
+        assert vc.get("x") == 0
+        assert len(vc) == 0
+
+    def test_tick(self):
+        vc = VectorClock()
+        assert vc.tick("a") == 1
+        assert vc.tick("a") == 2
+        assert vc.get("a") == 2
+
+    def test_join_pointwise_max(self):
+        a = VectorClock({"x": 3, "y": 1})
+        b = VectorClock({"y": 5, "z": 2})
+        a.join(b)
+        assert a.get("x") == 3 and a.get("y") == 5 and a.get("z") == 2
+
+    def test_join_does_not_mutate_other(self):
+        a = VectorClock({"x": 3})
+        b = VectorClock({"x": 1})
+        a.join(b)
+        assert b.get("x") == 1
+
+    def test_copy_is_independent(self):
+        a = VectorClock({"x": 1})
+        b = a.copy()
+        b.tick("x")
+        assert a.get("x") == 1 and b.get("x") == 2
+
+    def test_knows(self):
+        vc = VectorClock({"a": 3})
+        assert vc.knows(("a", 3))
+        assert vc.knows(("a", 2))
+        assert not vc.knows(("a", 4))
+        assert not vc.knows(("b", 1))
+
+    def test_set_at_least(self):
+        vc = VectorClock({"a": 5})
+        vc.set_at_least("a", 3)
+        assert vc.get("a") == 5
+        vc.set_at_least("a", 9)
+        assert vc.get("a") == 9
+
+    def test_join_all(self):
+        top = join_all([VectorClock({"a": 1}), VectorClock({"a": 4, "b": 2})])
+        assert top.get("a") == 4 and top.get("b") == 2
