@@ -6,11 +6,15 @@ Subcommands::
     repro run <exp> [...]      # regenerate one or more tables/figures
     repro all                  # every experiment, in paper order
     repro suite                # microbenchmark suite summary
+    repro record <app>         # record an application trace to disk
+    repro analyze <trace>      # (sharded) post-mortem race analysis
 
 Examples::
 
     repro run table3
     repro run fig10 fig11
+    repro record minivite --ranks 8 -o mv.trace
+    repro analyze mv.trace --detector our --jobs 4
 """
 
 from __future__ import annotations
@@ -20,9 +24,16 @@ import sys
 import time
 from typing import List, Optional
 
+from . import __version__
 from .experiments import EXPERIMENTS
 
 __all__ = ["main", "build_parser"]
+
+#: CLI names of the recordable apps / detectors (kept in sync with
+#: repro.pipeline lazily — importing the pipeline here would drag the
+#: whole app layer into every CLI start)
+_RECORD_APPS = ("cfd", "histogram", "minivite")
+_DETECTORS = ("mc", "must", "our", "rma")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,6 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Programs' (Correctness@SC-W 2023)"
         ),
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
@@ -48,6 +61,48 @@ def build_parser() -> argparse.ArgumentParser:
     suite = sub.add_parser("suite", help="microbenchmark suite summary")
     suite.add_argument("--names", action="store_true",
                        help="also print every generated code name")
+
+    rec = sub.add_parser(
+        "record", help="run an application and record its trace",
+        description="Run a simulated application with the streaming "
+                    "recorder attached (no detector) and write the trace.",
+    )
+    rec.add_argument("app", choices=_RECORD_APPS,
+                     help="application to record")
+    rec.add_argument("--ranks", type=int, default=None, metavar="N",
+                     help="simulated MPI ranks (default: per-app)")
+    rec.add_argument("--size", type=int, default=None, metavar="S",
+                     help="workload size knob (vertices / iterations / "
+                          "samples, per app)")
+    rec.add_argument("--inject-race", action="store_true",
+                     help="inject the Fig. 9a duplicated-put race "
+                          "(minivite only)")
+    rec.add_argument("-o", "--out", default=None, metavar="PATH",
+                     help="output trace path (default: <app>.trace)")
+    rec.add_argument("--format", choices=("binary", "json"),
+                     default="binary",
+                     help="trace format: repro-trace-v2 chunked binary "
+                          "(default) or v1 JSON lines")
+
+    an = sub.add_parser(
+        "analyze", help="post-mortem race analysis of a recorded trace",
+        description="Stream a recorded trace (either format, auto-"
+                    "detected) through a detector; --jobs shards the "
+                    "analysis by rank over a multiprocessing pool.",
+    )
+    an.add_argument("trace", help="trace file written by 'repro record'")
+    an.add_argument("--detector", choices=_DETECTORS, default="our",
+                    help="detector to replay under (default: our)")
+    an.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes (default 1 = serial replay)")
+    an.add_argument("--dispatch", choices=("queue", "file"),
+                    default="queue",
+                    help="parallel fan-out: batched bounded queues "
+                         "(default) or per-worker file re-reads")
+    an.add_argument("--batch-size", type=int, default=512, metavar="B",
+                    help="events per queue batch (default 512)")
+    an.add_argument("--json", action="store_true",
+                    help="emit the full machine-readable report")
     return parser
 
 
@@ -69,7 +124,8 @@ def _jsonable(value):
 def _run_one(exp_id: str, *, as_json: bool = False) -> int:
     fn = EXPERIMENTS.get(exp_id)
     if fn is None:
-        print(f"unknown experiment {exp_id!r}; try 'repro list'",
+        print(f"unknown experiment {exp_id!r}; "
+              f"valid names: {', '.join(EXPERIMENTS)}",
               file=sys.stderr)
         return 2
     t0 = time.perf_counter()
@@ -122,7 +178,77 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {spec.name}")
         return 0
 
+    if args.command == "record":
+        return _record(args)
+
+    if args.command == "analyze":
+        return _analyze(args)
+
     return 2  # pragma: no cover
+
+
+def _record(args) -> int:
+    from .pipeline import record_app
+
+    out = args.out or f"{args.app}.trace"
+    try:
+        t0 = time.perf_counter()
+        result = record_app(
+            args.app, nranks=args.ranks, size=args.size,
+            inject_race=args.inject_race, out=out, format=args.format,
+        )
+        dt = time.perf_counter() - t0
+    except ValueError as exc:
+        print(f"repro record: {exc}", file=sys.stderr)
+        return 2
+    print(f"recorded {result.app} on {result.nranks} ranks: "
+          f"{result.events} events -> {result.path} "
+          f"({args.format}, {dt:.1f}s)")
+    return 0
+
+
+def _analyze(args) -> int:
+    from .mpi.errors import TraceFormatError
+    from .pipeline import analyze_trace, detector_display_name
+
+    try:
+        result = analyze_trace(
+            args.trace, detector=args.detector, jobs=args.jobs,
+            dispatch=args.dispatch, batch_size=args.batch_size,
+        )
+    except (TraceFormatError, OSError, ValueError) as exc:
+        print(f"repro analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+
+    name = detector_display_name(args.detector)
+    print(f"{args.trace}: {result.events_total} events, "
+          f"{result.nranks} ranks")
+    print(f"detector {name!r}, jobs={result.jobs} "
+          f"({result.dispatch} dispatch): "
+          f"{result.events_per_sec:,.0f} events/s "
+          f"in {result.wall_seconds:.2f}s")
+    if result.jobs > 1:
+        for stats in result.shard_stats:
+            print(f"  shard {stats.shard}: {stats.events} events, "
+                  f"peak {stats.peak_nodes} BST nodes, "
+                  f"{stats.races} race(s)")
+        if any(result.queue_peak):
+            print(f"  queue depth peaks: {result.queue_peak}")
+    print(f"races: {result.races}")
+    for verdict in result.verdicts[:5]:
+        stored, new = verdict["stored"], verdict["new"]
+        print(f"  rank {verdict['rank']} win {verdict['window']}: "
+              f"{new['type']} {new['file']}:{new['line']} vs "
+              f"{stored['type']} {stored['file']}:{stored['line']}")
+    if result.races > 5:
+        print(f"  ... and {result.races - 5} more")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

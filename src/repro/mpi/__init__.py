@@ -17,11 +17,19 @@ from .errors import (
     MpiSimError,
     OutOfWindowError,
     RmaUsageError,
+    TraceFormatError,
 )
 from .interposition import DetectorProtocol, Interposition
 from .memory import AddressSpace, Region, RegionInfo, RegionKind
 from .simulator import Buffer, RankContext, Request, World, run_spmd
-from .trace import LocalEvent, RmaEvent, SyncEvent, SyncKind, TraceLog
+from .trace import (
+    LocalEvent,
+    RmaEvent,
+    StreamingTraceLog,
+    SyncEvent,
+    SyncKind,
+    TraceLog,
+)
 from .trace_io import LoadedTrace, load_trace, replay_trace, save_trace
 from .window import Window
 
@@ -54,8 +62,10 @@ __all__ = [
     "RmaEvent",
     "RmaUsageError",
     "SimClock",
+    "StreamingTraceLog",
     "SyncEvent",
     "SyncKind",
+    "TraceFormatError",
     "TraceLog",
     "load_trace",
     "replay_trace",

@@ -15,6 +15,7 @@ __all__ = [
     "OutOfWindowError",
     "CollectiveMismatchError",
     "DeadlockError",
+    "TraceFormatError",
 ]
 
 
@@ -40,3 +41,21 @@ class CollectiveMismatchError(MpiSimError):
 
 class DeadlockError(MpiSimError):
     """The scheduler found no runnable rank while some are still waiting."""
+
+
+class TraceFormatError(MpiSimError, ValueError):
+    """A trace file is corrupt, truncated, or not a trace at all.
+
+    Carries the offending ``path`` and, where meaningful (JSON-lines
+    traces, chunk records of binary traces), the 1-based ``line`` the
+    decoder choked on.  Subclasses :class:`ValueError` so pre-existing
+    callers that caught the old raw error keep working.
+    """
+
+    def __init__(self, message: str, *, path=None, line=None) -> None:
+        if path is not None:
+            where = str(path) if line is None else f"{path}:{line}"
+            message = f"{where}: {message}"
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+        self.line = line

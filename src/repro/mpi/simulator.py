@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -504,14 +504,19 @@ class World:
         detectors: Sequence[DetectorProtocol] = (),
         *,
         cost_params: Optional[CostParams] = None,
-        trace: bool = False,
+        trace: Union[bool, TraceLog] = False,
     ) -> None:
         if nranks < 1:
             raise ValueError("need at least one rank")
         self.nranks = nranks
         self.spaces = [AddressSpace(r) for r in range(nranks)]
         self.clock = SimClock(nranks, cost_params)
-        self.trace_log: Optional[TraceLog] = TraceLog() if trace else None
+        # ``trace`` may be a ready-made log (e.g. a StreamingTraceLog that
+        # writes events to disk as they happen) or just a bool
+        if isinstance(trace, TraceLog):
+            self.trace_log: Optional[TraceLog] = trace
+        else:
+            self.trace_log = TraceLog() if trace else None
         self.interposition = Interposition(detectors, self.clock, self.trace_log)
         self.epochs = EpochTracker()
         self.windows: Dict[int, Window] = {}
@@ -903,7 +908,7 @@ def run_spmd(
     detectors: Sequence[DetectorProtocol] = (),
     *args: Any,
     cost_params: Optional[CostParams] = None,
-    trace: bool = False,
+    trace: Union[bool, TraceLog] = False,
     **kwargs: Any,
 ) -> World:
     """Convenience wrapper: build a world, run ``program``, return the world."""

@@ -16,7 +16,15 @@ from typing import Iterator, List
 from ..intervals import MemoryAccess
 from .memory import RegionInfo, RegionKind
 
-__all__ = ["SyncKind", "TraceEvent", "LocalEvent", "RmaEvent", "SyncEvent", "TraceLog"]
+__all__ = [
+    "SyncKind",
+    "TraceEvent",
+    "LocalEvent",
+    "RmaEvent",
+    "SyncEvent",
+    "TraceLog",
+    "StreamingTraceLog",
+]
 
 
 class SyncKind(enum.Enum):
@@ -94,3 +102,29 @@ class TraceLog:
 
     def rma_events(self) -> List[RmaEvent]:
         return [e for e in self.events if isinstance(e, RmaEvent)]
+
+
+class StreamingTraceLog(TraceLog):
+    """A trace log that forwards events to a sink instead of keeping them.
+
+    Recording a large run with ``World(trace=True)`` keeps every event in
+    memory; passing ``World(trace=StreamingTraceLog(writer.write))``
+    instead streams the events straight to a trace writer (see
+    :mod:`repro.pipeline.format`) in constant memory.  ``events`` stays
+    empty by design — post-hoc consumers should read the written file.
+    """
+
+    def __init__(self, sink) -> None:
+        super().__init__()
+        self._sink = sink
+        self._count = 0
+
+    def append(self, event: TraceEvent) -> None:
+        self._sink(event)
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(())

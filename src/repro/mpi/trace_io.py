@@ -14,6 +14,16 @@ module provides exactly that for the simulated runtime:
 
 Record with ``World(..., trace=True)``; the world's trace log carries
 the rank count needed to rebuild collective events.
+
+Two on-disk formats exist: the v1 JSON-lines format written here, and
+the compact chunked-binary ``repro-trace-v2`` of
+:mod:`repro.pipeline.format` (pass ``format="binary"``).
+:func:`load_trace` auto-detects either and raises
+:class:`~repro.mpi.errors.TraceFormatError` — naming the file and line —
+on truncated or corrupt input.  For analysis that should not hold the
+whole trace in memory, use the streaming pipeline
+(:func:`repro.pipeline.analyze_trace`) instead of
+:func:`load_trace` + :func:`replay_trace`.
 """
 
 from __future__ import annotations
@@ -124,10 +134,20 @@ def _event_from_dict(d: dict) -> TraceEvent:
 
 
 def save_trace(
-    log: TraceLog, path: Union[str, Path], *, nranks: int
+    log: TraceLog, path: Union[str, Path], *, nranks: int,
+    format: str = "json",
 ) -> None:
-    """Write a trace as JSON lines (one header + one line per event)."""
+    """Write a trace — v1 JSON lines or the v2 chunked binary format."""
     path = Path(path)
+    if format in ("binary", "repro-trace-v2"):
+        from ..pipeline.format import BinaryTraceWriter
+
+        with BinaryTraceWriter(path, nranks=nranks) as writer:
+            for event in log.events:
+                writer.write(event)
+        return
+    if format not in ("json", _FORMAT):
+        raise ValueError(f"unknown trace format {format!r} (json or binary)")
     with path.open("w") as fh:
         json.dump({"format": _FORMAT, "nranks": nranks,
                    "events": len(log.events)}, fh)
@@ -138,17 +158,20 @@ def save_trace(
 
 
 def load_trace(path: Union[str, Path]) -> "LoadedTrace":
-    """Read a trace written by :func:`save_trace`."""
-    path = Path(path)
-    with path.open() as fh:
-        header = json.loads(fh.readline())
-        if header.get("format") != _FORMAT:
-            raise ValueError(f"not a {_FORMAT} file: {path}")
-        events = [_event_from_dict(json.loads(line)) for line in fh if line.strip()]
+    """Read a trace written by :func:`save_trace` (either format).
+
+    Corrupt, truncated, or non-trace files raise
+    :class:`~repro.mpi.errors.TraceFormatError` (a :class:`ValueError`)
+    pointing at the offending file and line.
+    """
+    from ..pipeline.format import TraceReader
+
+    reader = TraceReader(path)
+    events = list(reader)
     log = TraceLog()
     log.events = events
     log._seq = max((e.seq for e in events), default=0)
-    return LoadedTrace(log, header["nranks"])
+    return LoadedTrace(log, reader.nranks)
 
 
 class LoadedTrace:
@@ -178,33 +201,14 @@ def replay_trace(
 
     Events are dispatched exactly like the live interposition layer
     does; the detector's verdicts and statistics afterwards match a live
-    run over the same execution.
+    run over the same execution.  The event→hook mapping is shared with
+    the sharded pipeline workers (:mod:`repro.pipeline.shard`), so
+    serial replay is also the pipeline's verdict-parity baseline.
     """
+    from ..pipeline.shard import dispatch_event
+
     nranks = trace.nranks
     for event in trace.log.events:
-        if isinstance(event, LocalEvent):
-            detector.on_local(event.rank, event.access, event.region)
-        elif isinstance(event, RmaEvent):
-            detector.on_rma(
-                event.op, event.rank, event.target, event.wid,
-                event.origin_access, event.target_access,
-                event.origin_region, event.target_region,
-            )
-        elif isinstance(event, SyncEvent):
-            kind = event.kind
-            if kind is SyncKind.WIN_CREATE:
-                detector.on_win_create(_ReplayWindow(event.wid, nranks))
-            elif kind is SyncKind.WIN_FREE:
-                detector.on_win_free(event.wid)
-            elif kind is SyncKind.LOCK_ALL:
-                detector.on_epoch_start(event.rank, event.wid)
-            elif kind is SyncKind.UNLOCK_ALL:
-                detector.on_epoch_end(event.rank, event.wid)
-            elif kind in (SyncKind.FLUSH, SyncKind.FLUSH_ALL):
-                detector.on_flush(event.rank, event.wid)
-            elif kind is SyncKind.BARRIER:
-                detector.on_barrier()
-            elif kind is SyncKind.FENCE:
-                detector.on_fence(event.wid, nranks)
+        dispatch_event(detector, event, nranks)
     detector.finalize()
     return detector

@@ -1,0 +1,561 @@
+"""``repro-trace-v2`` — compact chunked binary traces, streamed both ways.
+
+The v1 JSON-lines format (:mod:`repro.mpi.trace_io`) is convenient but
+verbose, and both its writer and reader materialize the whole event list
+in memory.  For the analysis pipeline we want the recording side to run
+in constant memory next to the simulation, and the analysis side to
+stream events into the sharder without ever holding the trace — the
+MC-Checker lesson that "the recorded trace grows with the execution"
+must not apply to the *analyzer's* footprint.
+
+Layout of a v2 file::
+
+    magic    8 bytes   b"REPROTR2"
+    header   u32 length + JSON   {"format": "repro-trace-v2",
+                                  "nranks": N, "enums": {...}}
+    chunk*   b"CHNK" + u32 payload bytes + u32 event count + payload
+    trailer  b"TEND" + u64 total event count
+
+Each chunk payload starts with the strings *first seen* in that chunk
+(file names, op names, accumulate ops); readers grow the same string
+table in lockstep, so strings are written once per file.  Events are
+fixed little-endian ``struct`` records plus string ids.  Enum members
+are encoded as indexes into tables spelled out in the header, so a file
+survives enum reordering in future versions of the package.
+
+:class:`TraceReader` also auto-detects and streams v1 JSON-lines files:
+``open`` one path, iterate events, never care which format it was.
+Malformed input of either format raises
+:class:`~repro.mpi.errors.TraceFormatError` naming the file and (where
+meaningful) the line.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+from ..intervals import AccessType, DebugInfo, Interval, MemoryAccess
+from ..mpi.errors import TraceFormatError
+from ..mpi.memory import RegionInfo, RegionKind
+from ..mpi.trace import LocalEvent, RmaEvent, SyncEvent, SyncKind, TraceEvent
+
+__all__ = [
+    "FORMAT_V1",
+    "FORMAT_V2",
+    "MAGIC_V2",
+    "BinaryTraceWriter",
+    "JsonTraceWriter",
+    "TraceReader",
+    "make_trace_writer",
+]
+
+FORMAT_V1 = "repro-trace-v1"
+FORMAT_V2 = "repro-trace-v2"
+MAGIC_V2 = b"REPROTR2"
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+# lo, hi, type id, file id, line, origin, flush_gen
+_ACCESS = struct.Struct("<qqBIIii")
+_LOCAL = struct.Struct("<qi")        # seq, rank
+_RMA = struct.Struct("<qiii")        # seq, rank, target, wid
+_SYNC = struct.Struct("<qiBi")       # seq, rank, kind id, wid
+
+_TAG_LOCAL, _TAG_RMA, _TAG_SYNC = 0, 1, 2
+_FLAG_ACCUM, _FLAG_EXCL = 1, 2
+
+# enum member order as written into the header; readers map ids through
+# the header tables, not through these lists
+_ACCESS_TYPES = list(AccessType)
+_SYNC_KINDS = list(SyncKind)
+_REGION_KINDS = list(RegionKind)
+
+
+# -- writing -----------------------------------------------------------------
+
+
+class _StringTable:
+    """Write-side interning: ids are assignment order, new strings pend."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._pending: List[str] = []
+
+    def intern(self, s: str) -> int:
+        sid = self._ids.get(s)
+        if sid is None:
+            sid = len(self._ids)
+            self._ids[s] = sid
+            self._pending.append(s)
+        return sid
+
+    def take_pending(self) -> List[str]:
+        pending, self._pending = self._pending, []
+        return pending
+
+
+class BinaryTraceWriter:
+    """Streaming v2 writer: ``write`` events one at a time, constant memory.
+
+    Events are buffered into chunks of ``events_per_chunk`` and flushed
+    as framed records; :meth:`close` (or the context manager) appends the
+    trailer that lets readers prove the file was not truncated.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        nranks: int,
+        events_per_chunk: int = 2048,
+    ) -> None:
+        if events_per_chunk < 1:
+            raise ValueError("events_per_chunk must be positive")
+        self.path = Path(path)
+        self.nranks = nranks
+        self.events_written = 0
+        self._per_chunk = events_per_chunk
+        self._strings = _StringTable()
+        self._buf = bytearray()
+        self._chunk_events = 0
+        self._fh = self.path.open("wb")
+        header = json.dumps({
+            "format": FORMAT_V2,
+            "nranks": nranks,
+            "enums": {
+                "access": [t.name for t in _ACCESS_TYPES],
+                "sync": [k.value for k in _SYNC_KINDS],
+                "region": [k.value for k in _REGION_KINDS],
+            },
+        }).encode("utf-8")
+        self._fh.write(MAGIC_V2)
+        self._fh.write(_U32.pack(len(header)))
+        self._fh.write(header)
+
+    # -- encoding ------------------------------------------------------------
+
+    def _put_access(self, acc: MemoryAccess) -> None:
+        buf = self._buf
+        flags = 0
+        if acc.accum_op is not None:
+            flags |= _FLAG_ACCUM
+        if acc.excl_epoch is not None:
+            flags |= _FLAG_EXCL
+        buf.append(flags)
+        buf += _ACCESS.pack(
+            acc.interval.lo, acc.interval.hi,
+            _ACCESS_TYPES.index(acc.type),
+            self._strings.intern(acc.debug.filename), acc.debug.line,
+            acc.origin, acc.flush_gen,
+        )
+        if flags & _FLAG_ACCUM:
+            buf += _U32.pack(self._strings.intern(acc.accum_op))
+        if flags & _FLAG_EXCL:
+            buf += struct.pack("<q", acc.excl_epoch)
+
+    def _put_region(self, info: RegionInfo) -> None:
+        self._buf.append(_REGION_KINDS.index(info.kind))
+        self._buf.append(1 if info.may_alias_rma else 0)
+
+    def write(self, event: TraceEvent) -> None:
+        buf = self._buf
+        if isinstance(event, LocalEvent):
+            buf.append(_TAG_LOCAL)
+            buf += _LOCAL.pack(event.seq, event.rank)
+            self._put_access(event.access)
+            self._put_region(event.region)
+        elif isinstance(event, RmaEvent):
+            buf.append(_TAG_RMA)
+            buf += _RMA.pack(event.seq, event.rank, event.target, event.wid)
+            buf += _U32.pack(self._strings.intern(event.op))
+            buf += struct.pack("<q", event.nbytes)
+            self._put_access(event.origin_access)
+            self._put_access(event.target_access)
+            self._put_region(event.origin_region)
+            self._put_region(event.target_region)
+        elif isinstance(event, SyncEvent):
+            buf.append(_TAG_SYNC)
+            buf += _SYNC.pack(
+                event.seq, event.rank, _SYNC_KINDS.index(event.kind), event.wid
+            )
+        else:
+            raise TypeError(f"unknown trace event {event!r}")
+        self.events_written += 1
+        self._chunk_events += 1
+        if self._chunk_events >= self._per_chunk:
+            self._flush_chunk()
+
+    def _flush_chunk(self) -> None:
+        if not self._chunk_events:
+            return
+        head = bytearray()
+        new_strings = self._strings.take_pending()
+        head += _U32.pack(len(new_strings))
+        for s in new_strings:
+            raw = s.encode("utf-8")
+            head += _U32.pack(len(raw))
+            head += raw
+        payload = bytes(head) + bytes(self._buf)
+        self._fh.write(b"CHNK")
+        self._fh.write(_U32.pack(len(payload)))
+        self._fh.write(_U32.pack(self._chunk_events))
+        self._fh.write(payload)
+        self._buf.clear()
+        self._chunk_events = 0
+
+    def close(self) -> None:
+        if self._fh.closed:
+            return
+        self._flush_chunk()
+        self._fh.write(b"TEND")
+        self._fh.write(_U64.pack(self.events_written))
+        self._fh.close()
+
+    def __enter__(self) -> "BinaryTraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class JsonTraceWriter:
+    """Streaming v1 JSON-lines writer (one header line + one line/event)."""
+
+    def __init__(self, path: Union[str, Path], *, nranks: int) -> None:
+        from ..mpi.trace_io import _event_to_dict  # lazy: avoids a cycle
+
+        self._to_dict = _event_to_dict
+        self.path = Path(path)
+        self.nranks = nranks
+        self.events_written = 0
+        self._fh = self.path.open("w")
+        json.dump({"format": FORMAT_V1, "nranks": nranks}, self._fh)
+        self._fh.write("\n")
+
+    def write(self, event: TraceEvent) -> None:
+        json.dump(self._to_dict(event), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonTraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_trace_writer(
+    path: Union[str, Path], *, nranks: int, format: str = "binary"
+):
+    """Writer factory keyed by the CLI's ``--format {json,binary}``."""
+    if format in ("binary", FORMAT_V2):
+        return BinaryTraceWriter(path, nranks=nranks)
+    if format in ("json", FORMAT_V1):
+        return JsonTraceWriter(path, nranks=nranks)
+    raise ValueError(f"unknown trace format {format!r} (json or binary)")
+
+
+# -- reading -----------------------------------------------------------------
+
+
+class _Cursor:
+    """Bounds-checked little helper over one chunk's payload."""
+
+    __slots__ = ("view", "pos", "path", "chunk")
+
+    def __init__(self, payload: bytes, path: Path, chunk: int) -> None:
+        self.view = payload
+        self.pos = 0
+        self.path = path
+        self.chunk = chunk
+
+    def take(self, fmt: struct.Struct):
+        try:
+            values = fmt.unpack_from(self.view, self.pos)
+        except struct.error as exc:
+            raise TraceFormatError(
+                f"chunk {self.chunk} ends mid-record ({exc})", path=self.path
+            ) from exc
+        self.pos += fmt.size
+        return values
+
+    def take_byte(self) -> int:
+        if self.pos >= len(self.view):
+            raise TraceFormatError(
+                f"chunk {self.chunk} ends mid-record", path=self.path
+            )
+        b = self.view[self.pos]
+        self.pos += 1
+        return b
+
+    def take_bytes(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.view):
+            raise TraceFormatError(
+                f"chunk {self.chunk} ends mid-string", path=self.path
+            )
+        raw = self.view[self.pos:end]
+        self.pos = end
+        return raw
+
+
+class TraceReader:
+    """Streaming reader for both trace formats, auto-detected.
+
+    Iterating a reader opens the file anew each time, so one reader can
+    drive several passes (and several worker processes can each hold
+    their own iterator over the same path).  Memory use is bounded by
+    one chunk (v2) or one line (v1).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        try:
+            with self.path.open("rb") as fh:
+                head = fh.read(len(MAGIC_V2))
+                if head == MAGIC_V2:
+                    self.format = FORMAT_V2
+                    self._header = self._read_v2_header(fh)
+                elif head[:1] == b"{":
+                    self.format = FORMAT_V1
+                    self._header = self._read_v1_header(fh, head)
+                elif len(head) == 0:
+                    raise TraceFormatError("empty file", path=self.path)
+                else:
+                    raise TraceFormatError(
+                        "not a repro trace (bad magic and not JSON lines)",
+                        path=self.path,
+                    )
+        except OSError as exc:
+            raise TraceFormatError(f"cannot read trace: {exc}",
+                                   path=self.path) from exc
+        self.nranks = self._header["nranks"]
+
+    # -- headers -------------------------------------------------------------
+
+    def _read_v2_header(self, fh) -> dict:
+        raw = fh.read(_U32.size)
+        if len(raw) < _U32.size:
+            raise TraceFormatError("truncated v2 header length", path=self.path)
+        (length,) = _U32.unpack(raw)
+        blob = fh.read(length)
+        if len(blob) < length:
+            raise TraceFormatError("truncated v2 header", path=self.path)
+        try:
+            header = json.loads(blob)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"corrupt v2 header: {exc}",
+                                   path=self.path) from exc
+        if header.get("format") != FORMAT_V2:
+            raise TraceFormatError(
+                f"not a {FORMAT_V2} file (header says "
+                f"{header.get('format')!r})", path=self.path,
+            )
+        if not isinstance(header.get("nranks"), int):
+            raise TraceFormatError("v2 header missing 'nranks'", path=self.path)
+        try:
+            header["access_table"] = [
+                AccessType[n] for n in header["enums"]["access"]
+            ]
+            header["sync_table"] = [
+                SyncKind(v) for v in header["enums"]["sync"]
+            ]
+            header["region_table"] = [
+                RegionKind(v) for v in header["enums"]["region"]
+            ]
+        except (KeyError, ValueError) as exc:
+            raise TraceFormatError(f"bad v2 enum tables: {exc!r}",
+                                   path=self.path) from exc
+        return header
+
+    def _read_v1_header(self, fh, head: bytes) -> dict:
+        line = head + fh.readline()
+        try:
+            header = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise TraceFormatError(f"corrupt v1 header: {exc}",
+                                   path=self.path, line=1) from exc
+        if header.get("format") != FORMAT_V1:
+            raise TraceFormatError(
+                f"not a {FORMAT_V1} file (header says "
+                f"{header.get('format')!r})", path=self.path, line=1,
+            )
+        if not isinstance(header.get("nranks"), int):
+            raise TraceFormatError("v1 header missing 'nranks'",
+                                   path=self.path, line=1)
+        return header
+
+    # -- iteration -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        if self.format == FORMAT_V2:
+            return self._iter_v2()
+        return self._iter_v1()
+
+    def _iter_v1(self) -> Iterator[TraceEvent]:
+        from ..mpi.trace_io import _event_from_dict  # lazy: avoids a cycle
+
+        with self.path.open() as fh:
+            fh.readline()  # header, validated in __init__
+            for lineno, line in enumerate(fh, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    yield _event_from_dict(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(
+                        f"corrupt or truncated event record: {exc}",
+                        path=self.path, line=lineno,
+                    ) from exc
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise TraceFormatError(
+                        f"malformed event record: {exc!r}",
+                        path=self.path, line=lineno,
+                    ) from exc
+
+    def _iter_v2(self) -> Iterator[TraceEvent]:
+        header = self._header
+        access_table: List[AccessType] = header["access_table"]
+        sync_table: List[SyncKind] = header["sync_table"]
+        region_table: List[RegionKind] = header["region_table"]
+        strings: List[str] = []
+        total = 0
+        with self.path.open("rb") as fh:
+            fh.seek(len(MAGIC_V2))
+            (hlen,) = _U32.unpack(fh.read(_U32.size))
+            fh.seek(hlen, 1)
+            chunk_no = 0
+            while True:
+                tag = fh.read(4)
+                if tag == b"CHNK":
+                    chunk_no += 1
+                    frame = fh.read(8)
+                    if len(frame) < 8:
+                        raise TraceFormatError(
+                            f"truncated chunk {chunk_no} frame", path=self.path
+                        )
+                    nbytes, nevents = struct.unpack("<II", frame)
+                    payload = fh.read(nbytes)
+                    if len(payload) < nbytes:
+                        raise TraceFormatError(
+                            f"truncated chunk {chunk_no}: expected {nbytes} "
+                            f"bytes, got {len(payload)}", path=self.path,
+                        )
+                    yield from self._decode_chunk(
+                        payload, nevents, chunk_no, strings,
+                        access_table, sync_table, region_table,
+                    )
+                    total += nevents
+                elif tag == b"TEND":
+                    raw = fh.read(_U64.size)
+                    if len(raw) < _U64.size:
+                        raise TraceFormatError("truncated trailer",
+                                               path=self.path)
+                    (expected,) = _U64.unpack(raw)
+                    if expected != total:
+                        raise TraceFormatError(
+                            f"event count mismatch: trailer says {expected}, "
+                            f"file holds {total}", path=self.path,
+                        )
+                    if fh.read(1):
+                        raise TraceFormatError("junk after trailer",
+                                               path=self.path)
+                    return
+                elif tag == b"":
+                    raise TraceFormatError(
+                        f"truncated file: no trailer after chunk {chunk_no}",
+                        path=self.path,
+                    )
+                else:
+                    raise TraceFormatError(
+                        f"bad chunk tag {tag!r} after chunk {chunk_no}",
+                        path=self.path,
+                    )
+
+    def _decode_chunk(
+        self, payload, nevents, chunk_no, strings,
+        access_table, sync_table, region_table,
+    ) -> Iterator[TraceEvent]:
+        cur = _Cursor(payload, self.path, chunk_no)
+        (nstrings,) = cur.take(_U32)
+        for _ in range(nstrings):
+            (slen,) = cur.take(_U32)
+            try:
+                strings.append(cur.take_bytes(slen).decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise TraceFormatError(
+                    f"chunk {chunk_no}: corrupt string table: {exc}",
+                    path=self.path,
+                ) from exc
+
+        def lookup(table, idx, what):
+            try:
+                return table[idx]
+            except IndexError:
+                raise TraceFormatError(
+                    f"chunk {chunk_no}: {what} id {idx} out of range",
+                    path=self.path,
+                ) from None
+
+        def take_access() -> MemoryAccess:
+            flags = cur.take_byte()
+            lo, hi, tid, fid, line, origin, flush_gen = cur.take(_ACCESS)
+            accum = None
+            excl = None
+            if flags & _FLAG_ACCUM:
+                (aid,) = cur.take(_U32)
+                accum = lookup(strings, aid, "string")
+            if flags & _FLAG_EXCL:
+                (excl,) = cur.take(struct.Struct("<q"))
+            return MemoryAccess(
+                Interval(lo, hi),
+                lookup(access_table, tid, "access type"),
+                DebugInfo(lookup(strings, fid, "string"), line),
+                origin, 0, flush_gen, accum, excl,
+            )
+
+        def take_region() -> RegionInfo:
+            kid = cur.take_byte()
+            rma = cur.take_byte()
+            return RegionInfo(lookup(region_table, kid, "region kind"),
+                              bool(rma))
+
+        for _ in range(nevents):
+            tag = cur.take_byte()
+            if tag == _TAG_LOCAL:
+                seq, rank = cur.take(_LOCAL)
+                yield LocalEvent(seq, rank, take_access(), take_region())
+            elif tag == _TAG_RMA:
+                seq, rank, target, wid = cur.take(_RMA)
+                (oid,) = cur.take(_U32)
+                (nbytes,) = cur.take(struct.Struct("<q"))
+                origin_access = take_access()
+                target_access = take_access()
+                origin_region = take_region()
+                target_region = take_region()
+                yield RmaEvent(
+                    seq, rank, lookup(strings, oid, "string"), target, wid,
+                    origin_access, target_access,
+                    origin_region, target_region, nbytes,
+                )
+            elif tag == _TAG_SYNC:
+                seq, rank, kid, wid = cur.take(_SYNC)
+                yield SyncEvent(seq, rank, lookup(sync_table, kid, "sync kind"),
+                                wid)
+            else:
+                raise TraceFormatError(
+                    f"chunk {chunk_no}: unknown event tag {tag}",
+                    path=self.path,
+                )
+        if cur.pos != len(cur.view):
+            raise TraceFormatError(
+                f"chunk {chunk_no}: {len(cur.view) - cur.pos} trailing bytes",
+                path=self.path,
+            )

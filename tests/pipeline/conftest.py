@@ -1,0 +1,22 @@
+"""Shared fixtures: recorded app traces (expensive — session-scoped)."""
+
+import pytest
+
+from repro.pipeline import record_app
+
+
+@pytest.fixture(scope="session")
+def minivite_trace(tmp_path_factory):
+    """A racy miniVite run, recorded in the v2 binary format."""
+    path = tmp_path_factory.mktemp("traces") / "mv.trace"
+    record_app("minivite", nranks=4, size=256, inject_race=True,
+               out=path, format="binary")
+    return path
+
+
+@pytest.fixture(scope="session")
+def cfd_trace(tmp_path_factory):
+    """A CFD-Proxy run, recorded in the v1 JSON-lines format."""
+    path = tmp_path_factory.mktemp("traces") / "cfd.trace"
+    record_app("cfd", nranks=4, size=4, out=path, format="json")
+    return path
