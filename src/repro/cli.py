@@ -101,6 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default) or per-worker file re-reads")
     an.add_argument("--batch-size", type=int, default=512, metavar="B",
                     help="events per queue batch (default 512)")
+    an.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                    help="seconds without a worker heartbeat before it "
+                         "counts as stalled and is replaced (default: "
+                         "crash detection only)")
+    an.add_argument("--retries", type=int, default=2, metavar="R",
+                    help="re-runs of a dead worker's shard-group before "
+                         "degrading to serial replay (default 2; file "
+                         "dispatch only)")
+    an.add_argument("--salvage", action="store_true",
+                    help="best-effort read of damaged traces: quarantine "
+                         "corrupt/truncated chunks instead of aborting, "
+                         "and report the loss")
     an.add_argument("--json", action="store_true",
                     help="emit the full machine-readable report")
     return parser
@@ -146,7 +158,29 @@ def _run_one(exp_id: str, *, as_json: bool = False) -> int:
     return 0
 
 
+def _graceful_sigterm() -> None:
+    """Turn SIGTERM into ``SystemExit(143)`` so cleanup actually runs.
+
+    ``record`` and ``analyze`` hold resources a hard kill would leak:
+    pooled worker processes (reaped in the engine's ``finally``) and
+    ``<out>.tmp`` recorder files (removed by the writer's ``abort``).
+    Python's default SIGTERM disposition ends the process without
+    unwinding either, so the CLI converts the signal into an exception.
+    Only the default handler is replaced — an embedder's own handler
+    (or pytest's) stays untouched unless it is SIG_DFL.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return  # pragma: no cover - signal API is main-thread only
+    if signal.getsignal(signal.SIGTERM) == signal.SIG_DFL:
+        signal.signal(signal.SIGTERM,
+                      lambda signum, frame: sys.exit(128 + signum))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    _graceful_sigterm()
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
@@ -188,6 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _record(args) -> int:
+    from .mpi.errors import MpiSimError
     from .pipeline import record_app
 
     out = args.out or f"{args.app}.trace"
@@ -201,6 +236,12 @@ def _record(args) -> int:
     except ValueError as exc:
         print(f"repro record: {exc}", file=sys.stderr)
         return 2
+    except MpiSimError as exc:
+        # the *recorded application* misbehaved (deadlock, RMA misuse):
+        # one line naming the failure, no partial trace left behind
+        print(f"repro record: {args.app} failed: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
     print(f"recorded {result.app} on {result.nranks} ranks: "
           f"{result.events} events -> {result.path} "
           f"({args.format}, {dt:.1f}s)")
@@ -208,15 +249,18 @@ def _record(args) -> int:
 
 
 def _analyze(args) -> int:
-    from .mpi.errors import TraceFormatError
+    from .mpi.errors import TraceFormatError, WorkerCrashedError
     from .pipeline import analyze_trace, detector_display_name
 
     try:
         result = analyze_trace(
             args.trace, detector=args.detector, jobs=args.jobs,
             dispatch=args.dispatch, batch_size=args.batch_size,
+            timeout=args.timeout, retries=args.retries,
+            salvage=args.salvage,
         )
-    except (TraceFormatError, OSError, ValueError) as exc:
+    except (TraceFormatError, WorkerCrashedError, OSError,
+            ValueError) as exc:
         print(f"repro analyze: {exc}", file=sys.stderr)
         return 2
 
@@ -240,6 +284,22 @@ def _analyze(args) -> int:
                   f"{stats.races} race(s)")
         if any(result.queue_peak):
             print(f"  queue depth peaks: {result.queue_peak}")
+    if result.failed_workers:
+        for failure in result.failed_workers:
+            print(f"  worker {failure['worker']} {failure['reason']} "
+                  f"(attempt {failure['attempt']}, "
+                  f"shards {failure['shards']})")
+        if result.retries:
+            print(f"  recovered via {result.retries} worker retr"
+                  f"{'y' if result.retries == 1 else 'ies'}")
+        if result.degraded:
+            print("  DEGRADED: missing shard-groups replayed serially")
+    if result.salvage and (result.salvage["quarantined_chunks"]
+                           or result.salvage["truncated"]):
+        s = result.salvage
+        print(f"  salvage: {len(s['quarantined_chunks'])} chunk(s) "
+              f"quarantined, {s['events_lost']} event(s) lost"
+              + (", file truncated" if s["truncated"] else ""))
     print(f"races: {result.races}")
     for verdict in result.verdicts[:5]:
         stored, new = verdict["stored"], verdict["new"]

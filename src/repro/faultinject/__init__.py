@@ -1,0 +1,52 @@
+"""Fault injection for the analysis runtime — chaos, made deterministic.
+
+A resilience claim is only as good as the failures it has been shown to
+survive.  This package provides seeded, reproducible fault *plans*
+against the pipeline (kill a worker after batch *k*, stall one past the
+supervision timeout) and the trace files themselves (flip payload bytes
+in chunk *j*, truncate mid-chunk, smash a frame tag), plus a simulated
+recorder crash for the atomic-finalize path.  The chaos suite under
+``tests/resilience/`` drives every plan and asserts that analysis
+either recovers to byte-identical verdicts or degrades cleanly with
+accurate loss accounting — never hangs, never lies.
+
+Quickstart::
+
+    from repro.faultinject import FaultPlan, KillWorker, flip_bytes
+    from repro.pipeline import analyze_trace
+
+    plan = FaultPlan(actions=(KillWorker(worker=1, after_batches=2),))
+    result = analyze_trace("mv.trace", jobs=4, dispatch="file",
+                           fault_plan=plan)      # retried, full verdicts
+
+    flip_bytes("mv.trace", chunk=3, seed=7)
+    result = analyze_trace("mv.trace", salvage=True)  # chunk 3 quarantined
+"""
+
+from .corrupt import (
+    ChunkInfo,
+    chunk_index,
+    corrupt_chunk_tag,
+    flip_bytes,
+    truncate_mid_chunk,
+)
+from .plan import (
+    FaultPlan,
+    KillWorker,
+    SimulatedWriterCrash,
+    StallWorker,
+    WriterCrash,
+)
+
+__all__ = [
+    "ChunkInfo",
+    "FaultPlan",
+    "KillWorker",
+    "SimulatedWriterCrash",
+    "StallWorker",
+    "WriterCrash",
+    "chunk_index",
+    "corrupt_chunk_tag",
+    "flip_bytes",
+    "truncate_mid_chunk",
+]

@@ -1,0 +1,142 @@
+"""Deterministic on-disk trace corruptors, framed like the reader reads.
+
+These walk the ``repro-trace-v2`` chunk framing of a *written* trace
+and damage it surgically: flip payload bytes of one chunk (caught by
+the chunk checksum), truncate the file mid-chunk (a recorder that died
+with the trailer unwritten), or smash a frame tag (exercises the
+salvage resync scan).  All randomness is seeded, so every chaos test
+reproduces byte-identical damage.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Union
+
+from ..mpi.errors import TraceFormatError
+from ..pipeline.format import MAGIC_V2
+
+__all__ = [
+    "ChunkInfo",
+    "chunk_index",
+    "corrupt_chunk_tag",
+    "flip_bytes",
+    "truncate_mid_chunk",
+]
+
+_U32 = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """Where one chunk of a v2 trace lives on disk."""
+
+    chunk: int        #: 1-based chunk number, as the reader counts them
+    frame_pos: int    #: offset of the b"CHNK" tag
+    payload_pos: int  #: offset of the first payload byte
+    nbytes: int       #: payload length
+    nevents: int      #: events the frame claims
+
+
+def chunk_index(path: Union[str, Path]) -> List[ChunkInfo]:
+    """Walk a v2 file's framing and index its chunks."""
+    path = Path(path)
+    raw = path.read_bytes()
+    if raw[:len(MAGIC_V2)] != MAGIC_V2:
+        raise TraceFormatError("not a v2 trace (bad magic)", path=path)
+    pos = len(MAGIC_V2)
+    (hlen,) = _U32.unpack_from(raw, pos)
+    header = json.loads(raw[pos + 4:pos + 4 + hlen])
+    frame_size = 12 if header.get("chunk_crc32") else 8
+    pos += 4 + hlen
+    chunks: List[ChunkInfo] = []
+    while pos + 4 <= len(raw):
+        tag = raw[pos:pos + 4]
+        if tag == b"TEND":
+            break
+        if tag != b"CHNK":
+            raise TraceFormatError(
+                f"bad chunk tag {tag!r} at offset {pos}", path=path
+            )
+        nbytes, nevents = struct.unpack_from("<II", raw, pos + 4)
+        chunks.append(ChunkInfo(
+            chunk=len(chunks) + 1,
+            frame_pos=pos,
+            payload_pos=pos + 4 + frame_size,
+            nbytes=nbytes,
+            nevents=nevents,
+        ))
+        pos += 4 + frame_size + nbytes
+    return chunks
+
+
+def _chunk(path: Path, chunk: int) -> ChunkInfo:
+    chunks = chunk_index(path)
+    for info in chunks:
+        if info.chunk == chunk:
+            return info
+    raise ValueError(f"{path} has {len(chunks)} chunks, no chunk {chunk}")
+
+
+def flip_bytes(
+    path: Union[str, Path],
+    chunk: int,
+    *,
+    count: int = 4,
+    seed: int = 0,
+    xor: int = 0xFF,
+) -> List[int]:
+    """XOR ``count`` seeded-random payload bytes of ``chunk`` in place.
+
+    The chunk checksum no longer matches afterwards, so a strict read
+    raises and a salvage read quarantines exactly this chunk.  Returns
+    the absolute file offsets flipped.
+    """
+    path = Path(path)
+    info = _chunk(path, chunk)
+    rng = random.Random(seed)
+    offsets = sorted(
+        info.payload_pos + o
+        for o in rng.sample(range(info.nbytes), min(count, info.nbytes))
+    )
+    raw = bytearray(path.read_bytes())
+    for off in offsets:
+        raw[off] ^= xor
+    path.write_bytes(bytes(raw))
+    return offsets
+
+
+def truncate_mid_chunk(
+    path: Union[str, Path], chunk: int, *, keep_fraction: float = 0.5
+) -> int:
+    """Cut the file inside ``chunk``'s payload, trailer and all.
+
+    Models a recorder killed mid-write (on a pre-atomic-finalize file
+    layout).  Returns the new file size.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    path = Path(path)
+    info = _chunk(path, chunk)
+    cut = info.payload_pos + int(info.nbytes * keep_fraction)
+    raw = path.read_bytes()[:cut]
+    path.write_bytes(raw)
+    return len(raw)
+
+
+def corrupt_chunk_tag(path: Union[str, Path], chunk: int) -> int:
+    """Overwrite ``chunk``'s b"CHNK" tag with junk (breaks the framing).
+
+    Strict reads die on the bad tag; salvage reads lose the chunk and
+    resynchronize on the next frame tag.  Returns the tag's offset.
+    """
+    path = Path(path)
+    info = _chunk(path, chunk)
+    raw = bytearray(path.read_bytes())
+    raw[info.frame_pos:info.frame_pos + 4] = b"JUNK"
+    path.write_bytes(bytes(raw))
+    return info.frame_pos

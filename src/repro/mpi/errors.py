@@ -16,6 +16,7 @@ __all__ = [
     "CollectiveMismatchError",
     "DeadlockError",
     "TraceFormatError",
+    "WorkerCrashedError",
 ]
 
 
@@ -59,3 +60,34 @@ class TraceFormatError(MpiSimError, ValueError):
         super().__init__(message)
         self.path = str(path) if path is not None else None
         self.line = line
+
+
+class WorkerCrashedError(MpiSimError):
+    """An analysis worker process died (or wedged) before reporting.
+
+    Raised by the pipeline's collector instead of blocking forever on
+    the result queue; carries the ``worker`` id, the ``shards`` (memory
+    ranks) it owned, the failure ``reason`` (``"crashed"``, ``"stalled"``
+    or ``"exited without result"``) and the OS ``exitcode`` where known.
+    The supervisor layer catches this to retry or degrade; it reaches
+    user code only when recovery is disabled or impossible.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        shards,
+        *,
+        reason: str = "crashed",
+        exitcode=None,
+    ) -> None:
+        shard_list = list(shards)
+        detail = f" (exitcode {exitcode})" if exitcode is not None else ""
+        super().__init__(
+            f"analysis worker {worker} {reason}{detail} "
+            f"while owning shards {shard_list}"
+        )
+        self.worker = worker
+        self.shards = shard_list
+        self.reason = reason
+        self.exitcode = exitcode

@@ -12,6 +12,9 @@ subsystem exploits end to end:
   events replicated so every shard sees the full ordering skeleton,
 * :mod:`repro.pipeline.engine` — the multiprocessing worker pool
   (batched dispatch, bounded queues) and the deterministic aggregator,
+* :mod:`repro.pipeline.resilience` — worker supervision: heartbeats,
+  stall timeouts, crash detection, and the retry/degrade machinery
+  that keeps a crashed or wedged worker from sinking the analysis,
 * :mod:`repro.pipeline.record` — ``repro record``: run an app with a
   constant-memory streaming recorder attached.
 
@@ -46,14 +49,23 @@ from .format import (
     make_trace_writer,
 )
 from .record import RECORDABLE_APPS, AppSpec, RecordResult, record_app
+from .resilience import (
+    HEARTBEAT_INTERVAL,
+    CollectOutcome,
+    WorkerFailure,
+    backoff_delay,
+    collect_results,
+)
 from .shard import ReplayWindow, dispatch_event, own_reports, shards_of
 
 __all__ = [
     "AppSpec",
     "BinaryTraceWriter",
+    "CollectOutcome",
     "DETECTOR_SPECS",
     "FORMAT_V1",
     "FORMAT_V2",
+    "HEARTBEAT_INTERVAL",
     "JsonTraceWriter",
     "MAGIC_V2",
     "PipelineResult",
@@ -62,8 +74,11 @@ __all__ = [
     "ReplayWindow",
     "ShardStats",
     "TraceReader",
+    "WorkerFailure",
     "analyze_trace",
+    "backoff_delay",
     "canonical_verdicts",
+    "collect_results",
     "detector_display_name",
     "dispatch_event",
     "make_trace_writer",

@@ -22,26 +22,49 @@ worker streams the file itself and keeps only its shards' events.  The
 producer then ships nothing at all — on machines where decode is cheap
 relative to detector work this trades duplicated decoding for zero IPC.
 
+The engine is *supervised* (see :mod:`repro.pipeline.resilience`):
+workers heartbeat on the result queue, every wait is bounded, and a
+crashed or wedged worker is detected rather than hung on.  In file
+dispatch the dead worker's shard-group is re-run with capped
+exponential backoff (replay is deterministic, so retried verdicts are
+byte-identical); once ``retries`` is exhausted — or immediately in
+queue dispatch, whose in-flight batches die with the worker — the
+engine *degrades* to serial in-process replay of the missing shards
+and flags the result ``degraded`` instead of failing the whole
+analysis.  ``salvage=True`` additionally reads damaged traces
+best-effort (:class:`TraceReader` ``strict=False``), with the loss
+accounted in ``PipelineResult.salvage``.
+
 Verdict parity: for every modelled detector the merged verdict set is
 byte-identical (after canonical ordering) to a serial
 :func:`~repro.mpi.trace_io.replay_trace` over the same trace — the
 property the tier-1 parity tests pin down on the miniVite and CFD-Proxy
-traces.
+traces, and that the chaos suite (``tests/resilience/``) re-asserts
+under injected worker kills and stalls.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing as mp
+import queue as _queue
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.report import RaceReport
+from ..mpi.errors import WorkerCrashedError
 from ..mpi.trace import TraceEvent, TraceLog
 from ..mpi.trace_io import LoadedTrace, _access_to_dict
 from .format import TraceReader
+from .resilience import (
+    HEARTBEAT_INTERVAL,
+    WorkerFailure,
+    backoff_delay,
+    collect_results,
+    reap_processes,
+)
 from .shard import dispatch_event, own_reports, shards_of
 
 __all__ = [
@@ -165,6 +188,14 @@ class PipelineResult:
     verdicts: List[dict]
     shard_stats: List[ShardStats]
     queue_peak: List[int] = field(default_factory=list)
+    #: worker respawns the supervisor performed (file-dispatch retries)
+    retries: int = 0
+    #: True when some shard-groups fell back to serial in-process replay
+    degraded: bool = False
+    #: every worker attempt that crashed/stalled, as plain dicts
+    failed_workers: List[dict] = field(default_factory=list)
+    #: salvage accounting when the trace was read with ``strict=False``
+    salvage: Optional[dict] = None
 
     @property
     def races(self) -> int:
@@ -189,6 +220,10 @@ class PipelineResult:
             "verdicts": self.verdicts,
             "shards": [s.to_dict() for s in self.shard_stats],
             "queue_peak": self.queue_peak,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "failed_workers": list(self.failed_workers),
+            "salvage": self.salvage,
         }
 
 
@@ -228,27 +263,64 @@ class _ShardGroup:
         return out
 
 
-def _worker_queue(worker_id, shards, detector, nranks, in_q, out_q):
+def _worker_queue(worker_id, shards, detector, nranks, in_q, out_q,
+                  attempt=0, fault_plan=None):
     """Queue-dispatch worker: drain (shard, batch) items until sentinel."""
     group = _ShardGroup(shards, detector, nranks)
+    ticks = 0
+    last_hb = time.monotonic()
     while True:
         item = in_q.get()
         if item is None:
             break
         shard, batch = item
         group.dispatch(shard, batch)
-    out_q.put((worker_id, group.finish()))
+        ticks += 1
+        if fault_plan is not None:
+            fault_plan.fire(worker_id, attempt, ticks)
+        now = time.monotonic()
+        if now - last_hb >= HEARTBEAT_INTERVAL:
+            out_q.put(("hb", worker_id, attempt, ticks))
+            last_hb = now
+    out_q.put(("done", worker_id, attempt, group.finish()))
 
 
-def _worker_file(worker_id, shards, detector, nranks, path, out_q):
+def _worker_file(worker_id, shards, detector, nranks, path, out_q,
+                 attempt=0, fault_plan=None, strict=True):
     """File-dispatch worker: stream the trace itself, keep own shards."""
     group = _ShardGroup(shards, detector, nranks)
     own = set(shards)
-    for event in TraceReader(path):
+    ticks = 0
+    last_hb = time.monotonic()
+    for event in TraceReader(path, strict=strict):
         for shard in shards_of(event, nranks):
             if shard in own:
                 group.dispatch(shard, (event,))
-    out_q.put((worker_id, group.finish()))
+                ticks += 1
+                if fault_plan is not None:
+                    fault_plan.fire(worker_id, attempt, ticks)
+        if not (ticks & 0x3F):  # check the clock every 64 ticks at most
+            now = time.monotonic()
+            if now - last_hb >= HEARTBEAT_INTERVAL:
+                out_q.put(("hb", worker_id, attempt, ticks))
+                last_hb = now
+    out_q.put(("done", worker_id, attempt, group.finish()))
+
+
+def _run_shards_inline(events, shards, detector, nranks):
+    """Degraded path: replay one shard-group serially, in this process.
+
+    Replay is deterministic, so the verdicts are exactly what the dead
+    worker would have reported — the analysis completes, just without
+    that worker's parallelism.
+    """
+    group = _ShardGroup(shards, detector, nranks)
+    own = set(shards)
+    for event in events:
+        for shard in shards_of(event, nranks):
+            if shard in own:
+                group.dispatch(shard, (event,))
+    return group.finish()
 
 
 # -- driver ------------------------------------------------------------------
@@ -256,18 +328,30 @@ def _worker_file(worker_id, shards, detector, nranks, path, out_q):
 Source = Union[str, Path, TraceReader, LoadedTrace]
 
 
-def _as_stream(source: Source):
-    """(iterable of events, nranks, path-or-None) for any trace source."""
+def _as_stream(source: Source, *, strict: bool = True):
+    """(events, nranks, path-or-None, reader-or-None) for any source.
+
+    The events iterable is *re-iterable* for every supported source —
+    a :class:`TraceReader` opens the file anew per pass and a
+    :class:`LoadedTrace` holds a list — which is what makes retry and
+    degraded replay possible at all.
+    """
     if isinstance(source, (str, Path)):
-        source = TraceReader(source)
+        source = TraceReader(source, strict=strict)
     if isinstance(source, TraceReader):
-        return source, source.nranks, source.path
+        return source, source.nranks, source.path, source
     if isinstance(source, LoadedTrace):
-        return source.log.events, source.nranks, None
+        return source.log.events, source.nranks, None, None
     raise TypeError(f"cannot analyze {type(source).__name__}")
 
 
-def _serial(events, nranks, detector_name):
+def _salvage_info(reader: Optional[TraceReader]) -> Optional[dict]:
+    if reader is None or reader.strict:
+        return None
+    return reader.salvage_report()
+
+
+def _serial(events, nranks, detector_name, reader=None):
     det = _make_detector(detector_name)
     t0 = time.perf_counter()
     n = 0
@@ -286,6 +370,7 @@ def _serial(events, nranks, detector_name):
         detector=detector_name, nranks=nranks, jobs=1, dispatch="serial",
         events_total=n, wall_seconds=wall,
         verdicts=canonical_verdicts(det.reports), shard_stats=[shard],
+        salvage=_salvage_info(reader),
     )
 
 
@@ -296,17 +381,6 @@ def _mp_context():
         return mp.get_context("spawn")
 
 
-def _collect(out_q, procs, jobs):
-    """Drain worker results *before* joining (results can be large)."""
-    payloads: Dict[int, List[ShardStats]] = {}
-    while len(payloads) < jobs:
-        worker_id, stats = out_q.get()
-        payloads[worker_id] = stats
-    for p in procs:
-        p.join()
-    return [s for w in sorted(payloads) for s in payloads[w]]
-
-
 def analyze_trace(
     source: Source,
     *,
@@ -315,21 +389,50 @@ def analyze_trace(
     dispatch: str = "queue",
     batch_size: int = 512,
     queue_depth: int = 8,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff_base: float = 0.1,
+    backoff_max: float = 2.0,
+    salvage: bool = False,
+    recover: bool = True,
+    fault_plan=None,
 ) -> PipelineResult:
     """Analyze a recorded trace, optionally sharded over ``jobs`` processes.
 
     ``source`` may be a path (either trace format, auto-detected), an
     open :class:`TraceReader`, or an in-memory :class:`LoadedTrace`.
     ``dispatch="file"`` requires a path-backed source.
+
+    Resilience knobs:
+
+    * ``timeout`` — seconds without a heartbeat before a worker counts
+      as stalled and is terminated (``None``: crash detection only);
+    * ``retries`` — how many times a dead worker's shard-group may be
+      re-run (file dispatch) before degrading to serial replay;
+    * ``backoff_base`` / ``backoff_max`` — capped exponential delay
+      between retry rounds;
+    * ``salvage`` — read damaged traces best-effort, quarantining
+      corrupt chunks (``PipelineResult.salvage`` accounts the loss);
+    * ``recover=False`` — raise
+      :class:`~repro.mpi.errors.WorkerCrashedError` on the first worker
+      failure instead of retrying/degrading;
+    * ``fault_plan`` — a :class:`~repro.faultinject.FaultPlan` forwarded
+      to the workers (chaos testing only).
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
     if dispatch not in ("queue", "file"):
         raise ValueError(f"unknown dispatch mode {dispatch!r}")
-    events, nranks, path = _as_stream(source)
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive")
+    events, nranks, path, reader = _as_stream(source, strict=not salvage)
+    if reader is not None and not reader.strict:
+        salvage = True  # honor an already-open salvage reader
     jobs = max(1, min(jobs, nranks))
     if jobs == 1:
-        return _serial(events, nranks, detector)
+        return _serial(events, nranks, detector, reader=reader)
     if dispatch == "file" and path is None:
         raise ValueError("dispatch='file' needs a path-backed trace source")
     _make_detector(detector)  # validate the name before forking
@@ -337,61 +440,157 @@ def analyze_trace(
     ctx = _mp_context()
     out_q = ctx.Queue()
     worker_shards = [list(range(w, nranks, jobs)) for w in range(jobs)]
+    all_procs: List = []          # every process ever spawned, for cleanup
+    in_qs: List = []
+    failures_all: List[WorkerFailure] = []
+    retry_spawns = 0
+    clean_exit = False
     t0 = time.perf_counter()
 
-    if dispatch == "file":
-        procs = [
-            ctx.Process(
-                target=_worker_file,
-                args=(w, worker_shards[w], detector, nranks, path, out_q),
-                daemon=True,
-            )
-            for w in range(jobs)
-        ]
-        for p in procs:
-            p.start()
-        # count events once in the parent for the throughput metric
-        events_total = sum(1 for _ in events)
-        all_stats = _collect(out_q, procs, jobs)
-        queue_peak = [0] * jobs
-    else:
-        in_qs = [ctx.Queue(queue_depth) for _ in range(jobs)]
-        procs = [
-            ctx.Process(
-                target=_worker_queue,
-                args=(w, worker_shards[w], detector, nranks, in_qs[w], out_q),
-                daemon=True,
-            )
-            for w in range(jobs)
-        ]
-        for p in procs:
-            p.start()
-        queue_peak = [0] * jobs
-        buffers: List[List[TraceEvent]] = [[] for _ in range(nranks)]
-        events_total = 0
+    def _spawn(target, args_tail, worker):
+        proc = ctx.Process(
+            target=target,
+            args=(worker, worker_shards[worker], detector, nranks,
+                  *args_tail),
+            daemon=True,
+        )
+        all_procs.append(proc)
+        proc.start()
+        return proc
 
-        def ship(shard: int) -> None:
-            worker = shard % jobs
-            try:  # qsize is advisory; not implemented on some platforms
-                queue_peak[worker] = max(queue_peak[worker],
-                                         in_qs[worker].qsize() + 1)
-            except NotImplementedError:  # pragma: no cover
-                pass
-            in_qs[worker].put((shard, buffers[shard]))
-            buffers[shard] = []
+    try:
+        if dispatch == "file":
+            procs = {
+                w: _spawn(_worker_file,
+                          (path, out_q, 0, fault_plan, not salvage), w)
+                for w in range(jobs)
+            }
+            # count events once in the parent for the throughput metric
+            events_total = sum(1 for _ in events)
+            outcome = collect_results(out_q, procs, worker_shards,
+                                      timeout=timeout, attempt=0)
+            payloads = outcome.payloads
+            failures = outcome.failures
+            failures_all.extend(failures)
+            if failures and not recover:
+                first = failures[0]
+                raise WorkerCrashedError(
+                    first.worker, first.shards,
+                    reason=first.reason, exitcode=first.exitcode,
+                )
+            for rnd in range(1, retries + 1):
+                if not failures:
+                    break
+                time.sleep(backoff_delay(rnd, base=backoff_base,
+                                         cap=backoff_max))
+                retry_procs = {
+                    f.worker: _spawn(
+                        _worker_file,
+                        (path, out_q, rnd, fault_plan, not salvage),
+                        f.worker,
+                    )
+                    for f in failures
+                }
+                retry_spawns += len(retry_procs)
+                outcome = collect_results(out_q, retry_procs, worker_shards,
+                                          timeout=timeout, attempt=rnd)
+                payloads.update(outcome.payloads)
+                failures = outcome.failures
+                failures_all.extend(failures)
+            queue_peak = [0] * jobs
+        else:
+            in_qs = [ctx.Queue(queue_depth) for _ in range(jobs)]
+            procs = {
+                w: _spawn(_worker_queue, (in_qs[w], out_q, 0, fault_plan), w)
+                for w in range(jobs)
+            }
+            queue_peak = [0] * jobs
+            buffers: List[List[TraceEvent]] = [[] for _ in range(nranks)]
+            events_total = 0
+            lost: set = set()
 
-        for event in events:
-            events_total += 1
-            for shard in shards_of(event, nranks):
-                buffers[shard].append(event)
-                if len(buffers[shard]) >= batch_size:
+            def _fail_worker(worker: int, reason: str) -> None:
+                lost.add(worker)
+                failures_all.append(WorkerFailure(
+                    worker, list(worker_shards[worker]), reason,
+                    exitcode=procs[worker].exitcode, attempt=0,
+                ))
+
+            def _put_bounded(worker: int, item) -> None:
+                """put() that survives a dead or wedged consumer."""
+                waited = 0.0
+                while worker not in lost:
+                    try:
+                        in_qs[worker].put(item, timeout=0.2)
+                        return
+                    except _queue.Full:
+                        if not procs[worker].is_alive():
+                            _fail_worker(worker, "crashed")
+                            return
+                        waited += 0.2
+                        if timeout is not None and waited > timeout:
+                            procs[worker].terminate()
+                            procs[worker].join(1.0)
+                            _fail_worker(worker, "stalled")
+                            return
+
+            def ship(shard: int) -> None:
+                worker = shard % jobs
+                batch = buffers[shard]
+                buffers[shard] = []
+                if worker in lost:
+                    return
+                try:  # qsize is advisory; not implemented everywhere
+                    queue_peak[worker] = max(queue_peak[worker],
+                                             in_qs[worker].qsize() + 1)
+                except NotImplementedError:  # pragma: no cover
+                    pass
+                _put_bounded(worker, (shard, batch))
+
+            for event in events:
+                events_total += 1
+                for shard in shards_of(event, nranks):
+                    buffers[shard].append(event)
+                    if len(buffers[shard]) >= batch_size:
+                        ship(shard)
+            for shard in range(nranks):
+                if buffers[shard]:
                     ship(shard)
-        for shard in range(nranks):
-            if buffers[shard]:
-                ship(shard)
-        for q in in_qs:
-            q.put(None)
-        all_stats = _collect(out_q, procs, jobs)
+            for w in range(jobs):
+                _put_bounded(w, None)
+            live = {w: p for w, p in procs.items() if w not in lost}
+            outcome = collect_results(out_q, live, worker_shards,
+                                      timeout=timeout, attempt=0)
+            payloads = outcome.payloads
+            failures_all.extend(outcome.failures)
+            failures = [f for f in failures_all]
+            if failures and not recover:
+                first = failures[0]
+                raise WorkerCrashedError(
+                    first.worker, first.shards,
+                    reason=first.reason, exitcode=first.exitcode,
+                )
+            # a queue worker's in-flight batches died with it: no replay
+            # material for a respawn, so failures go straight to the
+            # degraded path below
+
+        degraded = False
+        if failures:
+            # serial in-process replay of every still-missing shard-group
+            for failure in {f.worker: f for f in failures}.values():
+                payloads[failure.worker] = _run_shards_inline(
+                    events, worker_shards[failure.worker], detector, nranks,
+                )
+            degraded = True
+        all_stats = [s for w in sorted(payloads) for s in payloads[w]]
+        clean_exit = True
+    finally:
+        reap_processes(all_procs)
+        if not clean_exit:
+            for q in in_qs:
+                # don't let a dead consumer's unflushed queue buffer
+                # block interpreter shutdown
+                q.cancel_join_thread()
 
     wall = time.perf_counter() - t0
     merged = canonical_verdicts(
@@ -402,4 +601,8 @@ def analyze_trace(
         events_total=events_total, wall_seconds=wall, verdicts=merged,
         shard_stats=sorted(all_stats, key=lambda s: s.shard),
         queue_peak=queue_peak,
+        retries=retry_spawns,
+        degraded=degraded,
+        failed_workers=[f.to_dict() for f in failures_all],
+        salvage=_salvage_info(reader),
     )

@@ -12,8 +12,10 @@ Layout of a v2 file::
 
     magic    8 bytes   b"REPROTR2"
     header   u32 length + JSON   {"format": "repro-trace-v2",
-                                  "nranks": N, "enums": {...}}
-    chunk*   b"CHNK" + u32 payload bytes + u32 event count + payload
+                                  "nranks": N, "enums": {...},
+                                  "chunk_crc32": true}
+    chunk*   b"CHNK" + u32 payload bytes + u32 event count
+             [+ u32 crc32(payload), when the header flags it] + payload
     trailer  b"TEND" + u64 total event count
 
 Each chunk payload starts with the strings *first seen* in that chunk
@@ -21,21 +23,40 @@ Each chunk payload starts with the strings *first seen* in that chunk
 table in lockstep, so strings are written once per file.  Events are
 fixed little-endian ``struct`` records plus string ids.  Enum members
 are encoded as indexes into tables spelled out in the header, so a file
-survives enum reordering in future versions of the package.
+survives enum reordering in future versions of the package.  Files
+written before the checksum existed carry no ``chunk_crc32`` header
+flag and are still read.
 
-:class:`TraceReader` also auto-detects and streams v1 JSON-lines files:
-``open`` one path, iterate events, never care which format it was.
-Malformed input of either format raises
-:class:`~repro.mpi.errors.TraceFormatError` naming the file and (where
-meaningful) the line.
+Robustness:
+
+* Writers stream to ``<path>.tmp`` and :func:`os.replace` into place on
+  :meth:`close`, so a crashed recording can never leave a final path
+  that passes the trailer check; :meth:`abort` (called automatically
+  when the ``with`` block exits on an exception) removes the temp file.
+* :class:`TraceReader` auto-detects and streams v1 JSON-lines files
+  too: open one path, iterate events, never care which format it was.
+* In the default ``strict=True`` mode, malformed input of either format
+  raises :class:`~repro.mpi.errors.TraceFormatError` naming the file
+  and (where meaningful) the line.  With ``strict=False`` the reader
+  *salvages*: corrupt or truncated chunks are quarantined using the
+  chunk framing + checksum and iteration continues with the remaining
+  chunks, with the damage accounted in :attr:`TraceReader.salvage_report`
+  (quarantined chunk numbers, events lost, truncation flag).  One
+  caveat is inherent to the incremental string table: if a quarantined
+  chunk was the first to intern a string, later chunks referencing it
+  decode against a shorter table and are quarantined in turn — the
+  accounting stays exact (the trailer reconciles the loss), but a
+  corrupt *early* chunk can shadow later ones.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
+import zlib
 from pathlib import Path
-from typing import Dict, Iterator, List, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from ..intervals import AccessType, DebugInfo, Interval, MemoryAccess
 from ..mpi.errors import TraceFormatError
@@ -101,8 +122,17 @@ class BinaryTraceWriter:
     """Streaming v2 writer: ``write`` events one at a time, constant memory.
 
     Events are buffered into chunks of ``events_per_chunk`` and flushed
-    as framed records; :meth:`close` (or the context manager) appends the
-    trailer that lets readers prove the file was not truncated.
+    as framed, crc32-checksummed records; :meth:`close` (or a clean
+    context-manager exit) appends the trailer that lets readers prove
+    the file was not truncated, then atomically renames the temp file
+    into ``path``.  An exceptional ``with``-block exit calls
+    :meth:`abort` instead, which removes the temp file — an interrupted
+    recording never leaves a file that looks complete.
+
+    ``fault_hook``, if given, is called as ``hook(stage, n)`` at
+    ``("chunk", chunk_no)`` after each chunk flush and ``("close",
+    chunks_flushed)`` on finalize — the seam the fault-injection harness
+    uses to simulate recorder crashes deterministically.
     """
 
     def __init__(
@@ -111,20 +141,26 @@ class BinaryTraceWriter:
         *,
         nranks: int,
         events_per_chunk: int = 2048,
+        fault_hook: Optional[Callable[[str, int], None]] = None,
     ) -> None:
         if events_per_chunk < 1:
             raise ValueError("events_per_chunk must be positive")
         self.path = Path(path)
         self.nranks = nranks
         self.events_written = 0
+        self.chunks_written = 0
         self._per_chunk = events_per_chunk
+        self._fault_hook = fault_hook
         self._strings = _StringTable()
         self._buf = bytearray()
         self._chunk_events = 0
-        self._fh = self.path.open("wb")
+        self._done = False
+        self._tmp = self.path.with_name(self.path.name + ".tmp")
+        self._fh = self._tmp.open("wb")
         header = json.dumps({
             "format": FORMAT_V2,
             "nranks": nranks,
+            "chunk_crc32": True,
             "enums": {
                 "access": [t.name for t in _ACCESS_TYPES],
                 "sync": [k.value for k in _SYNC_KINDS],
@@ -202,27 +238,54 @@ class BinaryTraceWriter:
         self._fh.write(b"CHNK")
         self._fh.write(_U32.pack(len(payload)))
         self._fh.write(_U32.pack(self._chunk_events))
+        self._fh.write(_U32.pack(zlib.crc32(payload)))
         self._fh.write(payload)
         self._buf.clear()
         self._chunk_events = 0
+        self.chunks_written += 1
+        if self._fault_hook is not None:
+            self._fault_hook("chunk", self.chunks_written)
 
     def close(self) -> None:
-        if self._fh.closed:
+        if self._done:
             return
+        if self._fault_hook is not None:
+            self._fault_hook("close", self.chunks_written)
         self._flush_chunk()
         self._fh.write(b"TEND")
         self._fh.write(_U64.pack(self.events_written))
         self._fh.close()
+        os.replace(self._tmp, self.path)
+        self._done = True
+
+    def abort(self) -> None:
+        """Discard the recording: close and remove the temp file."""
+        if self._done:
+            return
+        self._done = True
+        self._fh.close()
+        try:
+            self._tmp.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
 
     def __enter__(self) -> "BinaryTraceWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 class JsonTraceWriter:
-    """Streaming v1 JSON-lines writer (one header line + one line/event)."""
+    """Streaming v1 JSON-lines writer (one header line + one line/event).
+
+    Finalization is atomic like the binary writer's: the stream goes to
+    ``<path>.tmp`` and is renamed into place on :meth:`close`; an
+    exceptional ``with``-block exit :meth:`abort`\\ s instead.
+    """
 
     def __init__(self, path: Union[str, Path], *, nranks: int) -> None:
         from ..mpi.trace_io import _event_to_dict  # lazy: avoids a cycle
@@ -231,7 +294,9 @@ class JsonTraceWriter:
         self.path = Path(path)
         self.nranks = nranks
         self.events_written = 0
-        self._fh = self.path.open("w")
+        self._done = False
+        self._tmp = self.path.with_name(self.path.name + ".tmp")
+        self._fh = self._tmp.open("w")
         json.dump({"format": FORMAT_V1, "nranks": nranks}, self._fh)
         self._fh.write("\n")
 
@@ -241,14 +306,31 @@ class JsonTraceWriter:
         self.events_written += 1
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        if self._done:
+            return
+        self._fh.close()
+        os.replace(self._tmp, self.path)
+        self._done = True
+
+    def abort(self) -> None:
+        """Discard the recording: close and remove the temp file."""
+        if self._done:
+            return
+        self._done = True
+        self._fh.close()
+        try:
+            self._tmp.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
 
     def __enter__(self) -> "JsonTraceWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 def make_trace_writer(
@@ -313,10 +395,26 @@ class TraceReader:
     drive several passes (and several worker processes can each hold
     their own iterator over the same path).  Memory use is bounded by
     one chunk (v2) or one line (v1).
+
+    ``strict=False`` turns on *salvage* mode: instead of raising on the
+    first corrupt or truncated chunk, the reader quarantines it (the
+    chunk framing and per-chunk checksum bound the damage), keeps
+    iterating the rest of the file, and accounts the loss — afterwards
+    :attr:`quarantined_chunks`, :attr:`events_lost` and
+    :attr:`truncated` (or :meth:`salvage_report`) say exactly what was
+    skipped.  Damage that predates iteration (bad magic, unreadable
+    header) still raises: there is nothing to salvage without a header.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], *, strict: bool = True) -> None:
         self.path = Path(path)
+        self.strict = strict
+        #: chunk numbers (v2) / line numbers (v1) skipped by salvage mode
+        self.quarantined_chunks: List[int] = []
+        #: events known lost to quarantined chunks (trailer-reconciled)
+        self.events_lost = 0
+        #: True when the file ends before its trailer (mid-write crash)
+        self.truncated = False
         try:
             with self.path.open("rb") as fh:
                 head = fh.read(len(MAGIC_V2))
@@ -373,6 +471,8 @@ class TraceReader:
         except (KeyError, ValueError) as exc:
             raise TraceFormatError(f"bad v2 enum tables: {exc!r}",
                                    path=self.path) from exc
+        # files from before the per-chunk checksum carry no flag
+        header["chunk_crc"] = bool(header.get("chunk_crc32"))
         return header
 
     def _read_v1_header(self, fh, head: bytes) -> dict:
@@ -395,9 +495,20 @@ class TraceReader:
     # -- iteration -----------------------------------------------------------
 
     def __iter__(self) -> Iterator[TraceEvent]:
+        self.quarantined_chunks = []
+        self.events_lost = 0
+        self.truncated = False
         if self.format == FORMAT_V2:
             return self._iter_v2()
         return self._iter_v1()
+
+    def salvage_report(self) -> dict:
+        """What the last (salvage-mode) iteration had to skip."""
+        return {
+            "quarantined_chunks": list(self.quarantined_chunks),
+            "events_lost": self.events_lost,
+            "truncated": self.truncated,
+        }
 
     def _iter_v1(self) -> Iterator[TraceEvent]:
         from ..mpi.trace_io import _event_from_dict  # lazy: avoids a cycle
@@ -408,92 +519,170 @@ class TraceReader:
                 if not line.strip():
                     continue
                 try:
-                    yield _event_from_dict(json.loads(line))
+                    event = _event_from_dict(json.loads(line))
                 except json.JSONDecodeError as exc:
-                    raise TraceFormatError(
-                        f"corrupt or truncated event record: {exc}",
-                        path=self.path, line=lineno,
-                    ) from exc
+                    if self.strict:
+                        raise TraceFormatError(
+                            f"corrupt or truncated event record: {exc}",
+                            path=self.path, line=lineno,
+                        ) from exc
+                    self.quarantined_chunks.append(lineno)
+                    self.events_lost += 1
+                    continue
                 except (KeyError, ValueError, TypeError) as exc:
-                    raise TraceFormatError(
-                        f"malformed event record: {exc!r}",
-                        path=self.path, line=lineno,
-                    ) from exc
+                    if self.strict:
+                        raise TraceFormatError(
+                            f"malformed event record: {exc!r}",
+                            path=self.path, line=lineno,
+                        ) from exc
+                    self.quarantined_chunks.append(lineno)
+                    self.events_lost += 1
+                    continue
+                yield event
+
+    def _bad(self, message: str) -> None:
+        """Raise in strict mode; in salvage mode the caller quarantines."""
+        if self.strict:
+            raise TraceFormatError(message, path=self.path)
+
+    def _resync(self, fh, from_pos: int) -> bool:
+        """Scan forward for the next frame tag and seek the file to it."""
+        fh.seek(from_pos)
+        overlap = b""
+        while True:
+            block = fh.read(1 << 16)
+            if not block:
+                return False
+            hay = overlap + block
+            hits = [i for i in (hay.find(b"CHNK"), hay.find(b"TEND"))
+                    if i != -1]
+            if hits:
+                fh.seek(fh.tell() - len(hay) + min(hits))
+                return True
+            overlap = hay[-3:]
 
     def _iter_v2(self) -> Iterator[TraceEvent]:
         header = self._header
         access_table: List[AccessType] = header["access_table"]
         sync_table: List[SyncKind] = header["sync_table"]
         region_table: List[RegionKind] = header["region_table"]
+        frame = struct.Struct("<III") if header["chunk_crc"] \
+            else struct.Struct("<II")
         strings: List[str] = []
         total = 0
+        claimed_lost = 0
         with self.path.open("rb") as fh:
             fh.seek(len(MAGIC_V2))
             (hlen,) = _U32.unpack(fh.read(_U32.size))
             fh.seek(hlen, 1)
             chunk_no = 0
             while True:
+                tag_pos = fh.tell()
                 tag = fh.read(4)
                 if tag == b"CHNK":
                     chunk_no += 1
-                    frame = fh.read(8)
-                    if len(frame) < 8:
-                        raise TraceFormatError(
-                            f"truncated chunk {chunk_no} frame", path=self.path
-                        )
-                    nbytes, nevents = struct.unpack("<II", frame)
+                    raw = fh.read(frame.size)
+                    if len(raw) < frame.size:
+                        self._bad(f"truncated chunk {chunk_no} frame")
+                        self.quarantined_chunks.append(chunk_no)
+                        self.truncated = True
+                        break
+                    if header["chunk_crc"]:
+                        nbytes, nevents, crc = frame.unpack(raw)
+                    else:
+                        (nbytes, nevents), crc = frame.unpack(raw), None
+                    if not self.strict and nbytes > (1 << 30):
+                        # a frame this large is corruption, not data
+                        self.quarantined_chunks.append(chunk_no)
+                        if not self._resync(fh, tag_pos + 1):
+                            self.truncated = True
+                            break
+                        continue
                     payload = fh.read(nbytes)
                     if len(payload) < nbytes:
-                        raise TraceFormatError(
+                        self._bad(
                             f"truncated chunk {chunk_no}: expected {nbytes} "
-                            f"bytes, got {len(payload)}", path=self.path,
+                            f"bytes, got {len(payload)}"
                         )
-                    yield from self._decode_chunk(
-                        payload, nevents, chunk_no, strings,
-                        access_table, sync_table, region_table,
-                    )
+                        self.quarantined_chunks.append(chunk_no)
+                        claimed_lost += nevents
+                        self.truncated = True
+                        break
+                    if crc is not None and zlib.crc32(payload) != crc:
+                        self._bad(
+                            f"chunk {chunk_no}: checksum mismatch "
+                            f"(payload corrupt)"
+                        )
+                        self.quarantined_chunks.append(chunk_no)
+                        claimed_lost += nevents
+                        continue
+                    try:
+                        events = self._decode_chunk(
+                            payload, nevents, chunk_no, strings,
+                            access_table, sync_table, region_table,
+                        )
+                    except TraceFormatError:
+                        if self.strict:
+                            raise
+                        self.quarantined_chunks.append(chunk_no)
+                        claimed_lost += nevents
+                        continue
+                    yield from events
                     total += nevents
                 elif tag == b"TEND":
                     raw = fh.read(_U64.size)
                     if len(raw) < _U64.size:
-                        raise TraceFormatError("truncated trailer",
-                                               path=self.path)
+                        self._bad("truncated trailer")
+                        self.truncated = True
+                        break
                     (expected,) = _U64.unpack(raw)
                     if expected != total:
-                        raise TraceFormatError(
+                        self._bad(
                             f"event count mismatch: trailer says {expected}, "
-                            f"file holds {total}", path=self.path,
+                            f"file holds {total}"
                         )
+                        # the trailer is the authoritative loss count
+                        self.events_lost = max(0, expected - total)
                     if fh.read(1):
-                        raise TraceFormatError("junk after trailer",
-                                               path=self.path)
+                        self._bad("junk after trailer")
                     return
                 elif tag == b"":
-                    raise TraceFormatError(
-                        f"truncated file: no trailer after chunk {chunk_no}",
-                        path=self.path,
+                    self._bad(
+                        f"truncated file: no trailer after chunk {chunk_no}"
                     )
+                    self.truncated = True
+                    break
                 else:
-                    raise TraceFormatError(
-                        f"bad chunk tag {tag!r} after chunk {chunk_no}",
-                        path=self.path,
-                    )
+                    self._bad(f"bad chunk tag {tag!r} after chunk {chunk_no}")
+                    chunk_no += 1
+                    self.quarantined_chunks.append(chunk_no)
+                    if not self._resync(fh, tag_pos + 1):
+                        self.truncated = True
+                        break
+                    continue
+            # salvage-only exit: the file ended without a (sound) trailer,
+            # so the per-frame claims are the best available loss count
+            self.events_lost = claimed_lost
 
     def _decode_chunk(
         self, payload, nevents, chunk_no, strings,
         access_table, sync_table, region_table,
-    ) -> Iterator[TraceEvent]:
+    ) -> List[TraceEvent]:
         cur = _Cursor(payload, self.path, chunk_no)
         (nstrings,) = cur.take(_U32)
+        fresh: List[str] = []
         for _ in range(nstrings):
             (slen,) = cur.take(_U32)
             try:
-                strings.append(cur.take_bytes(slen).decode("utf-8"))
+                fresh.append(cur.take_bytes(slen).decode("utf-8"))
             except UnicodeDecodeError as exc:
                 raise TraceFormatError(
                     f"chunk {chunk_no}: corrupt string table: {exc}",
                     path=self.path,
                 ) from exc
+        # commit all-or-nothing so a quarantined chunk cannot leave the
+        # shared table half-grown (later chunks decode against it)
+        strings.extend(fresh)
 
         def lookup(table, idx, what):
             try:
@@ -527,11 +716,12 @@ class TraceReader:
             return RegionInfo(lookup(region_table, kid, "region kind"),
                               bool(rma))
 
+        out: List[TraceEvent] = []
         for _ in range(nevents):
             tag = cur.take_byte()
             if tag == _TAG_LOCAL:
                 seq, rank = cur.take(_LOCAL)
-                yield LocalEvent(seq, rank, take_access(), take_region())
+                out.append(LocalEvent(seq, rank, take_access(), take_region()))
             elif tag == _TAG_RMA:
                 seq, rank, target, wid = cur.take(_RMA)
                 (oid,) = cur.take(_U32)
@@ -540,15 +730,16 @@ class TraceReader:
                 target_access = take_access()
                 origin_region = take_region()
                 target_region = take_region()
-                yield RmaEvent(
+                out.append(RmaEvent(
                     seq, rank, lookup(strings, oid, "string"), target, wid,
                     origin_access, target_access,
                     origin_region, target_region, nbytes,
-                )
+                ))
             elif tag == _TAG_SYNC:
                 seq, rank, kid, wid = cur.take(_SYNC)
-                yield SyncEvent(seq, rank, lookup(sync_table, kid, "sync kind"),
-                                wid)
+                out.append(SyncEvent(
+                    seq, rank, lookup(sync_table, kid, "sync kind"), wid
+                ))
             else:
                 raise TraceFormatError(
                     f"chunk {chunk_no}: unknown event tag {tag}",
@@ -559,3 +750,4 @@ class TraceReader:
                 f"chunk {chunk_no}: {len(cur.view) - cur.pos} trailing bytes",
                 path=self.path,
             )
+        return out

@@ -1,0 +1,113 @@
+"""CLI failure surface: exit codes, flags and JSON fields for resilience.
+
+Exit-code contract: 0 success, 2 operator error (bad input, unreadable
+or corrupt trace, crashed analysis), 3 the *recorded application*
+failed under simulation (``repro record``).
+"""
+
+import json
+
+import pytest
+
+import repro.pipeline
+from repro.cli import main
+from repro.faultinject import chunk_index, flip_bytes
+from repro.mpi.errors import MpiSimError
+from repro.pipeline import PipelineResult
+
+
+@pytest.fixture
+def damaged_trace(rechunk, mv_trace):
+    path = rechunk(mv_trace)
+    flip_bytes(path, chunk=chunk_index(path)[-1].chunk, seed=5)
+    return path
+
+
+def test_corrupt_trace_without_salvage_exits_2(damaged_trace, capsys):
+    assert main(["analyze", str(damaged_trace)]) == 2
+    err = capsys.readouterr().err
+    assert "repro analyze:" in err
+    assert "checksum" in err
+
+
+def test_corrupt_trace_with_salvage_exits_0(damaged_trace, capsys):
+    assert main(["analyze", str(damaged_trace), "--salvage"]) == 0
+    out = capsys.readouterr().out
+    assert "salvage: 1 chunk(s) quarantined" in out
+
+
+def test_salvage_accounting_in_json_report(damaged_trace, capsys):
+    assert main(["analyze", str(damaged_trace), "--salvage", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert len(report["salvage"]["quarantined_chunks"]) == 1
+    assert report["salvage"]["events_lost"] > 0
+    assert report["salvage"]["truncated"] is False
+    assert report["degraded"] is False
+    assert report["retries"] == 0
+    assert report["failed_workers"] == []
+
+
+def test_missing_trace_exits_2(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "nope.trace")]) == 2
+    assert "repro analyze:" in capsys.readouterr().err
+
+
+def test_record_app_failure_exits_3(monkeypatch, capsys):
+    def exploding_record(*args, **kwargs):
+        raise MpiSimError("rank 2 deadlocked in MPI_Win_fence")
+
+    monkeypatch.setattr(repro.pipeline, "record_app", exploding_record)
+    assert main(["record", "minivite"]) == 3
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # exactly one line
+    assert "minivite failed" in err
+    assert "MpiSimError" in err
+    assert "deadlocked" in err
+
+
+def test_record_bad_arguments_exit_2(monkeypatch, capsys):
+    def rejecting_record(*args, **kwargs):
+        raise ValueError("--inject-race is not supported for 'cfd'")
+
+    monkeypatch.setattr(repro.pipeline, "record_app", rejecting_record)
+    assert main(["record", "cfd", "--inject-race"]) == 2
+    assert "repro record:" in capsys.readouterr().err
+
+
+def test_resilience_flags_reach_the_engine(monkeypatch, mv_trace, capsys):
+    captured = {}
+
+    def spy_analyze(source, **kwargs):
+        captured.update(kwargs)
+        return PipelineResult(
+            detector=kwargs["detector"], nranks=4, jobs=1,
+            dispatch="serial", events_total=0, wall_seconds=0.01,
+            verdicts=[], shard_stats=[],
+        )
+
+    monkeypatch.setattr(repro.pipeline, "analyze_trace", spy_analyze)
+    assert main(["analyze", str(mv_trace), "--timeout", "7.5",
+                 "--retries", "4", "--salvage"]) == 0
+    assert captured["timeout"] == 7.5
+    assert captured["retries"] == 4
+    assert captured["salvage"] is True
+
+
+def test_worker_failures_reported_in_text_output(monkeypatch, mv_trace,
+                                                 capsys):
+    """End to end through the real CLI: a kill shows up, recovery is named."""
+    from repro.faultinject import FaultPlan, KillWorker
+    from repro.pipeline import analyze_trace as real_analyze
+
+    def faulted(source, **kwargs):
+        kwargs["fault_plan"] = FaultPlan((KillWorker(0, after_batches=50),))
+        return real_analyze(source, **kwargs)
+
+    # patch where the CLI looks it up (imported inside _analyze)
+    monkeypatch.setattr(repro.pipeline, "analyze_trace", faulted)
+    status = main(["analyze", str(mv_trace),
+                   "--jobs", "2", "--dispatch", "file"])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "worker 0 crashed" in out
+    assert "recovered via 1 worker retry" in out
