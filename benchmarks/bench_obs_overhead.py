@@ -1,0 +1,132 @@
+"""Bench: observability overhead on the insertion hot path.
+
+Replays the ``bench_insert_throughput`` access streams through
+``insert_access`` three ways —
+
+* ``off``  — registry disabled, as under ``REPRO_OBS=off`` (null
+  instruments, zero clock reads),
+* ``on``   — the default: counters + per-phase timing live,
+* ``span`` — a worst-case variant wrapping every insert in a full
+  ``with obs.span(...)`` (what the hot path deliberately avoids),
+
+and writes the per-stream overhead of ``on`` vs ``off`` to
+``BENCH_obs_overhead.json``.  The budget asserted when run directly:
+median metrics-on overhead <= 5% (the DESIGN.md §Observability
+contract); the pytest wrapper only smoke-checks the report shape so a
+loaded CI box cannot flake tier-1 on a timing jitter.
+
+Also runnable directly::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for p in (str(_HERE), str(_HERE.parent)):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from bench_insert_throughput import STREAMS  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.bst import IntervalBST  # noqa: E402
+from repro.core import insert_access  # noqa: E402
+
+OUT = _HERE.parent / "BENCH_obs_overhead.json"
+ROUNDS = 5
+
+
+def _replay(stream) -> None:
+    bst = IntervalBST()
+    for a in stream:
+        insert_access(a, bst)
+
+
+def _replay_span(stream) -> None:
+    bst = IntervalBST()
+    for a in stream:
+        with obs.span("insert"):
+            insert_access(a, bst)
+
+
+def _timed(fn, stream) -> float:
+    t0 = time.perf_counter()
+    fn(stream)
+    return time.perf_counter() - t0
+
+
+def run_overhead(out: Path = OUT, *, rounds: int = ROUNDS) -> dict:
+    """Measure every stream in all three modes; write and return report.
+
+    Modes are interleaved within each round (off, on, span back to
+    back) so clock drift and scheduler noise on a shared box hit all
+    three alike; best-of-rounds filters the remaining outliers.
+    """
+    prev = obs.active()
+    streams = {}
+    try:
+        for shape, make in STREAMS.items():
+            stream = make()
+            t_off = t_on = t_span = float("inf")
+            for _ in range(rounds):
+                obs.reset(enabled=False)
+                t_off = min(t_off, _timed(_replay, stream))
+                obs.reset(enabled=True)
+                t_on = min(t_on, _timed(_replay, stream))
+                obs.reset(enabled=True)
+                t_span = min(t_span, _timed(_replay_span, stream))
+            streams[shape] = {
+                "events": len(stream),
+                "off_seconds": round(t_off, 6),
+                "on_seconds": round(t_on, 6),
+                "span_seconds": round(t_span, 6),
+                "on_overhead_pct": round(100 * (t_on / t_off - 1), 2),
+                "span_overhead_pct": round(100 * (t_span / t_off - 1), 2),
+            }
+    finally:
+        obs.set_registry(prev)
+
+    overheads = [s["on_overhead_pct"] for s in streams.values()]
+    report = {
+        "bench": "obs_overhead",
+        "budget_pct": 5.0,
+        "rounds": rounds,
+        "cpu_count": os.cpu_count(),
+        "streams": streams,
+        "median_on_overhead_pct": round(statistics.median(overheads), 2),
+        "max_on_overhead_pct": round(max(overheads), 2),
+        "note": (
+            "off = REPRO_OBS=off (null instruments, no clock reads); "
+            "on = default counters + phase_ns timing; span = worst-case "
+            "full span per insert, shown for contrast"
+        ),
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_obs_overhead_report(tmp_path):
+    """Tier-1-safe smoke: the report is generated and well-formed."""
+    report = run_overhead(tmp_path / "obs_overhead.json", rounds=2)
+    assert set(report["streams"]) == set(STREAMS)
+    for stream in report["streams"].values():
+        assert stream["off_seconds"] > 0
+        assert stream["on_seconds"] > 0
+
+
+if __name__ == "__main__":
+    report = run_overhead()
+    print(json.dumps(report, indent=2))
+    assert report["median_on_overhead_pct"] <= 5.0, (
+        f"metrics-on overhead {report['median_on_overhead_pct']}% "
+        f"blows the 5% budget"
+    )
+    print(f"wrote {OUT}")

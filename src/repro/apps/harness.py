@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from .. import obs
 from ..mpi import CostParams, World
 from ..mpi.interposition import DetectorProtocol
 
@@ -60,22 +61,46 @@ def run_app(
     """Run ``program`` on ``nranks`` simulated ranks under ``detector``."""
     detectors = [detector] if detector is not None else []
     world = World(nranks, detectors, cost_params=cost_params)
-    t0 = time.perf_counter()
-    world.run(program, *args, **kwargs)
-    wall = time.perf_counter() - t0
+    extra: Dict[str, Any] = {}
+    with obs.scope() as reg:
+        t0 = time.perf_counter()
+        world.run(program, *args, **kwargs)
+        wall = time.perf_counter() - t0
 
-    name = detector.name if detector is not None else "Baseline"
+        name = detector.name if detector is not None else "Baseline"
+        races = getattr(detector, "reports_total", 0) if detector else 0
+        if detector is not None and reg.enabled:
+            # the registry is the single source of truth for the node
+            # counts: publish the detector's final statistics, then read
+            # them back out of the same snapshot the CLI metrics print
+            detector.publish_obs()
+            snap = reg.snapshot()
+            counters = snap["counters"]
+            gauges = snap["gauges"]
+
+            def _c(metric: str) -> int:
+                return counters.get(
+                    obs.metric_key(metric, {"tool": name}), 0)
+
+            total_max = _c("bst.nodes_peak")
+            # read the gauge's peak: values sum across merged worker
+            # registries, peaks max — and "one rank" is a max by nature
+            max_one = gauges.get(
+                obs.metric_key("bst.nodes_peak_one_rank", {"tool": name}),
+                {"peak": 0})["peak"]
+            processed = _c("detector.processed")
+            filtered = _c("detector.filtered")
+            extra["obs"] = snap
+        elif detector is not None:  # REPRO_OBS=off: ask the detector
+            stats = detector.node_stats()
+            total_max = stats.total_max_nodes
+            max_one = stats.max_nodes_one_rank
+            processed = stats.accesses_processed
+            filtered = stats.accesses_filtered
+        else:
+            total_max = max_one = processed = filtered = 0
+
     analysis = world.interposition.analysis_wall.get(name, 0.0)
-    races = getattr(detector, "reports_total", 0) if detector else 0
-    if detector is not None:
-        stats = detector.node_stats()
-        total_max = stats.total_max_nodes
-        max_one = stats.max_nodes_one_rank
-        processed = stats.accesses_processed
-        filtered = stats.accesses_filtered
-    else:
-        total_max = max_one = processed = filtered = 0
-
     breakdown = {
         cat: world.clock.total(cat) / 1e6
         for cat in ("compute", "comm", "sync", "analysis")
@@ -93,6 +118,7 @@ def run_app(
         max_nodes_one_rank=max_one,
         accesses_processed=processed,
         accesses_filtered=filtered,
+        extra=extra,
     )
 
 

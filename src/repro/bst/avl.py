@@ -19,10 +19,10 @@ log-time claim depends on it (``benchmarks/bench_ablation_balance.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Generic, Iterator, List, Optional, TypeVar
 
-__all__ = ["AVLNode", "AVLTree", "TreeStats"]
+__all__ = ["AVLNode", "AVLTree", "TreeStats", "FANOUT_NBUCKETS"]
 
 T = TypeVar("T")
 
@@ -45,13 +45,24 @@ class AVLNode(Generic[T]):
         return f"AVLNode(key={self.key}, tie={self.tie}, value={self.value!r})"
 
 
+#: fan-out buckets match ``repro.obs.registry.BUCKET_BOUNDS`` (powers of
+#: two up to 2**20 plus overflow) so ``publish_obs`` can fold them into
+#: an obs histogram bucket for bucket.  Kept as a literal: this module
+#: stays importable without repro.obs and the obs side asserts equality.
+FANOUT_NBUCKETS = 22
+
+
 @dataclass
 class TreeStats:
     """Operation counters used by the overhead analyses (Figs 10-12).
 
     ``comparisons`` counts key comparisons during descents, ``rotations``
     counts rebalancing rotations, ``max_size`` tracks the high-water node
-    count — the quantity reported in the paper's Table 4.
+    count — the quantity reported in the paper's Table 4.  ``queries`` /
+    ``query_hits`` / ``fanout`` account the stabbing queries and their
+    fan-out k (the O(log n + k) term): plain always-on integers here,
+    surfaced as obs metrics only at publication time, because the query
+    path is too hot for per-call registry traffic.
     """
 
     comparisons: int = 0
@@ -59,6 +70,17 @@ class TreeStats:
     inserts: int = 0
     removals: int = 0
     max_size: int = 0
+    queries: int = 0
+    query_hits: int = 0
+    fanout: List[int] = field(
+        default_factory=lambda: [0] * FANOUT_NBUCKETS)
+
+    def note_query(self, k: int) -> None:
+        """Account one overlap query returning ``k`` stored accesses."""
+        self.queries += 1
+        self.query_hits += k
+        b = k.bit_length() if k > 0 else 0
+        self.fanout[b if b < FANOUT_NBUCKETS else FANOUT_NBUCKETS - 1] += 1
 
     def merge(self, other: "TreeStats") -> None:
         self.comparisons += other.comparisons
@@ -66,6 +88,10 @@ class TreeStats:
         self.inserts += other.inserts
         self.removals += other.removals
         self.max_size = max(self.max_size, other.max_size)
+        self.queries += other.queries
+        self.query_hits += other.query_hits
+        for i, n in enumerate(other.fanout):
+            self.fanout[i] += n
 
 
 def _height(node: Optional[AVLNode[T]]) -> int:

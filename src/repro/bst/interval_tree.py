@@ -113,7 +113,13 @@ class IntervalBST:
                 out.append(node.value)
             if node.key < hi:
                 stack.append(node.right)
-        self._tree.stats.comparisons += visited
+        stats = self._tree.stats
+        stats.comparisons += visited
+        # stabbing-query fan-out k (the paper's O(log n + k) term) goes
+        # into the always-on TreeStats ints — this path is too hot for
+        # registry traffic; publish_obs folds the buckets into the
+        # bst.query_fanout histogram at the end of the run
+        stats.note_query(len(out))
         # the explicit stack pops right-to-left; restore key order
         out.sort(key=lambda a: (a.interval.lo, a.interval.hi))
         return out

@@ -55,6 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help=f"one of: {', '.join(EXPERIMENTS)}")
     run.add_argument("--json", action="store_true",
                      help="emit machine-readable JSON instead of tables")
+    _add_metrics_args(run)
 
     sub.add_parser("all", help="run every experiment in paper order")
 
@@ -115,7 +116,31 @@ def build_parser() -> argparse.ArgumentParser:
                          "and report the loss")
     an.add_argument("--json", action="store_true",
                     help="emit the full machine-readable report")
+    _add_metrics_args(an)
     return parser
+
+
+def _add_metrics_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--metrics", action="store_true",
+                     help="print the observability metrics table "
+                          "(counters, gauges, histograms, spans)")
+    sub.add_argument("--metrics-json", default=None, metavar="PATH",
+                     help="dump the metrics snapshot (repro-obs-v1 "
+                          "JSON) to PATH")
+
+
+def _emit_metrics(snap, *, show: bool, json_path: Optional[str]) -> None:
+    """Render/dump one registry snapshot for --metrics/--metrics-json."""
+    from . import obs
+
+    if snap is None:  # REPRO_OBS=off — emit an empty-but-valid snapshot
+        snap = {"schema": "repro-obs-v1", "counters": {}, "gauges": {},
+                "histograms": {}, "spans": {}}
+    if show:
+        print(obs.render_metrics(snap))
+    if json_path:
+        with open(json_path, "w") as fh:
+            fh.write(obs.snapshot_to_json(snap) + "\n")
 
 
 def _jsonable(value):
@@ -190,9 +215,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
+        from . import obs
+
         status = 0
-        for exp_id in args.experiments:
-            status = max(status, _run_one(exp_id, as_json=args.json))
+        # one fresh scope over every experiment: the detectors publish
+        # into it and the CLI prints Table-4-consistent counts from it
+        with obs.scope() as reg:
+            for exp_id in args.experiments:
+                status = max(status, _run_one(exp_id, as_json=args.json))
+            if args.metrics or args.metrics_json:
+                snap = reg.snapshot() if reg.enabled else None
+                _emit_metrics(snap, show=args.metrics,
+                              json_path=args.metrics_json)
         return status
 
     if args.command == "all":
@@ -263,6 +297,10 @@ def _analyze(args) -> int:
             ValueError) as exc:
         print(f"repro analyze: {exc}", file=sys.stderr)
         return 2
+
+    if args.metrics or args.metrics_json:
+        _emit_metrics(result.obs, show=args.metrics,
+                      json_path=args.metrics_json)
 
     if args.json:
         import json

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
+from .. import obs
 from ..aliasing import FilterPolicy
 from ..detectors.bst_common import BstDetector
 from ..intervals import MemoryAccess, is_race
@@ -47,8 +48,28 @@ class OurDetector(BstDetector):
         self.enable_merge = enable_merge
         # current flush generation per (wid, issuer)
         self._flush_gens: Dict[Tuple[int, int], int] = {}
-        self.fragments_created = 0
-        self.merges_performed = 0
+        # fragment/merge outcomes live in the obs registry (the former
+        # hand-rolled integer attributes duplicated what the metrics
+        # layer now collects); the properties below read them back
+        self._k_fragments = obs.metric_key("detector.fragments",
+                                           {"tool": self.name})
+        self._k_merges = obs.metric_key("detector.merges",
+                                        {"tool": self.name})
+
+    def _bind_obs(self, reg) -> None:
+        super()._bind_obs(reg)
+        self._c_fragments = reg.counter(self._k_fragments)
+        self._c_merges = reg.counter(self._k_merges)
+
+    @property
+    def fragments_created(self) -> int:
+        """Fragments stored by this tool (process-registry counter)."""
+        return obs.active().counter(self._k_fragments).value
+
+    @property
+    def merges_performed(self) -> int:
+        """Node merges performed by this tool (process-registry counter)."""
+        return obs.active().counter(self._k_merges).value
 
     # -- predicate with the §6 flush exemption -----------------------------------
 
@@ -70,6 +91,12 @@ class OurDetector(BstDetector):
     def _record(self, rank: int, wid: int, access: MemoryAccess) -> None:
         bst = self._store(rank, wid)
         self._processed += 1
+        reg = obs.active()
+        enabled = reg.enabled
+        if enabled:
+            if reg is not self._obs_reg:
+                self._bind_obs(reg)
+            self._c_events.value += 1
         stats = bst.stats
         w0 = stats.comparisons + stats.rotations
         outcome = insert_access(
@@ -80,11 +107,11 @@ class OurDetector(BstDetector):
         if outcome.has_race:
             assert outcome.conflict is not None
             self._report(rank, wid, outcome.conflict, access)
-        else:
-            self.fragments_created += len(outcome.merged)
+        elif enabled:
+            self._c_fragments.value += len(outcome.merged)
             removed = len(outcome.removed)
             if removed and len(outcome.merged) < removed + 1:
-                self.merges_performed += removed + 1 - len(outcome.merged)
+                self._c_merges.value += removed + 1 - len(outcome.merged)
         self._note_high_water((rank, wid))
 
     # _check/_insert are folded into _record (Algorithm 1 is one pass)

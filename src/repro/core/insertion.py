@@ -29,8 +29,10 @@ Implementation notes:
 from __future__ import annotations
 
 from collections import Counter
+from time import perf_counter_ns
 from typing import Callable, List, Optional, Sequence
 
+from .. import obs
 from ..bst import IntervalBST
 from ..intervals import Interval, MemoryAccess, is_race
 from ..intervals.combine import combined_type
@@ -46,6 +48,38 @@ __all__ = [
 ]
 
 RacePredicate = Callable[[MemoryAccess, MemoryAccess], bool]
+
+
+class _HotCounters:
+    """Counter handles of the insertion hot path, bound to one registry.
+
+    ``insert_access`` runs once per recorded access; going through
+    ``Registry.counter`` (key format + dict probe) at that frequency is
+    what the <=5% metrics-on budget cannot afford.  The handles are
+    cached at module level — registries are strictly per-process and
+    single-threaded, and the identity check below rebinds after any
+    ``obs.scope()`` / ``obs.reset()`` swap.
+    """
+
+    __slots__ = ("reg", "accesses", "races", "fastpath", "merges",
+                 "fragments")
+
+    def __init__(self, reg) -> None:
+        self.reg = reg
+        self.accesses = reg.counter("core.insert.accesses")
+        self.races = reg.counter("core.insert.races")
+        self.fastpath = reg.counter("core.insert.fastpath")
+        self.merges = reg.counter("core.insert.merges")
+        self.fragments = reg.counter("core.insert.fragments")
+
+
+_HOT: Optional[_HotCounters] = None
+
+
+def _bind_hot(reg) -> _HotCounters:
+    global _HOT
+    _HOT = _HotCounters(reg)
+    return _HOT
 
 
 class InsertOutcome:
@@ -137,13 +171,45 @@ def insert_access(
       merged fragments touches the tree — fragments that came out
       unchanged stay where they are.
     """
+    # Counters stay exact through cached handles (plain int adds); the
+    # per-phase timings use the two-clock-read accumulation pattern
+    # (Registry.phase_ns) on 1-in-64 sampled calls only — this function
+    # runs once per recorded access, and both per-call registry lookups
+    # and unconditional clock reads blow the <=5% metrics-on overhead
+    # budget (BENCH_obs_overhead.json).  Sampled phase totals are a
+    # profile: compare them to each other, not to wall time.
+    reg = obs.active()
+    enabled = reg.enabled
+    timed = False
+    if enabled:
+        hot = _HOT
+        if hot is None or hot.reg is not reg:
+            hot = _bind_hot(reg)
+        hot.accesses.value += 1
+        t = reg._tick + 1
+        reg._tick = t
+        timed = not (t & reg.SAMPLE_MASK)
+        if timed:
+            t0 = perf_counter_ns()
     inter = get_intersecting_accesses(new, bst)
+    if timed:
+        t1 = perf_counter_ns()
+        reg.phase_ns("insert.query", t1 - t0)
     overlapping = False
     for stored in inter:
         if stored.interval.overlaps(new.interval):
             overlapping = True
             if predicate(stored, new):
+                if enabled:
+                    hot.races.value += 1
+                    if timed:
+                        reg.phase_ns("insert.race_check",
+                                     perf_counter_ns() - t1)
                 return InsertOutcome(stored, (), ())
+    if timed:
+        t2 = perf_counter_ns()
+        reg.phase_ns("insert.race_check", t2 - t1)
+        t1 = t2
 
     # no-op fast path: a single stored access already subsumes the new
     # one (covers its range with a dominating-or-identical type and the
@@ -153,6 +219,8 @@ def insert_access(
         if stored.interval.contains_interval(new.interval):
             _t, which = combined_type(stored.type, new.type)
             if which == 1 or stored.same_site(new):
+                if enabled:
+                    hot.fastpath.value += 1
                 return InsertOutcome(None, [stored], ())
 
     if not overlapping:
@@ -167,10 +235,25 @@ def insert_access(
         for stored in absorbed:
             bst.remove(stored)
         bst.insert(grown)
+        if enabled:
+            if absorbed:
+                hot.merges.value += len(absorbed)
+            if timed:
+                reg.phase_ns("insert.merge", perf_counter_ns() - t1)
         return InsertOutcome(None, [grown], absorbed)
 
     frags = fragment_accesses(inter, new)
+    if timed:
+        t2 = perf_counter_ns()
+        reg.phase_ns("insert.fragment", t2 - t1)
     merged = merge_accesses(frags) if merge else frags
+    if enabled:
+        hot.fragments.value += len(frags)
+        if len(merged) < len(frags):
+            hot.merges.value += len(frags) - len(merged)
+        if timed:
+            t1 = perf_counter_ns()
+            reg.phase_ns("insert.merge", t1 - t2)
     old_c = Counter(inter)
     new_c = Counter(merged)
     removed = list((old_c - new_c).elements())
@@ -181,4 +264,6 @@ def insert_access(
             raise RuntimeError(f"access {acc} vanished from the BST")
     for acc in added:
         bst.insert(acc)
+    if timed:
+        reg.phase_ns("insert.apply", perf_counter_ns() - t1)
     return InsertOutcome(None, merged, removed)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from .. import obs
 from ..core.report import DataRaceError, RaceReport
 from ..intervals import MemoryAccess
 from ..mpi.memory import RegionInfo
@@ -42,6 +43,12 @@ class NodeStats:
     max_nodes_per_rank: Dict[int, int] = field(default_factory=dict)
     accesses_processed: int = 0
     accesses_filtered: int = 0
+    #: per-memory-rank breakdowns (summed over windows) — filled by
+    #: detectors that key state by rank; the sharded pipeline needs them
+    #: to publish only a shard's *canonical* (own-rank) state, since a
+    #: shard's detector also holds private replicas of other ranks
+    current_nodes_per_rank: Dict[int, int] = field(default_factory=dict)
+    peak_nodes_sum_per_rank: Dict[int, int] = field(default_factory=dict)
 
     @property
     def max_nodes_one_rank(self) -> int:
@@ -69,6 +76,29 @@ class Detector:
         #: cumulative abstract work units (comparisons, shadow cells,
         #: clock entries) — the cost model charges their deltas
         self.work_units: float = 0.0
+        # pre-formatted per-tool metric keys plus cached counter handles:
+        # the event path runs per analysed access, so increments go
+        # through handles rebound on registry identity (obs.scope /
+        # obs.reset swaps) rather than per-call registry lookups
+        self._k_events = obs.metric_key("detector.events",
+                                        {"tool": self.name})
+        self._k_verdicts = obs.metric_key("detector.verdicts",
+                                          {"tool": self.name})
+        self._obs_reg = None
+        self._obs_published = False
+
+    def _bind_obs(self, reg) -> None:
+        """(Re)bind cached instrument handles; subclasses extend."""
+        self._obs_reg = reg
+        self._c_events = reg.counter(self._k_events)
+
+    def _count_event(self) -> None:
+        """Count one analysed event against this tool (hot path)."""
+        reg = obs.active()
+        if reg.enabled:
+            if reg is not self._obs_reg:
+                self._bind_obs(reg)
+            self._c_events.value += 1
 
     # -- cost declaration ---------------------------------------------------
 
@@ -86,6 +116,7 @@ class Detector:
         self, rank: int, wid: int, stored: MemoryAccess, new: MemoryAccess
     ) -> None:
         self.reports_total += 1
+        obs.active().counter(self._k_verdicts).inc()
         if len(self.reports) < self.MAX_KEPT_REPORTS:
             report = RaceReport(rank, wid, stored, new, self.name)
             self.reports.append(report)
@@ -154,3 +185,54 @@ class Detector:
     def node_stats(self) -> NodeStats:
         """Size of the analysis state; subclasses override."""
         return NodeStats()
+
+    def publish_obs(self, own_rank: Optional[int] = None) -> None:
+        """Publish this instance's final statistics into the registry.
+
+        Called by every stats consumer (``run_app``, the pipeline's
+        shard-group finish, the serial replay path) *after*
+        :meth:`finalize`; idempotent per instance, so the counters sum
+        correctly when a worker owns several shard detectors.  These
+        registry values are the single source of truth the CLI metrics
+        table, ``--metrics-json`` and the Table-4 driver all read.
+
+        ``own_rank`` restricts the node-state publication to one memory
+        rank's stores: a sharded worker's detector also holds private
+        replicas of other ranks (RMA events fan out to both sides), and
+        publishing those too would overcount the merged ``bst.nodes*``
+        values relative to serial replay.  Detectors without per-rank
+        breakdowns in :meth:`node_stats` fall back to their full
+        (replica-inclusive) state.
+        """
+        if self._obs_published:
+            return
+        self._obs_published = True
+        reg = obs.active()
+        if not reg.enabled:
+            return
+        tool = self.name
+        stats = self.node_stats()
+        if own_rank is not None and (stats.peak_nodes_sum_per_rank
+                                     or stats.current_nodes_per_rank):
+            nodes_cur = stats.current_nodes_per_rank.get(own_rank, 0)
+            nodes_peak = stats.peak_nodes_sum_per_rank.get(own_rank, 0)
+            peak_one = stats.max_nodes_per_rank.get(own_rank, 0)
+        else:
+            nodes_cur = stats.total_current_nodes
+            nodes_peak = stats.total_max_nodes
+            peak_one = stats.max_nodes_one_rank
+        reg.gauge("bst.nodes", tool=tool).set(nodes_cur)
+        reg.counter("bst.nodes_peak", tool=tool).add(nodes_peak)
+        reg.gauge("bst.nodes_peak_one_rank", tool=tool).set(peak_one)
+        reg.counter("detector.processed", tool=tool).add(
+            stats.accesses_processed)
+        reg.counter("detector.filtered", tool=tool).add(
+            stats.accesses_filtered)
+        filt = getattr(self, "filter", None)
+        if filt is not None:
+            reg.counter("filter.seen", tool=tool).add(filt.seen)
+            reg.counter("filter.kept", tool=tool).add(filt.kept)
+        self._publish_extra(reg)
+
+    def _publish_extra(self, reg) -> None:
+        """Subclass hook for tool-specific registry publications."""

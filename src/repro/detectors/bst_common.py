@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set, Tuple
 
 from ..aliasing import AliasFilter, FilterPolicy
-from ..bst import IntervalBST
+from ..bst import IntervalBST, TreeStats
 from ..intervals import MemoryAccess
 from ..mpi.memory import RegionInfo
 from ..mpi.window import Window
@@ -57,6 +57,9 @@ class BstDetector(Detector):
         self._processed = 0
         # high-water node counts survive clears and window frees
         self._max_nodes: Dict[Key, int] = {}
+        # tree-op totals of stores dropped at window free (the live
+        # stores' stats are summed on top at publication time)
+        self._closed_stats = TreeStats()
 
     # -- storage plumbing ---------------------------------------------------------
 
@@ -91,6 +94,7 @@ class BstDetector(Detector):
         """Check-then-insert one access into one store (the §3 two traversals)."""
         bst = self._store(rank, wid)
         self._processed += 1
+        self._count_event()
         stats = bst.stats
         w0 = stats.comparisons + stats.rotations
         self._check(bst, access, rank, wid)
@@ -106,6 +110,7 @@ class BstDetector(Detector):
     def on_win_free(self, wid: int) -> None:
         for key in [k for k in self._stores if k[1] == wid]:
             self._note_high_water(key)
+            self._closed_stats.merge(self._stores[key].stats)
             del self._stores[key]
         self._windows.pop(wid, None)
 
@@ -160,10 +165,36 @@ class BstDetector(Detector):
             stats.total_max_nodes += peak
             cur = stats.max_nodes_per_rank.get(rank, 0)
             stats.max_nodes_per_rank[rank] = max(cur, peak)
+            stats.peak_nodes_sum_per_rank[rank] = (
+                stats.peak_nodes_sum_per_rank.get(rank, 0) + peak)
         stats.total_current_nodes = sum(len(b) for b in self._stores.values())
+        for (rank, wid), bst in self._stores.items():
+            stats.current_nodes_per_rank[rank] = (
+                stats.current_nodes_per_rank.get(rank, 0) + len(bst))
         stats.accesses_processed = self._processed
         stats.accesses_filtered = self.filter.filtered
         return stats
+
+    def _publish_extra(self, reg) -> None:
+        """Tree operation totals, live stores plus freed ones (Fig. 10)."""
+        tool = self.name
+        total = TreeStats()
+        total.merge(self._closed_stats)
+        for bst in self._stores.values():
+            total.merge(bst.stats)
+        reg.counter("bst.comparisons", tool=tool).add(total.comparisons)
+        reg.counter("bst.rotations", tool=tool).add(total.rotations)
+        reg.counter("bst.inserts", tool=tool).add(total.inserts)
+        reg.counter("bst.removals", tool=tool).add(total.removals)
+        reg.counter("bst.queries", tool=tool).add(total.queries)
+        # the query path accounts fan-out in TreeStats buckets (see
+        # repro.bst.avl); fold them into the histogram bucket for bucket
+        hist = reg.histogram("bst.query_fanout", tool=tool)
+        assert len(hist.counts) == len(total.fanout)
+        for i, n in enumerate(total.fanout):
+            hist.counts[i] += n
+        hist.n += total.queries
+        hist.total += total.query_hits
 
     def bst_of(self, rank: int, wid: int) -> Optional[IntervalBST]:
         """Direct access for tests and figure drivers."""

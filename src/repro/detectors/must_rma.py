@@ -96,6 +96,7 @@ class MustRma(Detector):
         hb = self._ensure_hb(rank)
         stamp, clock = hb.local_event(rank)
         self._processed += 1
+        self._count_event()
         c0 = self.shadow.cells_touched
         conflicts = self.shadow.check_and_update(
             rank, access, stamp, clock, access.is_write
@@ -121,6 +122,7 @@ class MustRma(Detector):
         if not origin_region.is_stack:
             stamp, clock = hb.rma_event(rank, wid)
             self._processed += 1
+            self._count_event()
             c0 = self.shadow.cells_touched
             conflicts = self.shadow.check_and_update(
                 rank, origin_access, stamp, clock, origin_access.is_write
@@ -134,6 +136,7 @@ class MustRma(Detector):
         if not target_region.is_stack:
             stamp, clock = hb.rma_event(rank, wid)
             self._processed += 1
+            self._count_event()
             c0 = self.shadow.cells_touched
             conflicts = self.shadow.check_and_update(
                 target, target_access, stamp, clock, target_access.is_write

@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Protocol, Sequence
 
+from .. import obs
 from ..intervals import MemoryAccess
 from .costmodel import SimClock
 from .memory import Region, RegionInfo
@@ -85,6 +86,14 @@ class Interposition:
         self.analysis_wall = {d.name: 0.0 for d in self.detectors}
         self.events_seen = 0
         self._last_work = 0.0
+        self._obs_reg = None
+
+    def _bind_obs(self, reg) -> None:
+        """Cache per-kind event counters — one per event is too hot for
+        the labelled get-or-create accessor."""
+        self._obs_reg = reg
+        self._c_local = reg.counter("interpose.events", kind="local")
+        self._c_rma = reg.counter("interpose.events", kind="rma")
 
     # -- internal ------------------------------------------------------------
 
@@ -166,6 +175,11 @@ class Interposition:
         self, rank: int, access: MemoryAccess, region: Region
     ) -> None:
         self.events_seen += 1
+        reg = obs.active()
+        if reg.enabled:
+            if reg is not self._obs_reg:
+                self._bind_obs(reg)
+            self._c_local.value += 1
         if self.trace is not None:
             self.trace.append(
                 LocalEvent(self.trace.next_seq(), rank, access, region.info)
@@ -188,6 +202,11 @@ class Interposition:
         nbytes: int,
     ) -> None:
         self.events_seen += 1
+        reg = obs.active()
+        if reg.enabled:
+            if reg is not self._obs_reg:
+                self._bind_obs(reg)
+            self._c_rma.value += 1
         if self.trace is not None:
             self.trace.append(
                 RmaEvent(
@@ -256,6 +275,10 @@ class _Timer:
         interp = self.interp
         if not interp.detectors:
             return
+        reg = obs.active()
+        if reg.enabled:
+            # piggyback on the clock reads the cost model already makes
+            reg.phase_ns("interpose.dispatch", int(dt * 1e9))
         for d in interp.detectors:
             # with several detectors attached the split is approximate
             # (equal shares); timing experiments attach exactly one

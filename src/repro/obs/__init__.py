@@ -1,0 +1,139 @@
+"""repro.obs — zero-dependency observability: metrics, spans, export.
+
+One :class:`~repro.obs.registry.Registry` is active per process at any
+time; instrumented code reaches it through :func:`active` (a module
+global — no locks, registries are per-process by construction).  The
+usual patterns::
+
+    from repro import obs
+
+    obs.add("pipeline.retries")                  # cold-path counter
+    events = obs.counter("detector.events")      # hot-path handle
+    events.inc()
+
+    with obs.span("analyze"):                    # nesting time tree
+        with obs.span("read"):
+            ...
+
+    reg = obs.active()                           # per-event phase timing
+    if reg.enabled:
+        t0 = perf_counter_ns()
+        ...
+        reg.phase_ns("fragment", perf_counter_ns() - t0)
+
+    snap = obs.snapshot()                        # JSON-able state
+
+Scoping: :func:`scope` swaps in a fresh registry for one analysis run
+and folds its snapshot back into the enclosing registry on exit — this
+is how ``repro analyze`` reports per-run metrics while ``repro run``
+accumulates across experiments.  The ``REPRO_OBS=off`` environment
+switch turns every instrument into a shared no-op (see
+:mod:`repro.obs.registry`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .export import render_metrics, snapshot_to_json
+from .registry import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    SpanNode,
+    env_enabled,
+    metric_key,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "SpanNode",
+    "active",
+    "add",
+    "counter",
+    "env_enabled",
+    "gauge",
+    "histogram",
+    "metric_key",
+    "render_metrics",
+    "reset",
+    "scope",
+    "set_registry",
+    "snapshot",
+    "snapshot_to_json",
+    "span",
+]
+
+_current = Registry()
+
+
+def active() -> Registry:
+    """The process's currently active registry."""
+    return _current
+
+
+def set_registry(reg: Registry) -> Registry:
+    """Swap the active registry; returns the previous one."""
+    global _current
+    prev = _current
+    _current = reg
+    return prev
+
+
+def reset(*, enabled: Optional[bool] = None) -> Registry:
+    """Fresh active registry (pipeline workers call this after fork)."""
+    set_registry(Registry(enabled=enabled))
+    return _current
+
+
+@contextmanager
+def scope(reg: Optional[Registry] = None, *,
+          merge: bool = True) -> Iterator[Registry]:
+    """Run a block under a fresh (or given) registry.
+
+    On exit the scope's snapshot is merged into the enclosing registry
+    (``merge=False`` discards it instead), so scoped runs stay visible
+    to a caller accumulating globally.
+    """
+    inner = reg if reg is not None else Registry(enabled=_current.enabled)
+    outer = set_registry(inner)
+    try:
+        yield inner
+    finally:
+        set_registry(outer)
+        if merge and outer.enabled and inner.enabled:
+            outer.merge(inner.snapshot())
+
+
+# -- conveniences on the active registry ------------------------------------
+
+
+def counter(name: str, **labels: str) -> Counter:
+    return _current.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str) -> Gauge:
+    return _current.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: str) -> Histogram:
+    return _current.histogram(name, **labels)
+
+
+def add(name: str, n: int = 1) -> None:
+    _current.counter(name).add(n)
+
+
+def span(name: str):
+    return _current.span(name)
+
+
+def snapshot() -> dict:
+    return _current.snapshot()

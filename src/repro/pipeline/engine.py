@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from .. import obs
 from ..core.report import RaceReport
 from ..mpi.errors import WorkerCrashedError
 from ..mpi.trace import TraceEvent, TraceLog
@@ -196,6 +197,9 @@ class PipelineResult:
     failed_workers: List[dict] = field(default_factory=list)
     #: salvage accounting when the trace was read with ``strict=False``
     salvage: Optional[dict] = None
+    #: merged observability snapshot of this run (schema repro-obs-v1);
+    #: None when metrics are disabled (REPRO_OBS=off)
+    obs: Optional[dict] = None
 
     @property
     def races(self) -> int:
@@ -224,6 +228,7 @@ class PipelineResult:
             "degraded": self.degraded,
             "failed_workers": list(self.failed_workers),
             "salvage": self.salvage,
+            "obs": self.obs,
         }
 
 
@@ -244,12 +249,16 @@ class _ShardGroup:
         for event in batch:
             dispatch_event(det, event, nranks)
         self.events[shard] += len(batch)
+        obs.active().counter("pipeline.events.analyzed").add(len(batch))
 
     def finish(self) -> List[ShardStats]:
         out = []
         for shard in sorted(self.detectors):
             det = self.detectors[shard]
             det.finalize()
+            # publish only the shard's canonical (own-rank) node state;
+            # replica stores are published by their home shard
+            det.publish_obs(own_rank=shard)
             reports = own_reports(det, shard)
             stats = det.node_stats()
             out.append(ShardStats(
@@ -263,9 +272,29 @@ class _ShardGroup:
         return out
 
 
+def _worker_payload(group: _ShardGroup) -> dict:
+    """The worker's "done" payload: shard stats + its registry snapshot.
+
+    ``finish()`` publishes each detector's final statistics into the
+    worker's registry first, so the snapshot carries them back to the
+    parent for merging.
+    """
+    stats = group.finish()
+    reg = obs.active()
+    return {"stats": stats, "obs": reg.snapshot() if reg.enabled else None}
+
+
+def _payload_stats(payload) -> list:
+    """Shard stats from a worker payload (dict) or inline replay (list)."""
+    if isinstance(payload, dict):
+        return payload["stats"]
+    return payload
+
+
 def _worker_queue(worker_id, shards, detector, nranks, in_q, out_q,
                   attempt=0, fault_plan=None):
     """Queue-dispatch worker: drain (shard, batch) items until sentinel."""
+    reg = obs.reset()  # fork copied the parent's registry: start clean
     group = _ShardGroup(shards, detector, nranks)
     ticks = 0
     last_hb = time.monotonic()
@@ -274,7 +303,8 @@ def _worker_queue(worker_id, shards, detector, nranks, in_q, out_q,
         if item is None:
             break
         shard, batch = item
-        group.dispatch(shard, batch)
+        with reg.span("worker.analyze"):
+            group.dispatch(shard, batch)
         ticks += 1
         if fault_plan is not None:
             fault_plan.fire(worker_id, attempt, ticks)
@@ -282,29 +312,32 @@ def _worker_queue(worker_id, shards, detector, nranks, in_q, out_q,
         if now - last_hb >= HEARTBEAT_INTERVAL:
             out_q.put(("hb", worker_id, attempt, ticks))
             last_hb = now
-    out_q.put(("done", worker_id, attempt, group.finish()))
+    out_q.put(("done", worker_id, attempt, _worker_payload(group)))
 
 
 def _worker_file(worker_id, shards, detector, nranks, path, out_q,
                  attempt=0, fault_plan=None, strict=True):
     """File-dispatch worker: stream the trace itself, keep own shards."""
+    reg = obs.reset()  # fork copied the parent's registry: start clean
     group = _ShardGroup(shards, detector, nranks)
     own = set(shards)
     ticks = 0
     last_hb = time.monotonic()
-    for event in TraceReader(path, strict=strict):
-        for shard in shards_of(event, nranks):
-            if shard in own:
-                group.dispatch(shard, (event,))
-                ticks += 1
-                if fault_plan is not None:
-                    fault_plan.fire(worker_id, attempt, ticks)
-        if not (ticks & 0x3F):  # check the clock every 64 ticks at most
-            now = time.monotonic()
-            if now - last_hb >= HEARTBEAT_INTERVAL:
-                out_q.put(("hb", worker_id, attempt, ticks))
-                last_hb = now
-    out_q.put(("done", worker_id, attempt, group.finish()))
+    with reg.span("worker.read"):
+        for event in TraceReader(path, strict=strict):
+            for shard in shards_of(event, nranks):
+                if shard in own:
+                    with reg.span("worker.analyze"):
+                        group.dispatch(shard, (event,))
+                    ticks += 1
+                    if fault_plan is not None:
+                        fault_plan.fire(worker_id, attempt, ticks)
+            if not (ticks & 0x3F):  # check the clock every 64 ticks at most
+                now = time.monotonic()
+                if now - last_hb >= HEARTBEAT_INTERVAL:
+                    out_q.put(("hb", worker_id, attempt, ticks))
+                    last_hb = now
+    out_q.put(("done", worker_id, attempt, _worker_payload(group)))
 
 
 def _run_shards_inline(events, shards, detector, nranks):
@@ -353,13 +386,18 @@ def _salvage_info(reader: Optional[TraceReader]) -> Optional[dict]:
 
 def _serial(events, nranks, detector_name, reader=None):
     det = _make_detector(detector_name)
+    reg = obs.active()
     t0 = time.perf_counter()
     n = 0
-    for event in events:
-        dispatch_event(det, event, nranks)
-        n += 1
+    with reg.span("worker.analyze"):
+        for event in events:
+            dispatch_event(det, event, nranks)
+            n += 1
     det.finalize()
     wall = time.perf_counter() - t0
+    reg.counter("pipeline.events.read").add(n)
+    reg.counter("pipeline.events.analyzed").add(n)
+    det.publish_obs()
     stats = det.node_stats()
     peak = max(stats.max_nodes_per_rank.values(), default=0)
     shard = ShardStats(
@@ -382,6 +420,48 @@ def _mp_context():
 
 
 def analyze_trace(
+    source: Source,
+    *,
+    detector: str = "our",
+    jobs: int = 1,
+    dispatch: str = "queue",
+    batch_size: int = 512,
+    queue_depth: int = 8,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff_base: float = 0.1,
+    backoff_max: float = 2.0,
+    salvage: bool = False,
+    recover: bool = True,
+    fault_plan=None,
+) -> PipelineResult:
+    """Analyze a recorded trace, optionally sharded over ``jobs`` processes.
+
+    Runs under a fresh :mod:`repro.obs` scope: per-stage spans, pipeline
+    counters and the workers' merged registries land in
+    ``PipelineResult.obs`` (and fold into the caller's registry on
+    exit).  See :func:`_analyze_impl` for the full parameter reference.
+    """
+    with obs.scope() as reg:
+        with reg.span("pipeline.analyze"):
+            result = _analyze_impl(
+                source, detector=detector, jobs=jobs, dispatch=dispatch,
+                batch_size=batch_size, queue_depth=queue_depth,
+                timeout=timeout, retries=retries,
+                backoff_base=backoff_base, backoff_max=backoff_max,
+                salvage=salvage, recover=recover, fault_plan=fault_plan,
+            )
+        if reg.enabled:
+            if result.salvage is not None:
+                reg.counter("pipeline.salvage.events_lost").add(
+                    result.salvage.get("events_lost", 0))
+                reg.counter("pipeline.salvage.chunks_quarantined").add(
+                    len(result.salvage.get("quarantined_chunks", ())))
+            result.obs = reg.snapshot()
+        return result
+
+
+def _analyze_impl(
     source: Source,
     *,
     detector: str = "our",
@@ -439,6 +519,7 @@ def analyze_trace(
 
     ctx = _mp_context()
     out_q = ctx.Queue()
+    reg = obs.active()
     worker_shards = [list(range(w, nranks, jobs)) for w in range(jobs)]
     all_procs: List = []          # every process ever spawned, for cleanup
     in_qs: List = []
@@ -466,9 +547,12 @@ def analyze_trace(
                 for w in range(jobs)
             }
             # count events once in the parent for the throughput metric
-            events_total = sum(1 for _ in events)
-            outcome = collect_results(out_q, procs, worker_shards,
-                                      timeout=timeout, attempt=0)
+            with reg.span("pipeline.read"):
+                events_total = sum(1 for _ in events)
+            reg.counter("pipeline.events.read").add(events_total)
+            with reg.span("pipeline.collect"):
+                outcome = collect_results(out_q, procs, worker_shards,
+                                          timeout=timeout, attempt=0)
             payloads = outcome.payloads
             failures = outcome.failures
             failures_all.extend(failures)
@@ -481,19 +565,22 @@ def analyze_trace(
             for rnd in range(1, retries + 1):
                 if not failures:
                     break
-                time.sleep(backoff_delay(rnd, base=backoff_base,
-                                         cap=backoff_max))
-                retry_procs = {
-                    f.worker: _spawn(
-                        _worker_file,
-                        (path, out_q, rnd, fault_plan, not salvage),
-                        f.worker,
-                    )
-                    for f in failures
-                }
-                retry_spawns += len(retry_procs)
-                outcome = collect_results(out_q, retry_procs, worker_shards,
-                                          timeout=timeout, attempt=rnd)
+                with reg.span("pipeline.retry"):
+                    time.sleep(backoff_delay(rnd, base=backoff_base,
+                                             cap=backoff_max))
+                    retry_procs = {
+                        f.worker: _spawn(
+                            _worker_file,
+                            (path, out_q, rnd, fault_plan, not salvage),
+                            f.worker,
+                        )
+                        for f in failures
+                    }
+                    retry_spawns += len(retry_procs)
+                    reg.counter("pipeline.retries").add(len(retry_procs))
+                    outcome = collect_results(out_q, retry_procs,
+                                              worker_shards,
+                                              timeout=timeout, attempt=rnd)
                 payloads.update(outcome.payloads)
                 failures = outcome.failures
                 failures_all.extend(failures)
@@ -504,7 +591,12 @@ def analyze_trace(
                 w: _spawn(_worker_queue, (in_qs[w], out_q, 0, fault_plan), w)
                 for w in range(jobs)
             }
-            queue_peak = [0] * jobs
+            # queue depth lives in the registry (the former hand-rolled
+            # queue_peak list); PipelineResult reads the gauge peaks back
+            depth_gauges = [
+                reg.gauge("pipeline.queue_depth", worker=str(w))
+                for w in range(jobs)
+            ]
             buffers: List[List[TraceEvent]] = [[] for _ in range(nranks)]
             events_total = 0
             lost: set = set()
@@ -541,26 +633,29 @@ def analyze_trace(
                 if worker in lost:
                     return
                 try:  # qsize is advisory; not implemented everywhere
-                    queue_peak[worker] = max(queue_peak[worker],
-                                             in_qs[worker].qsize() + 1)
+                    depth_gauges[worker].set(in_qs[worker].qsize() + 1)
                 except NotImplementedError:  # pragma: no cover
                     pass
                 _put_bounded(worker, (shard, batch))
 
-            for event in events:
-                events_total += 1
-                for shard in shards_of(event, nranks):
-                    buffers[shard].append(event)
-                    if len(buffers[shard]) >= batch_size:
+            with reg.span("pipeline.produce"):
+                for event in events:
+                    events_total += 1
+                    for shard in shards_of(event, nranks):
+                        buffers[shard].append(event)
+                        if len(buffers[shard]) >= batch_size:
+                            ship(shard)
+                for shard in range(nranks):
+                    if buffers[shard]:
                         ship(shard)
-            for shard in range(nranks):
-                if buffers[shard]:
-                    ship(shard)
-            for w in range(jobs):
-                _put_bounded(w, None)
+                for w in range(jobs):
+                    _put_bounded(w, None)
+            reg.counter("pipeline.events.read").add(events_total)
+            queue_peak = [depth_gauges[w].peak for w in range(jobs)]
             live = {w: p for w, p in procs.items() if w not in lost}
-            outcome = collect_results(out_q, live, worker_shards,
-                                      timeout=timeout, attempt=0)
+            with reg.span("pipeline.collect"):
+                outcome = collect_results(out_q, live, worker_shards,
+                                          timeout=timeout, attempt=0)
             payloads = outcome.payloads
             failures_all.extend(outcome.failures)
             failures = [f for f in failures_all]
@@ -577,12 +672,25 @@ def analyze_trace(
         degraded = False
         if failures:
             # serial in-process replay of every still-missing shard-group
-            for failure in {f.worker: f for f in failures}.values():
-                payloads[failure.worker] = _run_shards_inline(
-                    events, worker_shards[failure.worker], detector, nranks,
-                )
+            with reg.span("pipeline.degrade"):
+                for failure in {f.worker: f for f in failures}.values():
+                    payloads[failure.worker] = _run_shards_inline(
+                        events, worker_shards[failure.worker], detector,
+                        nranks,
+                    )
+            reg.counter("pipeline.degraded").inc()
             degraded = True
-        all_stats = [s for w in sorted(payloads) for s in payloads[w]]
+        if failures_all:
+            reg.counter("pipeline.worker_failures").add(len(failures_all))
+        if reg.enabled:
+            # fold the worker registries into this run's scope
+            for w in payloads:
+                p = payloads[w]
+                if isinstance(p, dict) and p.get("obs"):
+                    reg.merge(p["obs"])
+        all_stats = [
+            s for w in sorted(payloads) for s in _payload_stats(payloads[w])
+        ]
         clean_exit = True
     finally:
         reap_processes(all_procs)
@@ -593,9 +701,10 @@ def analyze_trace(
                 q.cancel_join_thread()
 
     wall = time.perf_counter() - t0
-    merged = canonical_verdicts(
-        r for s in all_stats for r in s.reports
-    )
+    with reg.span("pipeline.aggregate"):
+        merged = canonical_verdicts(
+            r for s in all_stats for r in s.reports
+        )
     return PipelineResult(
         detector=detector, nranks=nranks, jobs=jobs, dispatch=dispatch,
         events_total=events_total, wall_seconds=wall, verdicts=merged,

@@ -1,0 +1,133 @@
+"""Property-based invariants of Algorithm 1 (insertion) and the BST.
+
+Randomized counterpart of the example-based ``tests/core`` suite: for
+arbitrary access sequences, after every insertion
+
+* the stored intervals are pairwise disjoint (§4.1's invariant),
+* no two adjacent stored accesses are mergeable (§4.2 maximality:
+  adjacency + same access type/debug info cannot survive a merge pass),
+* the stored bytes exactly cover the union of all inserted bytes,
+* byte-wise type dominance holds (an RMA or WRITE access to a byte can
+  never be downgraded by a later fragmentation/merge),
+* the AVL structure invariants hold.
+
+The race predicate is forced to ``False`` so every access inserts —
+these properties are about storage, not verdicts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bst import IntervalBST
+from repro.core.insertion import insert_access
+from repro.intervals import AccessType, DebugInfo, Interval, MemoryAccess
+
+_NO_RACE = lambda stored, new: False  # noqa: E731 - terse predicate
+
+
+@st.composite
+def accesses(draw) -> MemoryAccess:
+    lo = draw(st.integers(min_value=0, max_value=48))
+    length = draw(st.integers(min_value=1, max_value=16))
+    type_ = draw(st.sampled_from(list(AccessType)))
+    file_ = draw(st.sampled_from(["a.c", "b.c"]))
+    line = draw(st.integers(min_value=1, max_value=3))
+    origin = draw(st.integers(min_value=0, max_value=2))
+    return MemoryAccess(
+        Interval(lo, lo + length), type_, DebugInfo(file_, line), origin
+    )
+
+
+access_lists = st.lists(accesses(), min_size=1, max_size=24)
+
+
+def _insert_all(seq):
+    bst = IntervalBST()
+    for acc in seq:
+        outcome = insert_access(acc, bst, predicate=_NO_RACE)
+        assert not outcome.has_race
+    return bst
+
+
+def _covered_bytes(intervals):
+    out = set()
+    for iv in intervals:
+        out.update(range(iv.lo, iv.hi))
+    return out
+
+
+@given(access_lists)
+def test_stored_intervals_pairwise_disjoint(seq):
+    bst = _insert_all(seq)
+    stored = bst.snapshot()
+    for i, a in enumerate(stored):
+        for b in stored[i + 1:]:
+            assert not a.interval.overlaps(b.interval), (a, b)
+
+
+@given(access_lists)
+def test_merging_is_maximal(seq):
+    """No two adjacent stored accesses share (type, debug, provenance)."""
+    bst = _insert_all(seq)
+    stored = sorted(bst.snapshot(), key=lambda a: a.interval.lo)
+    for prev, cur in zip(stored, stored[1:]):
+        mergeable = (
+            prev.interval.is_adjacent(cur.interval)
+            and prev.same_site(cur)
+        )
+        assert not mergeable, (prev, cur)
+
+
+@given(access_lists)
+def test_fragments_cover_exactly_the_input_union(seq):
+    bst = _insert_all(seq)
+    want = _covered_bytes(a.interval for a in seq)
+    got = _covered_bytes(a.interval for a in bst.snapshot())
+    assert got == want
+
+
+def _dominance(t: AccessType):
+    """Table-1 key: RMA prevails over local, then WRITE over READ."""
+    return (t.is_rma, t.is_write)
+
+
+@given(access_lists)
+def test_bytewise_type_dominance(seq):
+    """Each stored byte carries the Table-1 maximum of its coverers.
+
+    Pairwise combination keeps the higher of the two dominance ranks
+    and the rank uniquely determines the type, so folding over any
+    insertion order must land on the per-byte maximum.
+    """
+    bst = _insert_all(seq)
+    expected = {}
+    for acc in seq:
+        for byte in range(acc.interval.lo, acc.interval.hi):
+            cur = expected.get(byte)
+            if cur is None or _dominance(acc.type) > _dominance(cur):
+                expected[byte] = acc.type
+    for stored in bst.snapshot():
+        for byte in range(stored.interval.lo, stored.interval.hi):
+            assert stored.type == expected[byte], (byte, stored)
+
+
+@given(access_lists)
+def test_avl_invariants_after_insertions(seq):
+    bst = _insert_all(seq)
+    bst.check_invariants()
+
+
+@given(access_lists, st.data())
+def test_avl_invariants_after_removals(seq, data):
+    bst = _insert_all(seq)
+    stored = bst.snapshot()
+    if stored:
+        victims = data.draw(
+            st.lists(st.sampled_from(stored), max_size=len(stored),
+                     unique=True)
+        )
+        for acc in victims:
+            assert bst.remove(acc)
+        bst.check_invariants()
