@@ -72,6 +72,7 @@ class TreeStats:
     max_size: int = 0
     queries: int = 0
     query_hits: int = 0
+    max_fanout: int = 0
     fanout: List[int] = field(
         default_factory=lambda: [0] * FANOUT_NBUCKETS)
 
@@ -79,6 +80,8 @@ class TreeStats:
         """Account one overlap query returning ``k`` stored accesses."""
         self.queries += 1
         self.query_hits += k
+        if k > self.max_fanout:
+            self.max_fanout = k
         b = k.bit_length() if k > 0 else 0
         self.fanout[b if b < FANOUT_NBUCKETS else FANOUT_NBUCKETS - 1] += 1
 
@@ -90,6 +93,7 @@ class TreeStats:
         self.max_size = max(self.max_size, other.max_size)
         self.queries += other.queries
         self.query_hits += other.query_hits
+        self.max_fanout = max(self.max_fanout, other.max_fanout)
         for i, n in enumerate(other.fanout):
             self.fanout[i] += n
 

@@ -8,6 +8,7 @@ Subcommands::
     repro suite                # microbenchmark suite summary
     repro record <app>         # record an application trace to disk
     repro analyze <trace>      # (sharded) post-mortem race analysis
+    repro explain <trace>      # annotated race forensics for a trace
 
 Examples::
 
@@ -15,6 +16,8 @@ Examples::
     repro run fig10 fig11
     repro record minivite --ranks 8 -o mv.trace
     repro analyze mv.trace --detector our --jobs 4
+    repro analyze mv.trace --trace-out mv.chrome.json --report-html mv.html
+    repro explain mv.trace --jobs 4
 """
 
 from __future__ import annotations
@@ -55,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help=f"one of: {', '.join(EXPERIMENTS)}")
     run.add_argument("--json", action="store_true",
                      help="emit machine-readable JSON instead of tables")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="export the run's event timeline as Chrome "
+                          "trace-event JSON (chrome://tracing, Perfetto); "
+                          "bounded by the REPRO_OBS_TIMELINE ring")
     _add_metrics_args(run)
 
     sub.add_parser("all", help="run every experiment in paper order")
@@ -84,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
                      default="binary",
                      help="trace format: repro-trace-v2 chunked binary "
                           "(default) or v1 JSON lines")
+    _add_metrics_args(rec)
 
     an = sub.add_parser(
         "analyze", help="post-mortem race analysis of a recorded trace",
@@ -116,7 +124,33 @@ def build_parser() -> argparse.ArgumentParser:
                          "and report the loss")
     an.add_argument("--json", action="store_true",
                     help="emit the full machine-readable report")
+    an.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="export the full trace as Chrome trace-event "
+                         "JSON with detected races overlaid")
+    an.add_argument("--report-html", default=None, metavar="PATH",
+                    help="write a self-contained HTML race report "
+                         "(race cards + per-rank timeline lanes)")
     _add_metrics_args(an)
+
+    ex = sub.add_parser(
+        "explain", help="annotated race forensics for a recorded trace",
+        description="Analyze a trace and print, per detected race, the "
+                    "racing pair with both source locations, the "
+                    "window's epoch/sync state at detection time, and "
+                    "the surrounding per-rank event timeline.",
+    )
+    ex.add_argument("trace", help="trace file written by 'repro record'")
+    ex.add_argument("--detector", choices=_DETECTORS, default="our",
+                    help="detector to replay under (default: our)")
+    ex.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes (default 1 = serial replay)")
+    ex.add_argument("--context", type=int, default=8, metavar="K",
+                    help="surrounding timeline events shown per rank "
+                         "(default 8)")
+    ex.add_argument("--json", action="store_true",
+                    help="emit the repro-forensics-v1 bundles as JSON")
+    ex.add_argument("--html", default=None, metavar="PATH",
+                    help="also write the self-contained HTML report")
     return parser
 
 
@@ -227,6 +261,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 snap = reg.snapshot() if reg.enabled else None
                 _emit_metrics(snap, show=args.metrics,
                               json_path=args.metrics_json)
+            if args.trace_out:
+                _write_chrome(args.trace_out,
+                              timeline=(reg.timeline.snapshot()
+                                        if reg.timeline.enabled else None))
         return status
 
     if args.command == "all":
@@ -252,30 +290,64 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "analyze":
         return _analyze(args)
 
+    if args.command == "explain":
+        return _explain(args)
+
     return 2  # pragma: no cover
 
 
+def _write_chrome(path: str, *, timeline=None, trace_path=None,
+                  nranks: int = 0, verdicts=()) -> None:
+    """Write a Chrome trace-event file from either producer.
+
+    ``trace_path`` re-streams a recorded trace (full fidelity);
+    ``timeline`` exports a bounded repro-timeline-v1 snapshot.
+    """
+    from .obs.chrometrace import (
+        chrome_events_from_timeline,
+        chrome_events_from_trace,
+        write_chrome_trace,
+    )
+
+    if trace_path is not None:
+        from .pipeline import TraceReader
+
+        reader = TraceReader(trace_path)
+        events = chrome_events_from_trace(iter(reader), reader.nranks)
+    else:
+        events = chrome_events_from_timeline(timeline)
+    n = write_chrome_trace(path, events, verdicts)
+    print(f"chrome trace: {n} events -> {path}")
+
+
 def _record(args) -> int:
+    from . import obs
     from .mpi.errors import MpiSimError
     from .pipeline import record_app
 
     out = args.out or f"{args.app}.trace"
-    try:
-        t0 = time.perf_counter()
-        result = record_app(
-            args.app, nranks=args.ranks, size=args.size,
-            inject_race=args.inject_race, out=out, format=args.format,
-        )
-        dt = time.perf_counter() - t0
-    except ValueError as exc:
-        print(f"repro record: {exc}", file=sys.stderr)
-        return 2
-    except MpiSimError as exc:
-        # the *recorded application* misbehaved (deadlock, RMA misuse):
-        # one line naming the failure, no partial trace left behind
-        print(f"repro record: {args.app} failed: "
-              f"{type(exc).__name__}: {exc}", file=sys.stderr)
-        return 3
+    with obs.scope() as reg:
+        try:
+            t0 = time.perf_counter()
+            result = record_app(
+                args.app, nranks=args.ranks, size=args.size,
+                inject_race=args.inject_race, out=out, format=args.format,
+            )
+            dt = time.perf_counter() - t0
+        except ValueError as exc:
+            print(f"repro record: {exc}", file=sys.stderr)
+            return 2
+        except MpiSimError as exc:
+            # the *recorded application* misbehaved (deadlock, RMA
+            # misuse): one line naming the failure, no partial trace
+            # left behind
+            print(f"repro record: {args.app} failed: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            return 3
+        if args.metrics or args.metrics_json:
+            snap = reg.snapshot() if reg.enabled else None
+            _emit_metrics(snap, show=args.metrics,
+                          json_path=args.metrics_json)
     print(f"recorded {result.app} on {result.nranks} ranks: "
           f"{result.events} events -> {result.path} "
           f"({args.format}, {dt:.1f}s)")
@@ -301,6 +373,27 @@ def _analyze(args) -> int:
     if args.metrics or args.metrics_json:
         _emit_metrics(result.obs, show=args.metrics,
                       json_path=args.metrics_json)
+    if args.trace_out:
+        try:
+            _write_chrome(args.trace_out, trace_path=args.trace,
+                          verdicts=result.verdicts)
+        except OSError as exc:
+            print(f"repro analyze: --trace-out failed: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.report_html:
+        from .obs.htmlreport import render_html_report
+
+        try:
+            with open(args.report_html, "w") as fh:
+                fh.write(render_html_report(
+                    result.to_dict(),
+                    title=f"repro race report — {args.trace}"))
+        except OSError as exc:
+            print(f"repro analyze: --report-html failed: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"html report -> {args.report_html}")
 
     if args.json:
         import json
@@ -346,6 +439,57 @@ def _analyze(args) -> int:
               f"{stored['type']} {stored['file']}:{stored['line']}")
     if result.races > 5:
         print(f"  ... and {result.races - 5} more")
+    return 0
+
+
+def _explain(args) -> int:
+    from .core.forensics import render_explain_all
+    from .detectors.base import Detector
+    from .mpi.errors import TraceFormatError, WorkerCrashedError
+    from .pipeline import analyze_trace
+
+    if args.context < 1:
+        print("repro explain: --context must be positive", file=sys.stderr)
+        return 2
+    # the bundle is captured at detection time inside the (possibly
+    # forked) workers, so the context width is set before analysis
+    Detector.FORENSICS_CONTEXT = args.context
+    try:
+        result = analyze_trace(args.trace, detector=args.detector,
+                               jobs=args.jobs)
+    except (TraceFormatError, WorkerCrashedError, OSError,
+            ValueError) as exc:
+        print(f"repro explain: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        import json
+
+        print(json.dumps({"trace": args.trace,
+                          "detector": result.detector,
+                          "races": result.races,
+                          "forensics": result.forensics}, indent=2))
+    elif not result.races:
+        print(f"{args.trace}: no races detected "
+              f"(detector {result.detector!r}) — nothing to explain.")
+    elif not result.forensics:
+        print(f"{args.trace}: {result.races} race(s) detected, but no "
+              f"forensics were captured — is REPRO_OBS=off?")
+        for verdict in result.verdicts:
+            stored, new = verdict["stored"], verdict["new"]
+            print(f"  rank {verdict['rank']} win {verdict['window']}: "
+                  f"{new['type']} {new['file']}:{new['line']} vs "
+                  f"{stored['type']} {stored['file']}:{stored['line']}")
+    else:
+        print(render_explain_all(result.forensics))
+    if args.html:
+        from .obs.htmlreport import render_html_report
+
+        with open(args.html, "w") as fh:
+            fh.write(render_html_report(
+                result.to_dict(),
+                title=f"repro race report — {args.trace}"))
+        print(f"html report -> {args.html}")
     return 0
 
 

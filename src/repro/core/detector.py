@@ -106,7 +106,8 @@ class OurDetector(BstDetector):
         self.work_units += stats.comparisons + stats.rotations - w0
         if outcome.has_race:
             assert outcome.conflict is not None
-            self._report(rank, wid, outcome.conflict, access)
+            self._report(rank, wid, outcome.conflict, access,
+                         phase="data_race_detection")
         elif enabled:
             self._c_fragments.value += len(outcome.merged)
             removed = len(outcome.removed)
@@ -120,6 +121,18 @@ class OurDetector(BstDetector):
 
     def _insert(self, bst, access) -> None:  # pragma: no cover
         raise AssertionError("OurDetector uses _record directly")
+
+    def forensic_sync_state(self, wid: int) -> dict:
+        """Epoch state plus the §6 flush generations of this window."""
+        state = super().forensic_sync_state(wid)
+        gens = {
+            str(issuer): gen
+            for (w, issuer), gen in sorted(self._flush_gens.items())
+            if w == wid
+        }
+        if gens:
+            state["flush_gens"] = gens
+        return state
 
     # -- §6 synchronization handling -----------------------------------------------------
 

@@ -17,7 +17,8 @@ abort-on-first-race mode.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from ..intervals import MemoryAccess
 
@@ -26,13 +27,21 @@ __all__ = ["RaceReport", "DataRaceError"]
 
 @dataclass(frozen=True)
 class RaceReport:
-    """One detected data race: the stored access and the new access."""
+    """One detected data race: the stored access and the new access.
+
+    ``forensics`` optionally carries the ``repro-forensics-v1`` bundle
+    captured at detection time (see :mod:`repro.core.forensics`).  It is
+    excluded from equality/hash so two reports of the same race pair
+    compare equal regardless of surrounding timeline context — verdict
+    dedup and serial/sharded parity depend on that.
+    """
 
     rank: int
     window: int
     stored: MemoryAccess
     new: MemoryAccess
     detector: str = ""
+    forensics: Optional[dict] = field(default=None, compare=False)
 
     @property
     def message(self) -> str:

@@ -137,7 +137,8 @@ class StridedDetector(OurDetector):
             if member is None:
                 continue
             if pred(member, access):
-                self._report(rank, wid, member, access)
+                self._report(rank, wid, member, access,
+                             phase="data_race_detection")
                 return
             if ckey != key or not chain.extends(access):
                 # touches the chain without extending it: the "no access

@@ -17,7 +17,7 @@ about the size of the analysis state, not about verdicts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .. import obs
 from ..core.report import DataRaceError, RaceReport
@@ -112,16 +112,40 @@ class Detector:
 
     # -- verdict plumbing ------------------------------------------------------
 
+    #: timeline events shown per rank in a forensics bundle
+    FORENSICS_CONTEXT = 8
+
     def _report(
-        self, rank: int, wid: int, stored: MemoryAccess, new: MemoryAccess
+        self, rank: int, wid: int, stored: MemoryAccess, new: MemoryAccess,
+        *, phase: str = "check",
     ) -> None:
         self.reports_total += 1
-        obs.active().counter(self._k_verdicts).inc()
+        reg = obs.active()
+        reg.counter(self._k_verdicts).inc()
         if len(self.reports) < self.MAX_KEPT_REPORTS:
-            report = RaceReport(rank, wid, stored, new, self.name)
+            forensics = None
+            if reg.enabled:
+                from ..core.forensics import capture_forensics
+
+                forensics = capture_forensics(
+                    self, reg.timeline, rank, wid, stored, new,
+                    phase=phase, k=self.FORENSICS_CONTEXT,
+                )
+            report = RaceReport(rank, wid, stored, new, self.name,
+                                forensics)
             self.reports.append(report)
             if self.abort_on_race:
                 raise DataRaceError(report)
+
+    # -- forensic state hooks (subclasses override) ----------------------------
+
+    def forensic_sync_state(self, wid: int) -> dict:
+        """Tool-specific synchronization state of one window, JSON-able."""
+        return {}
+
+    def forensic_tree_state(self, rank: int, wid: int) -> Optional[dict]:
+        """Statistics of the analysis store the race was found in."""
+        return None
 
     @property
     def race_detected(self) -> bool:

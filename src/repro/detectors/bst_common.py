@@ -195,7 +195,36 @@ class BstDetector(Detector):
             hist.counts[i] += n
         hist.n += total.queries
         hist.total += total.query_hits
+        if total.max_fanout > hist.vmax:
+            hist.vmax = total.max_fanout
 
     def bst_of(self, rank: int, wid: int) -> Optional[IntervalBST]:
         """Direct access for tests and figure drivers."""
         return self._stores.get((rank, wid))
+
+    # -- forensics ----------------------------------------------------------------
+
+    def forensic_sync_state(self, wid: int) -> dict:
+        """Which ranks hold an open epoch on ``wid``, and window liveness."""
+        return {
+            "open_epochs": sorted(
+                r for (r, w) in self._open_epochs if w == wid),
+            "window_known": wid in self._windows,
+        }
+
+    def forensic_tree_state(self, rank: int, wid: int) -> Optional[dict]:
+        """The racing (rank, window) store's tree statistics right now."""
+        bst = self._stores.get((rank, wid))
+        if bst is None:
+            return None
+        stats = bst.stats
+        return {
+            "nodes": len(bst),
+            "max_size": stats.max_size,
+            "comparisons": stats.comparisons,
+            "rotations": stats.rotations,
+            "inserts": stats.inserts,
+            "removals": stats.removals,
+            "queries": stats.queries,
+            "query_hits": stats.query_hits,
+        }

@@ -135,7 +135,8 @@ class McCChecker(Detector):
                     if b.clock.knows(a.stamp):
                         continue
                     seen_pairs.add(pair)
-                    self._report(a.memory_rank, -1, a.access, b.access)
+                    self._report(a.memory_rank, -1, a.access, b.access,
+                                 phase="post_mortem")
         self.finalized = True
 
     def node_stats(self) -> NodeStats:

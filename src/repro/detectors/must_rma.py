@@ -104,7 +104,8 @@ class MustRma(Detector):
         # clock copy + shadow-cell scans: the per-access TSan cost
         self.work_units += len(clock) + (self.shadow.cells_touched - c0)
         for cell in conflicts:
-            self._report(rank, -1, cell.access, access)
+            self._report(rank, -1, cell.access, access,
+                         phase="shadow_check")
 
     def on_rma(
         self,
@@ -129,7 +130,8 @@ class MustRma(Detector):
             )
             self.work_units += len(clock) + (self.shadow.cells_touched - c0)
             for cell in conflicts:
-                self._report(rank, wid, cell.access, origin_access)
+                self._report(rank, wid, cell.access, origin_access,
+                             phase="shadow_check")
         # the target-side access — also skipped when the window was
         # created over a stack array (MPI_Win_create on a local array;
         # §5.2: "when using heap arrays, the error is detected")
@@ -143,7 +145,8 @@ class MustRma(Detector):
             )
             self.work_units += len(clock) + (self.shadow.cells_touched - c0)
             for cell in conflicts:
-                self._report(target, wid, cell.access, target_access)
+                self._report(target, wid, cell.access, target_access,
+                             phase="shadow_check")
 
     # -- statistics -------------------------------------------------------------------
 

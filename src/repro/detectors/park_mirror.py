@@ -65,7 +65,8 @@ class ParkMirror(Detector):
         w0 = mirror.stats.comparisons + mirror.stats.rotations
         for stored in mirror.find_overlapping(target_access.interval):
             if stored.is_write or target_access.is_write:
-                self._report(target, wid, stored, target_access)
+                self._report(target, wid, stored, target_access,
+                             phase="mirror_compare")
                 break
         mirror.insert(target_access)
         self.work_units += mirror.stats.comparisons + mirror.stats.rotations - w0

@@ -46,7 +46,8 @@ class RmaAnalyzerLegacy(BstDetector):
         # first traversal: the (unsound) intersection search
         for stored in legacy_find_overlapping(bst, access.interval):
             if is_race_legacy(stored, access):
-                self._report(rank, wid, stored, access)
+                self._report(rank, wid, stored, access,
+                             phase="legacy_search")
                 return  # the real tool aborts at the first race
 
     def _insert(self, bst: IntervalBST, access: MemoryAccess) -> None:

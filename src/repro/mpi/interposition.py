@@ -94,6 +94,13 @@ class Interposition:
         self._obs_reg = reg
         self._c_local = reg.counter("interpose.events", kind="local")
         self._c_rma = reg.counter("interpose.events", kind="rma")
+        self._tl = reg.timeline
+
+    def _sync_timeline(self, kind: str, rank: int, wid: int) -> None:
+        """Replicate one synchronization event into every rank's lane."""
+        tl = obs.active().timeline
+        if tl.enabled:
+            tl.record_sync(kind, rank, wid, range(self.clock.nranks))
 
     # -- internal ------------------------------------------------------------
 
@@ -108,6 +115,7 @@ class Interposition:
             self.trace.append(
                 SyncEvent(self.trace.next_seq(), -1, SyncKind.WIN_CREATE, window.wid)
             )
+        self._sync_timeline("win_create", -1, window.wid)
         with self._timed(-1):
             for d in self.detectors:
                 d.on_win_create(window)
@@ -117,6 +125,7 @@ class Interposition:
             self.trace.append(
                 SyncEvent(self.trace.next_seq(), -1, SyncKind.WIN_FREE, wid)
             )
+        self._sync_timeline("win_free", -1, wid)
         with self._timed(-1):
             for d in self.detectors:
                 d.on_win_free(wid)
@@ -126,6 +135,7 @@ class Interposition:
             self.trace.append(
                 SyncEvent(self.trace.next_seq(), rank, SyncKind.LOCK_ALL, wid)
             )
+        self._sync_timeline("lock_all", rank, wid)
         with self._timed(rank):
             for d in self.detectors:
                 d.on_epoch_start(rank, wid)
@@ -135,6 +145,7 @@ class Interposition:
             self.trace.append(
                 SyncEvent(self.trace.next_seq(), rank, SyncKind.UNLOCK_ALL, wid)
             )
+        self._sync_timeline("unlock_all", rank, wid)
         self._charge_sync_traffic(rank)
         with self._timed(rank):
             for d in self.detectors:
@@ -144,6 +155,7 @@ class Interposition:
         kind = SyncKind.FLUSH_ALL if all_targets else SyncKind.FLUSH
         if self.trace is not None:
             self.trace.append(SyncEvent(self.trace.next_seq(), rank, kind, wid))
+        self._sync_timeline(kind.value, rank, wid)
         self._charge_sync_traffic(rank)
         with self._timed(rank):
             for d in self.detectors:
@@ -157,6 +169,7 @@ class Interposition:
     def barrier(self) -> None:
         if self.trace is not None:
             self.trace.append(SyncEvent(self.trace.next_seq(), -1, SyncKind.BARRIER))
+        self._sync_timeline("barrier", -1, -1)
         with self._timed(-1):
             for d in self.detectors:
                 d.on_barrier()
@@ -166,6 +179,7 @@ class Interposition:
             self.trace.append(
                 SyncEvent(self.trace.next_seq(), -1, SyncKind.FENCE, wid)
             )
+        self._sync_timeline("fence", -1, wid)
         self._charge_sync_traffic(0)
         with self._timed(-1):
             for d in self.detectors:
@@ -180,6 +194,8 @@ class Interposition:
             if reg is not self._obs_reg:
                 self._bind_obs(reg)
             self._c_local.value += 1
+            if self._tl.enabled:
+                self._tl.record(rank, "local", rank, -1, (None, -1, access))
         if self.trace is not None:
             self.trace.append(
                 LocalEvent(self.trace.next_seq(), rank, access, region.info)
@@ -207,6 +223,9 @@ class Interposition:
             if reg is not self._obs_reg:
                 self._bind_obs(reg)
             self._c_rma.value += 1
+            if self._tl.enabled:
+                self._tl.record_rma(op, rank, target, wid,
+                                    origin_access, target_access)
         if self.trace is not None:
             self.trace.append(
                 RmaEvent(

@@ -46,15 +46,26 @@ from .registry import (
     SpanNode,
     env_enabled,
     metric_key,
+    sample_period_from_env,
+)
+from .timeline import (
+    NULL_TIMELINE,
+    NullTimeline,
+    Timeline,
+    record_trace_event,
+    timeline_context,
 )
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "NULL_TIMELINE",
+    "NullTimeline",
     "Counter",
     "Gauge",
     "Histogram",
     "Registry",
     "SpanNode",
+    "Timeline",
     "active",
     "add",
     "counter",
@@ -62,13 +73,17 @@ __all__ = [
     "gauge",
     "histogram",
     "metric_key",
+    "record_trace_event",
     "render_metrics",
     "reset",
+    "sample_period_from_env",
     "scope",
     "set_registry",
     "snapshot",
     "snapshot_to_json",
     "span",
+    "timeline",
+    "timeline_context",
 ]
 
 _current = Registry()
@@ -110,6 +125,8 @@ def scope(reg: Optional[Registry] = None, *,
         set_registry(outer)
         if merge and outer.enabled and inner.enabled:
             outer.merge(inner.snapshot())
+            if inner.timeline.enabled:
+                outer.timeline.absorb(inner.timeline)
 
 
 # -- conveniences on the active registry ------------------------------------
@@ -133,6 +150,11 @@ def add(name: str, n: int = 1) -> None:
 
 def span(name: str):
     return _current.span(name)
+
+
+def timeline() -> Timeline:
+    """The active registry's event timeline (null when disabled)."""
+    return _current.timeline
 
 
 def snapshot() -> dict:

@@ -1,0 +1,355 @@
+"""Chrome trace-event JSON export of an execution's timeline.
+
+Writes the "JSON Array Format" the Chromium trace viewer and Perfetto
+(`chrome://tracing`, https://ui.perfetto.dev) load directly:
+
+* one **process per MPI rank** (``pid`` = rank, named ``rank N``),
+* per-window **epoch spans** as ``B``/``E`` duration events on their own
+  thread track (``tid`` = window id + 1, named ``win N epochs``),
+* every instrumented **access** as a unit-duration ``X`` event on the
+  rank's access track (``tid`` 0), carrying interval/type/source args,
+* synchronization (flushes, barriers, window create/free) as ``i``
+  instant events,
+* detected **races** as global instant events after the end of the
+  stream, naming both source locations of the pair.
+
+Timestamps are the global trace sequence numbers — deterministic and
+strictly increasing, so two exports of the same trace are identical
+byte-for-byte and every track is monotonic (what
+:func:`validate_chrome_trace` checks, and CI smoke-tests).
+
+Two producers share the builder: ``repro analyze --trace-out`` streams
+the full recorded trace, ``repro run --trace-out`` drains the bounded
+in-memory timeline ring (:mod:`repro.obs.timeline`), so a long run
+exports its last-K window.  Like the timeline module, nothing here
+imports the rest of ``repro``: trace events are duck-typed.
+
+Validate a file from the shell::
+
+    python -m repro.obs.chrometrace trace.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "ChromeTraceBuilder",
+    "chrome_events_from_timeline",
+    "chrome_events_from_trace",
+    "race_instants",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: keys every non-metadata trace event must carry
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid")
+
+#: tid of a rank's access track; epoch tracks are ``wid + _EPOCH_TID``
+ACCESS_TID = 0
+_EPOCH_TID = 1
+
+
+class ChromeTraceBuilder:
+    """Accumulates trace-event dicts; tracks open epochs for B/E pairing."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+        self._named_pids: set = set()
+        self._named_tracks: set = set()
+        #: open epoch spans: (pid, wid) -> ts of the B event
+        self._open: Dict[Tuple[int, int], int] = {}
+        self.max_ts = 0
+
+    # -- naming -------------------------------------------------------------
+
+    def _meta(self, name: str, pid: int, args: dict,
+              tid: int = 0) -> None:
+        self.events.append({
+            "ph": "M", "name": name, "pid": pid, "tid": tid, "args": args,
+        })
+
+    def _ensure_pid(self, pid: int) -> None:
+        if pid not in self._named_pids:
+            self._named_pids.add(pid)
+            label = f"rank {pid}" if pid >= 0 else "world"
+            self._meta("process_name", pid, {"name": label})
+
+    def _ensure_track(self, pid: int, tid: int) -> None:
+        self._ensure_pid(pid)
+        if (pid, tid) not in self._named_tracks:
+            self._named_tracks.add((pid, tid))
+            label = ("accesses" if tid == ACCESS_TID
+                     else f"win {tid - _EPOCH_TID} epochs")
+            self._meta("thread_name", pid, {"name": label}, tid)
+
+    # -- event emission -----------------------------------------------------
+
+    def _tick(self, ts: int) -> int:
+        if ts > self.max_ts:
+            self.max_ts = ts
+        return ts
+
+    def access(self, pid: int, ts: int, name: str, args: dict) -> None:
+        self._ensure_track(pid, ACCESS_TID)
+        self.events.append({
+            "ph": "X", "name": name, "cat": "access", "ts": self._tick(ts),
+            "dur": 1, "pid": pid, "tid": ACCESS_TID, "args": args,
+        })
+
+    def instant(self, pid: int, tid: int, ts: int, name: str,
+                scope: str = "t") -> None:
+        self._ensure_track(pid, tid)
+        self.events.append({
+            "ph": "i", "name": name, "cat": "sync", "ts": self._tick(ts),
+            "pid": pid, "tid": tid, "s": scope,
+        })
+
+    def epoch_begin(self, pid: int, wid: int, ts: int) -> None:
+        key = (pid, wid)
+        if key in self._open:  # re-opened without a close: close first
+            self.epoch_end(pid, wid, ts)
+        tid = wid + _EPOCH_TID
+        self._ensure_track(pid, tid)
+        self._open[key] = ts
+        self.events.append({
+            "ph": "B", "name": f"epoch win {wid}", "cat": "epoch",
+            "ts": self._tick(ts), "pid": pid, "tid": tid,
+        })
+
+    def epoch_end(self, pid: int, wid: int, ts: int) -> None:
+        if (pid, wid) not in self._open:
+            return  # E without B (ring scrolled past it): drop
+        del self._open[(pid, wid)]
+        self.events.append({
+            "ph": "E", "ts": self._tick(ts), "pid": pid,
+            "tid": wid + _EPOCH_TID,
+        })
+
+    # -- adapters -----------------------------------------------------------
+
+    def sync(self, kind: str, rank: int, wid: int, ts: int,
+             lanes: Iterable[int]) -> None:
+        """One synchronization event, applied to every lane's tracks."""
+        if kind == "lock_all":
+            self.epoch_begin(rank, wid, ts)
+        elif kind == "unlock_all":
+            self.epoch_end(rank, wid, ts)
+        elif kind == "fence":
+            for lane in lanes:
+                self.epoch_end(lane, wid, ts)
+                self.epoch_begin(lane, wid, ts)
+        elif kind == "win_free":
+            for lane in lanes:
+                self.epoch_end(lane, wid, ts)
+                self.instant(lane, wid + _EPOCH_TID, ts, f"win_free {wid}")
+        elif kind == "win_create":
+            for lane in lanes:
+                self.instant(lane, wid + _EPOCH_TID, ts,
+                             f"win_create {wid}")
+        elif kind == "barrier":
+            for lane in lanes:
+                self.instant(lane, ACCESS_TID, ts, "barrier", scope="g")
+        else:  # flush / flush_all / anything future
+            pid = rank if rank >= 0 else 0
+            name = kind + (f" win {wid}" if wid >= 0 else "")
+            self.instant(pid, ACCESS_TID, ts, name)
+
+    def finish(self) -> List[dict]:
+        """Close dangling epoch spans and return the event list."""
+        if self._open:
+            ts = self.max_ts + 1
+            for pid, wid in sorted(self._open):
+                self.events.append({
+                    "ph": "E", "ts": ts, "pid": pid,
+                    "tid": wid + _EPOCH_TID,
+                })
+            self._open.clear()
+            self.max_ts = ts
+        return self.events
+
+
+def _access_name(acc_args: dict, op: Optional[str],
+                 target: int) -> str:
+    if op is not None:
+        return f"{op} -> rank {target}"
+    return acc_args["type"].lower()
+
+
+def _access_args(lo, hi, type_, file, line, origin) -> dict:
+    return {"lo": lo, "hi": hi, "type": type_,
+            "src": f"{file}:{line}", "origin": origin}
+
+
+def chrome_events_from_trace(events, nranks: int) -> List[dict]:
+    """Chrome events for a full recorded trace (``analyze --trace-out``).
+
+    ``events`` is any iterable of :mod:`repro.mpi.trace` events
+    (duck-typed, like the timeline adapters); RMA operations draw on
+    both ranks' access tracks.
+    """
+    builder = ChromeTraceBuilder()
+    lanes = range(nranks)
+    for event in events:
+        op = getattr(event, "op", None)
+        if op is not None:
+            for pid, acc in ((event.rank, event.origin_access),
+                             (event.target, event.target_access)):
+                args = _access_args(
+                    acc.interval.lo, acc.interval.hi, acc.type.name,
+                    acc.debug.filename, acc.debug.line, acc.origin)
+                builder.access(pid, event.seq,
+                               _access_name(args, op, event.target), args)
+                if event.target == event.rank:
+                    break  # self-targeted op: one track, one event
+        elif hasattr(event, "access"):
+            acc = event.access
+            args = _access_args(
+                acc.interval.lo, acc.interval.hi, acc.type.name,
+                acc.debug.filename, acc.debug.line, acc.origin)
+            builder.access(event.rank, event.seq,
+                           _access_name(args, None, -1), args)
+        else:
+            kind = getattr(event.kind, "value", str(event.kind))
+            builder.sync(kind, event.rank, event.wid, event.seq, lanes)
+    return builder.finish()
+
+
+def chrome_events_from_timeline(snap: Optional[dict]) -> List[dict]:
+    """Chrome events from a ``repro-timeline-v1`` snapshot.
+
+    Each lane is one rank's bounded ring: sync events were replicated
+    per lane at record time, so they apply only to their own lane here.
+    Duplicate (lane, seq) sync replicas collapse to per-lane events.
+    """
+    builder = ChromeTraceBuilder()
+    if not snap:
+        return builder.finish()
+    for lane_key in sorted(snap.get("lanes", {}), key=int):
+        lane = int(lane_key)
+        for event in snap["lanes"][lane_key]:
+            kind = event["kind"]
+            ts = event["seq"]
+            if kind in ("rma", "local"):
+                op = event.get("op")
+                args = _access_args(
+                    event["lo"], event["hi"], event["type"],
+                    event["file"], event["line"], event["origin"])
+                builder.access(lane, ts,
+                               _access_name(args, op,
+                                            event.get("target", -1)),
+                               args)
+            else:
+                rank = event.get("rank", -1)
+                if (kind in ("lock_all", "unlock_all", "flush",
+                             "flush_all") and rank not in (lane, -1)):
+                    continue  # another rank's epoch/flush, not this track
+                builder.sync(kind, lane, event.get("wid", -1), ts,
+                             (lane,))
+    return builder.finish()
+
+
+def race_instants(verdicts: Iterable[dict], ts: int) -> List[dict]:
+    """Global instant events naming each race pair (drawn after the end)."""
+    out = []
+    for i, verdict in enumerate(verdicts):
+        stored, new = verdict["stored"], verdict["new"]
+        out.append({
+            "ph": "i", "cat": "race", "s": "g",
+            "name": (f"RACE: {new['type']} {new['file']}:{new['line']} "
+                     f"vs {stored['type']} "
+                     f"{stored['file']}:{stored['line']}"),
+            "ts": ts + i, "pid": verdict["rank"], "tid": ACCESS_TID,
+            "args": {"stored": dict(stored), "new": dict(new),
+                     "window": verdict["window"]},
+        })
+    return out
+
+
+def write_chrome_trace(path, events: List[dict],
+                       verdicts: Iterable[dict] = ()) -> int:
+    """Write events (+ race overlays) as one JSON array; returns count."""
+    events = list(events)
+    max_ts = max((e["ts"] for e in events if "ts" in e), default=0)
+    events.extend(race_instants(verdicts, max_ts + 1))
+    with open(path, "w") as fh:
+        fh.write("[\n")
+        for i, event in enumerate(events):
+            fh.write(json.dumps(event, sort_keys=True))
+            fh.write(",\n" if i + 1 < len(events) else "\n")
+        fh.write("]\n")
+    return len(events)
+
+
+def validate_chrome_trace(events) -> List[str]:
+    """Structural check of a trace-event list; returns problems (empty=ok).
+
+    Checks what the viewers actually require: the event list is a JSON
+    array of objects; every non-metadata event has ``ph``/``ts``/``pid``
+    /``tid``; timestamps never go backwards within one (pid, tid)
+    track; every ``E`` has a matching open ``B`` on its track.
+    """
+    problems: List[str] = []
+    if not isinstance(events, list):
+        return [f"top-level JSON must be an array, got {type(events).__name__}"]
+    last_ts: Dict[Tuple[int, int], float] = {}
+    depth: Dict[Tuple[int, int], int] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if missing:
+            problems.append(f"event {i}: missing {missing}")
+            continue
+        track = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if ts < last_ts.get(track, float("-inf")):
+            problems.append(
+                f"event {i}: ts {ts} goes backwards on track {track}")
+        last_ts[track] = ts
+        if ph == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ph == "E":
+            if depth.get(track, 0) < 1:
+                problems.append(
+                    f"event {i}: E without open B on track {track}")
+            else:
+                depth[track] -= 1
+    for track, d in sorted(depth.items()):
+        if d:
+            problems.append(f"track {track}: {d} unclosed B event(s)")
+    return problems
+
+
+def _main(argv: List[str]) -> int:  # pragma: no cover - exercised via CLI
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.chrometrace TRACE.json")
+        return 2
+    with open(argv[0]) as fh:
+        try:
+            events = json.load(fh)
+        except json.JSONDecodeError as exc:
+            print(f"{argv[0]}: not valid JSON: {exc}")
+            return 1
+    problems = validate_chrome_trace(events)
+    for problem in problems:
+        print(f"{argv[0]}: {problem}")
+    n = sum(1 for e in events
+            if isinstance(e, dict) and e.get("ph") != "M")
+    print(f"{argv[0]}: {'INVALID' if problems else 'ok'} "
+          f"({n} events, {len(problems)} problem(s))")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    raise SystemExit(_main(sys.argv[1:]))

@@ -49,15 +49,26 @@ def span_rows(snap: dict) -> List[List[str]]:
 
 
 def _histogram_summary(hv: dict) -> str:
-    """``n=..., mean=..., p~max=...`` — max estimated from top bucket."""
+    """``n=..., mean=..., max=...`` — the exact observed maximum.
+
+    ``Histogram.observe`` tracks the true max, so wide buckets no
+    longer produce a misleading upper-bound estimate.  Snapshots from
+    older writers (no ``max`` key) fall back to the top occupied
+    bucket's bound, marked ``max<=``.
+    """
     n = hv.get("n", 0)
     if not n:
         return "n=0"
     mean = hv.get("total", 0) / n
+    vmax = hv.get("max", 0)
+    if vmax:
+        return f"n={n:,} mean={mean:.2f} max={vmax:,}"
     top = 0
     for i, count in enumerate(hv.get("counts", [])):
         if count:
             top = i
+    if top == 0:
+        return f"n={n:,} mean={mean:.2f} max=0"
     # bucket i holds values of bit_length i: upper bound 2**i - ... use bound
     bound = BUCKET_BOUNDS[top] if top < len(BUCKET_BOUNDS) else BUCKET_BOUNDS[-1]
     return f"n={n:,} mean={mean:.2f} max<={bound:,}"

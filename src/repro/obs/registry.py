@@ -29,8 +29,11 @@ part of the key, nothing more; there is no label indexing.
 from __future__ import annotations
 
 import os
+import warnings
 from time import perf_counter_ns
 from typing import Dict, Iterator, List, Optional, Tuple
+
+from .timeline import make_timeline
 
 __all__ = [
     "Counter",
@@ -40,6 +43,7 @@ __all__ = [
     "SpanNode",
     "env_enabled",
     "metric_key",
+    "sample_period_from_env",
 ]
 
 #: histogram bucket upper bounds: powers of two up to 2**20, then +inf.
@@ -55,6 +59,35 @@ def env_enabled(default: bool = True) -> bool:
     if raw is None:
         return default
     return raw.strip().lower() not in ("off", "0", "false", "no", "disabled")
+
+
+_warned_sample: set = set()
+
+
+def sample_period_from_env(default: int = 64) -> int:
+    """The ``REPRO_OBS_SAMPLE`` knob: phase-timing sample period.
+
+    Must be a positive power of two (the hot path masks with
+    ``period - 1``); anything else warns once per distinct value and
+    falls back to the default so a typo cannot fail a run.
+    """
+    raw = os.environ.get("REPRO_OBS_SAMPLE")
+    if raw is None:
+        return default
+    try:
+        period = int(raw.strip())
+    except ValueError:
+        period = -1
+    if period < 1 or (period & (period - 1)):
+        if raw not in _warned_sample:
+            _warned_sample.add(raw)
+            warnings.warn(
+                f"REPRO_OBS_SAMPLE={raw!r} is not a positive power of "
+                f"two; using {default}",
+                RuntimeWarning, stacklevel=2,
+            )
+        return default
+    return period
 
 
 def metric_key(name: str, labels: Dict[str, str]) -> str:
@@ -104,14 +137,18 @@ class Histogram:
 
     ``observe`` buckets by ``int.bit_length`` — one arithmetic op, no
     search — so it is safe on query-fan-out and latency hot paths.
+    ``vmax`` tracks the exact observed maximum (one compare per
+    observe), so summaries never have to estimate it from the top
+    occupied bucket's upper bound.
     """
 
-    __slots__ = ("counts", "total", "n")
+    __slots__ = ("counts", "total", "n", "vmax")
 
     def __init__(self) -> None:
         self.counts = [0] * _NBUCKETS
         self.total = 0
         self.n = 0
+        self.vmax = 0
 
     def observe(self, v: int) -> None:
         # bucket i holds values with bit_length i (<= BUCKET_BOUNDS[i])
@@ -119,6 +156,8 @@ class Histogram:
         self.counts[i if i < _NBUCKETS else _NBUCKETS - 1] += 1
         self.total += v
         self.n += 1
+        if v > self.vmax:
+            self.vmax = v
 
     @property
     def mean(self) -> float:
@@ -255,12 +294,20 @@ class Registry:
     """
 
     #: phase timings on per-access paths keep 1 sample in (mask + 1);
-    #: counts stay exact, sampled span totals are a profile, not a sum
+    #: counts stay exact, sampled span totals are a profile, not a sum.
+    #: The class value is the default; each instance re-reads the
+    #: ``REPRO_OBS_SAMPLE`` env knob (power of two, default 64) so
+    #: overhead-sensitive runs can dial the sampling rate.
     SAMPLE_MASK = 63
 
     def __init__(self, *, enabled: Optional[bool] = None) -> None:
         #: hot-path guard — instrumented code may skip clock reads on it
         self.enabled: bool = env_enabled() if enabled is None else enabled
+        self.SAMPLE_MASK = sample_period_from_env(
+            type(self).SAMPLE_MASK + 1) - 1
+        #: bounded per-rank event history feeding race forensics; the
+        #: shared null timeline when obs or REPRO_OBS_TIMELINE is off
+        self.timeline = make_timeline(enabled=self.enabled)
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -344,9 +391,11 @@ class Registry:
             h.counts = [0] * _NBUCKETS
             h.total = 0
             h.n = 0
+            h.vmax = 0
         self._tick = 0
         self.root = SpanNode("")
         self._stack = [self.root]
+        self.timeline.clear()
 
     # -- snapshot / merge ---------------------------------------------------
 
@@ -362,7 +411,8 @@ class Registry:
                 for k, g in sorted(self._gauges.items())
             },
             "histograms": {
-                k: {"counts": list(h.counts), "total": h.total, "n": h.n}
+                k: {"counts": list(h.counts), "total": h.total, "n": h.n,
+                    "max": h.vmax}
                 for k, h in sorted(self._histograms.items())
             },
             "spans": self.root.to_dict(),
@@ -392,4 +442,7 @@ class Registry:
                 h.counts[i] += n
             h.total += hv["total"]
             h.n += hv["n"]
+            m = hv.get("max", 0)
+            if m > h.vmax:
+                h.vmax = m
         self.root.merge_dict(snap.get("spans", {}))

@@ -73,6 +73,7 @@ __all__ = [
     "PipelineResult",
     "ShardStats",
     "analyze_trace",
+    "canonical_forensics",
     "canonical_verdicts",
     "detector_display_name",
 ]
@@ -151,6 +152,25 @@ def canonical_verdicts(reports: Iterable[RaceReport]) -> List[dict]:
     return [unique[k] for k in sorted(unique)]
 
 
+def canonical_forensics(reports: Iterable[RaceReport]) -> List[dict]:
+    """Deduplicated ``repro-forensics-v1`` bundles, verdict-keyed order.
+
+    Forensics travel *outside* the verdict dicts (verdict parity with
+    plain serial replay stays byte-exact), deduplicated by the same
+    verdict key.  The first occurrence per key wins: a race pair's rank
+    maps to exactly one shard, which sees the same event subsequence as
+    serial replay, so first-occurrence bundles are identical either way.
+    """
+    unique: Dict[str, dict] = {}
+    for report in reports:
+        if report.forensics is None:
+            continue
+        key = json.dumps(_verdict_dict(report), sort_keys=True)
+        if key not in unique:
+            unique[key] = report.forensics
+    return [unique[k] for k in sorted(unique)]
+
+
 # -- results -----------------------------------------------------------------
 
 
@@ -200,6 +220,32 @@ class PipelineResult:
     #: merged observability snapshot of this run (schema repro-obs-v1);
     #: None when metrics are disabled (REPRO_OBS=off)
     obs: Optional[dict] = None
+    #: one repro-forensics-v1 bundle per verdict (same canonical order
+    #: as ``verdicts``); empty when obs or the timeline is disabled
+    forensics: List[dict] = field(default_factory=list)
+    #: materialized repro-timeline-v1 snapshot (see :attr:`timeline`)
+    _timeline_snap: Optional[dict] = field(default=None, repr=False)
+    #: the run's live timeline, formatted lazily on first access —
+    #: analysis never pays snapshot formatting unless someone exports
+    _timeline_live: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def timeline(self) -> Optional[dict]:
+        """Merged repro-timeline-v1 snapshot (None when the timeline is off).
+
+        Formatting a snapshot walks every retained lane event, so the
+        engine hands over the live timeline and the dict is built here,
+        on first read — ``analyze_trace`` itself stays snapshot-free.
+        """
+        if self._timeline_snap is None and self._timeline_live is not None:
+            self._timeline_snap = self._timeline_live.snapshot()
+            self._timeline_live = None
+        return self._timeline_snap
+
+    @timeline.setter
+    def timeline(self, snap: Optional[dict]) -> None:
+        self._timeline_snap = snap
+        self._timeline_live = None
 
     @property
     def races(self) -> int:
@@ -229,6 +275,8 @@ class PipelineResult:
             "failed_workers": list(self.failed_workers),
             "salvage": self.salvage,
             "obs": self.obs,
+            "forensics": self.forensics,
+            "timeline": self.timeline,
         }
 
 
@@ -246,8 +294,17 @@ class _ShardGroup:
     def dispatch(self, shard: int, batch: Sequence[TraceEvent]) -> None:
         det = self.detectors[shard]
         nranks = self.nranks
-        for event in batch:
-            dispatch_event(det, event, nranks)
+        tl = obs.active().timeline
+        if tl.enabled:
+            # feed the shard's lane *before* analyzing each event, so a
+            # race's forensics include the access that triggered it
+            feed = tl.record_event
+            for event in batch:
+                feed(shard, event)
+                dispatch_event(det, event, nranks)
+        else:
+            for event in batch:
+                dispatch_event(det, event, nranks)
         self.events[shard] += len(batch)
         obs.active().counter("pipeline.events.analyzed").add(len(batch))
 
@@ -281,7 +338,12 @@ def _worker_payload(group: _ShardGroup) -> dict:
     """
     stats = group.finish()
     reg = obs.active()
-    return {"stats": stats, "obs": reg.snapshot() if reg.enabled else None}
+    return {
+        "stats": stats,
+        "obs": reg.snapshot() if reg.enabled else None,
+        "timeline": (reg.timeline.snapshot()
+                     if reg.timeline.enabled else None),
+    }
 
 
 def _payload_stats(payload) -> list:
@@ -389,10 +451,20 @@ def _serial(events, nranks, detector_name, reader=None):
     reg = obs.active()
     t0 = time.perf_counter()
     n = 0
+    tl = reg.timeline
     with reg.span("worker.analyze"):
-        for event in events:
-            dispatch_event(det, event, nranks)
-            n += 1
+        if tl.enabled:
+            fanout = tl.record_event_fanout
+            for event in events:
+                # same lane projection the sharded pipeline routes by,
+                # so serial and sharded lanes are byte-identical
+                fanout(event, nranks)
+                dispatch_event(det, event, nranks)
+                n += 1
+        else:
+            for event in events:
+                dispatch_event(det, event, nranks)
+                n += 1
     det.finalize()
     wall = time.perf_counter() - t0
     reg.counter("pipeline.events.read").add(n)
@@ -409,6 +481,7 @@ def _serial(events, nranks, detector_name, reader=None):
         events_total=n, wall_seconds=wall,
         verdicts=canonical_verdicts(det.reports), shard_stats=[shard],
         salvage=_salvage_info(reader),
+        forensics=canonical_forensics(det.reports),
     )
 
 
@@ -458,6 +531,8 @@ def analyze_trace(
                 reg.counter("pipeline.salvage.chunks_quarantined").add(
                     len(result.salvage.get("quarantined_chunks", ())))
             result.obs = reg.snapshot()
+            if reg.timeline.enabled:
+                result._timeline_live = reg.timeline
         return result
 
 
@@ -688,6 +763,8 @@ def _analyze_impl(
                 p = payloads[w]
                 if isinstance(p, dict) and p.get("obs"):
                     reg.merge(p["obs"])
+                if isinstance(p, dict) and p.get("timeline"):
+                    reg.timeline.merge(p["timeline"])
         all_stats = [
             s for w in sorted(payloads) for s in _payload_stats(payloads[w])
         ]
@@ -705,9 +782,13 @@ def _analyze_impl(
         merged = canonical_verdicts(
             r for s in all_stats for r in s.reports
         )
+        forensics = canonical_forensics(
+            r for s in all_stats for r in s.reports
+        )
     return PipelineResult(
         detector=detector, nranks=nranks, jobs=jobs, dispatch=dispatch,
         events_total=events_total, wall_seconds=wall, verdicts=merged,
+        forensics=forensics,
         shard_stats=sorted(all_stats, key=lambda s: s.shard),
         queue_peak=queue_peak,
         retries=retry_spawns,

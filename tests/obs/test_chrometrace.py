@@ -1,0 +1,151 @@
+"""Chrome trace-event export: builder, adapters, validator."""
+
+from __future__ import annotations
+
+import json
+
+from repro.intervals import AccessType
+from repro.mpi.memory import RegionInfo, RegionKind
+from repro.mpi.trace import LocalEvent, RmaEvent, SyncEvent, SyncKind
+from repro.obs.chrometrace import (
+    ChromeTraceBuilder,
+    chrome_events_from_timeline,
+    chrome_events_from_trace,
+    race_instants,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from tests.conftest import acc
+
+_REGION = RegionInfo(RegionKind.WINDOW, True)
+
+
+def _events():
+    return [
+        SyncEvent(1, -1, SyncKind.WIN_CREATE, 0),
+        SyncEvent(2, 0, SyncKind.LOCK_ALL, 0),
+        SyncEvent(3, 1, SyncKind.LOCK_ALL, 0),
+        LocalEvent(4, 0, acc(0, 8, AccessType.LOCAL_WRITE), _REGION),
+        RmaEvent(5, 0, "put", 1, 0,
+                 acc(0, 8, AccessType.RMA_WRITE, origin=0),
+                 acc(64, 72, AccessType.RMA_WRITE, origin=0), _REGION),
+        SyncEvent(6, -1, SyncKind.BARRIER),
+        SyncEvent(7, 0, SyncKind.UNLOCK_ALL, 0),
+        SyncEvent(8, 1, SyncKind.UNLOCK_ALL, 0),
+        SyncEvent(9, -1, SyncKind.WIN_FREE, 0),
+    ]
+
+
+# -- validator ---------------------------------------------------------------
+
+
+def test_validator_accepts_a_well_formed_trace():
+    events = chrome_events_from_trace(_events(), nranks=2)
+    assert validate_chrome_trace(events) == []
+
+
+def test_validator_requires_the_four_keys():
+    problems = validate_chrome_trace([{"ph": "X", "ts": 1, "pid": 0}])
+    assert len(problems) == 1 and "tid" in problems[0]
+
+
+def test_validator_flags_backwards_timestamps():
+    events = [
+        {"ph": "i", "ts": 5, "pid": 0, "tid": 0, "s": "t"},
+        {"ph": "i", "ts": 3, "pid": 0, "tid": 0, "s": "t"},
+        {"ph": "i", "ts": 1, "pid": 1, "tid": 0, "s": "t"},  # other track: ok
+    ]
+    problems = validate_chrome_trace(events)
+    assert len(problems) == 1 and "backwards" in problems[0]
+
+
+def test_validator_flags_end_without_begin():
+    events = [{"ph": "E", "ts": 1, "pid": 0, "tid": 1}]
+    problems = validate_chrome_trace(events)
+    assert problems and "E" in problems[0]
+
+
+def test_validator_rejects_non_array_and_non_objects():
+    assert validate_chrome_trace({"not": "a list"})
+    assert validate_chrome_trace(["not a dict"])
+
+
+def test_validator_skips_metadata_events():
+    events = [{"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+               "args": {"name": "rank 0"}}]
+    assert validate_chrome_trace(events) == []
+
+
+# -- builder / adapters ------------------------------------------------------
+
+
+def test_epoch_spans_balance_and_close_at_finish():
+    builder = ChromeTraceBuilder()
+    builder.epoch_begin(0, 0, 1)
+    builder.epoch_begin(1, 0, 2)
+    builder.epoch_end(0, 0, 5)
+    events = builder.finish()  # rank 1's epoch still open: closed here
+    assert validate_chrome_trace(events) == []
+    phs = [e["ph"] for e in events if e["ph"] in "BE"]
+    assert phs.count("B") == phs.count("E") == 2
+
+
+def test_trace_adapter_draws_rma_on_both_ranks():
+    events = chrome_events_from_trace(_events(), nranks=2)
+    accesses = [e for e in events if e.get("cat") == "access"]
+    rma = [e for e in accesses if e["ts"] == 5]
+    assert sorted(e["pid"] for e in rma) == [0, 1]
+    assert all(e["name"] == "put -> rank 1" for e in rma)
+    assert rma[0]["args"]["src"] == "t.c:1"
+
+
+def test_timeline_adapter_round_trips_a_snapshot():
+    from repro.obs.timeline import Timeline
+
+    tl = Timeline(16)
+    for event in _events():
+        tl.record_event_fanout(event, nranks=2)
+    chrome = chrome_events_from_timeline(tl.snapshot())
+    assert validate_chrome_trace(chrome) == []
+    assert any(e.get("cat") == "access" for e in chrome)
+
+
+def test_race_instants_name_both_source_locations():
+    verdict = {
+        "rank": 2, "window": 0,
+        "stored": {"type": "RMA_WRITE", "file": "./dspl.hpp", "line": 612,
+                   "lo": 0, "hi": 8, "origin": 0},
+        "new": {"type": "RMA_WRITE", "file": "./dspl.hpp", "line": 614,
+                "lo": 0, "hi": 8, "origin": 0},
+    }
+    (instant,) = race_instants([verdict], ts=100)
+    assert instant["ph"] == "i" and instant["ts"] == 100
+    assert "./dspl.hpp:614" in instant["name"]
+    assert "./dspl.hpp:612" in instant["name"]
+
+
+def test_write_chrome_trace_file_round_trip(tmp_path):
+    events = chrome_events_from_trace(_events(), nranks=2)
+    out = tmp_path / "trace.json"
+    n = write_chrome_trace(out, events)
+    loaded = json.loads(out.read_text())
+    assert len(loaded) == n == len(events)
+    assert validate_chrome_trace(loaded) == []
+
+
+def test_write_chrome_trace_appends_race_overlays(tmp_path):
+    events = chrome_events_from_trace(_events(), nranks=2)
+    verdict = {
+        "rank": 1, "window": 0,
+        "stored": {"type": "RMA_WRITE", "file": "a.c", "line": 1,
+                   "lo": 0, "hi": 8, "origin": 0},
+        "new": {"type": "RMA_WRITE", "file": "b.c", "line": 2,
+                "lo": 0, "hi": 8, "origin": 0},
+    }
+    out = tmp_path / "trace.json"
+    write_chrome_trace(out, events, verdicts=[verdict])
+    loaded = json.loads(out.read_text())
+    assert validate_chrome_trace(loaded) == []
+    races = [e for e in loaded if e.get("cat") == "race"]
+    assert len(races) == 1 and races[0]["ts"] > max(
+        e["ts"] for e in loaded if e.get("cat") == "access")

@@ -212,3 +212,41 @@ def test_render_metrics_sections():
     assert "7" in text
     assert render_metrics(Registry(enabled=True).snapshot()).startswith(
         "(no metrics recorded")
+
+
+def test_sample_period_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS_SAMPLE", "8")
+    reg = Registry(enabled=True)
+    assert reg.SAMPLE_MASK == 7
+    assert sum(reg.sample() for _ in range(32)) == 4
+
+
+def test_sample_period_one_approves_every_call(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS_SAMPLE", "1")
+    reg = Registry(enabled=True)
+    assert all(reg.sample() for _ in range(5))
+
+
+@pytest.mark.parametrize("bad", ["12", "-4", "zero"])
+def test_sample_period_rejects_non_powers_of_two(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_OBS_SAMPLE", bad)
+    with pytest.warns(RuntimeWarning, match="REPRO_OBS_SAMPLE"):
+        reg = Registry(enabled=True)
+    assert reg.SAMPLE_MASK == Registry.SAMPLE_MASK
+
+
+def test_histogram_tracks_exact_max():
+    reg = obs.active()
+    h = reg.histogram("h")
+    for v in (3, 500, 7):
+        h.observe(v)
+    assert h.vmax == 500  # exact, not the bucket bound above it
+    assert reg.snapshot()["histograms"]["h"]["max"] == 500
+
+
+def test_histogram_max_survives_merge():
+    a, b = Registry(enabled=True), Registry(enabled=True)
+    a.histogram("h").observe(9)
+    b.histogram("h").observe(1000)
+    a.merge(b.snapshot())
+    assert a.snapshot()["histograms"]["h"]["max"] == 1000

@@ -1,0 +1,141 @@
+"""Forensics surfaces end to end: explain, --trace-out, --report-html,
+and serial-vs-sharded determinism of the captured bundles."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.chrometrace import validate_chrome_trace
+from repro.pipeline import analyze_trace
+
+GOLDEN_FIG9B = (
+    "Error when inserting memory access of type RMA_WRITE from file "
+    "./dspl.hpp:614 with already inserted interval of type RMA_WRITE "
+    "from file ./dspl.hpp:612. "
+    "The program will be exiting now with MPI_Abort."
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    monkeypatch.delenv("REPRO_OBS_TIMELINE", raising=False)
+    prev = obs.active()
+    obs.reset(enabled=True)
+    yield
+    obs.set_registry(prev)
+
+
+# -- determinism across the sharded pipeline ---------------------------------
+
+
+def test_forensics_and_timeline_identical_serial_vs_sharded(minivite_trace):
+    obs.reset(enabled=True)
+    serial = analyze_trace(minivite_trace, detector="our", jobs=1)
+    obs.reset(enabled=True)
+    sharded = analyze_trace(minivite_trace, detector="our", jobs=4)
+
+    assert serial.forensics, "the racy trace must produce forensics"
+    assert json.dumps(serial.forensics, sort_keys=True) == json.dumps(
+        sharded.forensics, sort_keys=True)
+    assert json.dumps(serial.timeline, sort_keys=True) == json.dumps(
+        sharded.timeline, sort_keys=True)
+    # one bundle per verdict, in the same canonical order
+    assert len(serial.forensics) == len(serial.verdicts)
+    for bundle, verdict in zip(serial.forensics, serial.verdicts):
+        assert bundle["rank"] == verdict["rank"]
+        assert bundle["new"]["line"] == verdict["new"]["line"]
+
+
+def test_forensics_bundles_carry_the_race_context(minivite_trace):
+    result = analyze_trace(minivite_trace, detector="our", jobs=1)
+    bundle = result.forensics[0]
+    assert bundle["schema"] == "repro-forensics-v1"
+    assert bundle["phase"] == "data_race_detection"
+    assert bundle["sync"].get("open_epochs")
+    views = bundle["timeline"]["views"]
+    assert views, "surrounding timeline views must be captured"
+    flat = [e for view in views.values() for e in view]
+    assert any(e["kind"] in ("lock_all", "fence") for e in flat), (
+        "the enclosing epoch must appear in the context")
+
+
+def test_obs_off_disables_forensics_and_timeline(minivite_trace,
+                                                 monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "off")
+    obs.reset()
+    result = analyze_trace(minivite_trace, detector="our", jobs=1)
+    assert result.verdicts, "detection itself must still work"
+    assert result.forensics == []
+    assert result.timeline is None and result.obs is None
+
+
+def test_timeline_off_keeps_metrics_but_no_forensics(minivite_trace,
+                                                     monkeypatch):
+    monkeypatch.setenv("REPRO_OBS_TIMELINE", "off")
+    obs.reset(enabled=True)
+    result = analyze_trace(minivite_trace, detector="our", jobs=1)
+    assert result.verdicts and result.obs is not None
+    assert result.timeline is None
+    # bundles are still captured (metrics are on) but hold no events
+    for bundle in result.forensics:
+        views = bundle.get("timeline", {}).get("views", {})
+        assert all(view == [] for view in views.values())
+
+
+# -- CLI surfaces ------------------------------------------------------------
+
+
+def test_explain_prints_the_fig9b_diagnostic(minivite_trace, capsys):
+    assert main(["explain", str(minivite_trace)]) == 0
+    out = capsys.readouterr().out
+    assert GOLDEN_FIG9B in out
+    assert "./dspl.hpp:612" in out and "./dspl.hpp:614" in out
+    assert "timeline of rank" in out
+    assert "racing access" in out
+
+
+def test_explain_sharded_matches_serial(minivite_trace, capsys):
+    assert main(["explain", str(minivite_trace)]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(["explain", str(minivite_trace), "--jobs", "4"]) == 0
+    sharded_out = capsys.readouterr().out
+    assert serial_out == sharded_out
+
+
+def test_explain_on_race_free_trace(tmp_path, capsys):
+    trace = tmp_path / "hist.trace"
+    main(["record", "histogram", "--size", "64", "-o", str(trace)])
+    capsys.readouterr()
+    assert main(["explain", str(trace)]) == 0
+    assert "no races" in capsys.readouterr().out
+
+
+def test_analyze_trace_out_is_valid_and_names_the_race(minivite_trace,
+                                                       tmp_path, capsys):
+    out = tmp_path / "mv.chrome.json"
+    assert main(["analyze", str(minivite_trace),
+                 "--trace-out", str(out)]) == 0
+    events = json.loads(out.read_text())
+    assert validate_chrome_trace(events) == []
+    races = [e for e in events if e.get("cat") == "race"]
+    assert races and any("./dspl.hpp:614" in e["name"]
+                         and "./dspl.hpp:612" in e["name"] for e in races)
+
+
+def test_analyze_report_html_is_self_contained(minivite_trace, tmp_path,
+                                               capsys):
+    out = tmp_path / "mv.html"
+    assert main(["analyze", str(minivite_trace),
+                 "--report-html", str(out)]) == 0
+    html = out.read_text()
+    assert html.lstrip().lower().startswith("<!doctype html")
+    assert "race" in html and "svg" in html
+    assert 'class="acc race"' in html or "race" in html
+    # self-contained: no external scripts, styles, or images
+    assert "<script src" not in html and "<link" not in html
+    assert "<img" not in html
