@@ -1,6 +1,6 @@
 """Bench: what resilience costs — supervision, recovery, salvage reads.
 
-Three measurements on one recorded miniVite trace, written to
+Four measurements on one recorded miniVite trace, written to
 ``BENCH_resilience.json``:
 
 * ``supervised`` — a clean ``--jobs 2`` file-dispatch run under the full
@@ -11,6 +11,10 @@ Three measurements on one recorded miniVite trace, written to
   clean run is asserted unconditionally.
 * salvage vs strict read throughput on the intact trace — checksummed
   best-effort reading must be nearly free when nothing is damaged.
+* ``checkpoint`` — paired serial runs with checkpointing off vs on
+  (``--ckpt-every`` at the default cadence), interleaved A/B/A/B so
+  machine drift hits both sides equally; the median of the per-pair
+  on/off wall-time ratios is the checkpoint overhead (target ≤ 5%).
 
 Also runnable directly::
 
@@ -20,6 +24,7 @@ Also runnable directly::
 from __future__ import annotations
 
 import json
+import statistics
 import tempfile
 import time
 from pathlib import Path
@@ -37,6 +42,31 @@ def _read_throughput(trace: Path, *, strict: bool) -> float:
     return n / (time.perf_counter() - t0)
 
 
+def _ckpt_overhead(trace: Path, tmp: Path, *, pairs: int = 5) -> dict:
+    """Median on/off wall-time ratio over interleaved paired runs."""
+    ratios = []
+    off_walls, on_walls = [], []
+    for i in range(pairs):
+        off = analyze_trace(trace, detector="our", jobs=1)
+        ck = tmp / f"ck{i}"
+        on = analyze_trace(trace, detector="our", jobs=1,
+                           ckpt_dir=ck, ckpt_every=4)
+        assert on.verdicts == off.verdicts, \
+            "checkpointing changed the verdict set"
+        assert on.checkpoint["written"] >= 0
+        off_walls.append(off.wall_seconds)
+        on_walls.append(on.wall_seconds)
+        if off.wall_seconds > 0:
+            ratios.append(on.wall_seconds / off.wall_seconds)
+    return {
+        "pairs": pairs,
+        "wall_seconds_off_median": round(statistics.median(off_walls), 4),
+        "wall_seconds_on_median": round(statistics.median(on_walls), 4),
+        "overhead_ratio_median": round(statistics.median(ratios), 3),
+        "overhead_ratios": [round(r, 3) for r in ratios],
+    }
+
+
 def run_overhead(out: Path = OUT, *, size: int = 512) -> dict:
     """Record one trace, measure clean/faulted/salvage runs, write report."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -52,6 +82,7 @@ def run_overhead(out: Path = OUT, *, size: int = 512) -> dict:
                                   fault_plan=plan, backoff_base=0.05)
         strict_eps = _read_throughput(trace, strict=True)
         salvage_eps = _read_throughput(trace, strict=False)
+        checkpoint = _ckpt_overhead(trace, Path(tmp))
 
     assert recovered.verdicts == clean.verdicts, \
         "recovery changed the verdict set"
@@ -80,6 +111,7 @@ def run_overhead(out: Path = OUT, *, size: int = 512) -> dict:
             "salvage": round(salvage_eps, 1),
             "salvage_vs_strict": round(salvage_eps / strict_eps, 3),
         },
+        "checkpoint": checkpoint,
     }
     out.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -89,11 +121,16 @@ def test_resilience_overhead(once):
     report = once(run_overhead)
     print(f"\nrecovery cost: {report['recovered']['recovery_cost_x']}x, "
           f"salvage read: "
-          f"{report['read_events_per_sec']['salvage_vs_strict']}x strict")
+          f"{report['read_events_per_sec']['salvage_vs_strict']}x strict, "
+          f"ckpt overhead: "
+          f"{report['checkpoint']['overhead_ratio_median']}x")
     assert OUT.exists()
     # salvage-mode reading of an intact trace stays in the same ballpark
     # as strict reading (generous bound: timer noise on tiny traces)
     assert report["read_events_per_sec"]["salvage_vs_strict"] > 0.3, report
+    # checkpoint cadence targets <= 5% median overhead; the CI bound is
+    # generous because the traces here are seconds-long, not hours-long
+    assert report["checkpoint"]["overhead_ratio_median"] < 1.30, report
 
 
 if __name__ == "__main__":

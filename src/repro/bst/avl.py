@@ -85,6 +85,28 @@ class TreeStats:
         b = k.bit_length() if k > 0 else 0
         self.fanout[b if b < FANOUT_NBUCKETS else FANOUT_NBUCKETS - 1] += 1
 
+    def to_dict(self) -> dict:
+        """Checkpointable copy (``repro-ckpt-v1`` detector state)."""
+        return {
+            "comparisons": self.comparisons,
+            "rotations": self.rotations,
+            "inserts": self.inserts,
+            "removals": self.removals,
+            "max_size": self.max_size,
+            "queries": self.queries,
+            "query_hits": self.query_hits,
+            "max_fanout": self.max_fanout,
+            "fanout": list(self.fanout),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TreeStats":
+        stats = cls(**{k: d[k] for k in (
+            "comparisons", "rotations", "inserts", "removals", "max_size",
+            "queries", "query_hits", "max_fanout")})
+        stats.fanout = list(d["fanout"])
+        return stats
+
     def merge(self, other: "TreeStats") -> None:
         self.comparisons += other.comparisons
         self.rotations += other.rotations
@@ -274,6 +296,78 @@ class AVLTree(Generic[T]):
             return node, node.right
         mn, node.left = self._detach_min(node.left)
         return mn, self._rebalance(node)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Structure-preserving state capture (``repro-ckpt-v1``).
+
+        Encodes the exact node layout (preorder, with child-presence
+        flags) plus the tie counter and operation stats, so a restored
+        tree is byte-for-byte the same *future*: identical rebalancing,
+        identical legacy-search outcomes, identical comparison counts.
+        Iterative on purpose — an unbalanced ablation tree can be O(n)
+        deep, which would blow the recursion limit (and naive pickling).
+
+        The per-node value payloads are captured by reference; serialize
+        the snapshot (or stop mutating the payloads) before mutating the
+        live tree further.
+        """
+        nodes: List[tuple] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            nodes.append((node.key, node.tie, node.value, node.height,
+                          node.aug, node.left is not None,
+                          node.right is not None))
+            stack.append(node.right)  # left is processed first (preorder)
+            stack.append(node.left)
+        return {
+            "nodes": nodes,
+            "size": self._size,
+            "next_tie": self._next_tie,
+            "balanced": self._balanced,
+            "stats": self.stats.to_dict(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Rebuild this tree from :meth:`snapshot` output (iterative)."""
+        if bool(snap["balanced"]) != self._balanced:
+            raise ValueError(
+                "checkpoint balanced=%s does not match tree balanced=%s"
+                % (snap["balanced"], self._balanced))
+        records = snap["nodes"]
+        if not records:
+            self.root = None
+        else:
+            def make(rec: tuple) -> AVLNode[T]:
+                n = AVLNode(rec[0], rec[1], rec[2])
+                n.height = rec[3]
+                n.aug = rec[4]
+                return n
+
+            root = make(records[0])
+            # stack entries: [node, needs_left, needs_right]; preorder
+            # guarantees the next record is the deepest unfilled slot
+            stack = [[root, records[0][5], records[0][6]]]
+            for rec in records[1:]:
+                child = make(rec)
+                while not stack[-1][1] and not stack[-1][2]:
+                    stack.pop()
+                top = stack[-1]
+                if top[1]:
+                    top[0].left = child
+                    top[1] = False
+                else:
+                    top[0].right = child
+                    top[2] = False
+                stack.append([child, rec[5], rec[6]])
+            self.root = root
+        self._size = snap["size"]
+        self._next_tie = snap["next_tie"]
+        self.stats = TreeStats.from_dict(snap["stats"])
 
     # -- validation (used by tests and hypothesis) -----------------------------
 

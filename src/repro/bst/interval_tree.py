@@ -131,3 +131,24 @@ class IntervalBST:
     def snapshot(self) -> List[MemoryAccess]:
         """In-order copy of the stored accesses (tests, reports)."""
         return list(self._tree)
+
+    # -- checkpointing ---------------------------------------------------------
+    # (named save/load_state: ``snapshot`` above predates checkpoints and
+    # means "in-order access list" throughout the tests and reports)
+
+    def save_state(self) -> dict:
+        """Structure-preserving checkpoint state (``repro-ckpt-v1``)."""
+        return {"balanced": self._tree._balanced,
+                "tree": self._tree.snapshot()}
+
+    def load_state(self, state: dict) -> None:
+        """Rebuild from :meth:`save_state` output; shape, tie counter and
+        stats all round-trip, so future behavior is identical."""
+        self._tree = AVLTree(_augment_max_hi, balanced=state["balanced"])
+        self._tree.restore(state["tree"])
+
+    @classmethod
+    def from_state(cls, state: dict) -> "IntervalBST":
+        bst = cls(balanced=state["balanced"])
+        bst.load_state(state)
+        return bst

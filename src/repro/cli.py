@@ -122,6 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="best-effort read of damaged traces: quarantine "
                          "corrupt/truncated chunks instead of aborting, "
                          "and report the loss")
+    an.add_argument("--ckpt-dir", default=None, metavar="DIR",
+                    help="write repro-ckpt-v1 checkpoints of in-flight "
+                         "analysis state to DIR; worker retries resume "
+                         "mid-trace instead of replaying from byte 0")
+    an.add_argument("--ckpt-every", type=int, default=4, metavar="N",
+                    help="checkpoint cadence in trace chunks (default 4)")
+    an.add_argument("--deadline-s", type=float, default=None, metavar="SEC",
+                    help="wall-clock budget: past it the analysis "
+                         "checkpoints, stops, and reports a partial "
+                         "verdict (exit code 4, resumable with --resume; "
+                         "needs --ckpt-dir)")
+    an.add_argument("--max-rss-mb", type=int, default=None, metavar="MB",
+                    help="per-worker memory high-watermark: past it a "
+                         "worker checkpoints and is recycled (serial: "
+                         "stops like --deadline-s; needs --ckpt-dir)")
+    an.add_argument("--resume", default=None, metavar="DIR",
+                    help="resume from the newest valid checkpoint in DIR "
+                         "(implies --ckpt-dir DIR)")
     an.add_argument("--json", action="store_true",
                     help="emit the full machine-readable report")
     an.add_argument("--trace-out", default=None, metavar="PATH",
@@ -356,16 +374,28 @@ def _record(args) -> int:
 
 def _analyze(args) -> int:
     from .mpi.errors import TraceFormatError, WorkerCrashedError
-    from .pipeline import analyze_trace, detector_display_name
+    from .pipeline import CheckpointError, analyze_trace, detector_display_name
 
+    ckpt_dir = args.ckpt_dir
+    resume = False
+    if args.resume is not None:
+        if ckpt_dir is not None and ckpt_dir != args.resume:
+            print("repro analyze: --resume and --ckpt-dir disagree",
+                  file=sys.stderr)
+            return 2
+        ckpt_dir = args.resume
+        resume = True
     try:
         result = analyze_trace(
             args.trace, detector=args.detector, jobs=args.jobs,
             dispatch=args.dispatch, batch_size=args.batch_size,
             timeout=args.timeout, retries=args.retries,
             salvage=args.salvage,
+            ckpt_dir=ckpt_dir, ckpt_every=args.ckpt_every,
+            deadline_s=args.deadline_s, max_rss_mb=args.max_rss_mb,
+            resume=resume,
         )
-    except (TraceFormatError, WorkerCrashedError, OSError,
+    except (TraceFormatError, WorkerCrashedError, CheckpointError, OSError,
             ValueError) as exc:
         print(f"repro analyze: {exc}", file=sys.stderr)
         return 2
@@ -399,7 +429,7 @@ def _analyze(args) -> int:
         import json
 
         print(json.dumps(result.to_dict(), indent=2))
-        return 0
+        return 4 if result.partial else 0
 
     name = detector_display_name(args.detector)
     print(f"{args.trace}: {result.events_total} events, "
@@ -431,6 +461,19 @@ def _analyze(args) -> int:
         print(f"  salvage: {len(s['quarantined_chunks'])} chunk(s) "
               f"quarantined, {s['events_lost']} event(s) lost"
               + (", file truncated" if s["truncated"] else ""))
+    ck = result.checkpoint
+    if ck:
+        line = (f"  checkpoints: {ck['written']} written -> {ck['dir']} "
+                f"(every {ck['every']} chunk(s))")
+        if ck["recycles"]:
+            line += f", {ck['recycles']} memory-guard recycle(s)"
+        print(line)
+        for rec in ck["resumed"]:
+            print(f"  resumed lane {rec['lane']} from checkpoint "
+                  f"#{rec['from_seq']}: {rec['events_skipped']} event(s) "
+                  "skipped")
+        for name in ck["quarantined"]:
+            print(f"  quarantined corrupt checkpoint: {name}")
     print(f"races: {result.races}")
     for verdict in result.verdicts[:5]:
         stored, new = verdict["stored"], verdict["new"]
@@ -439,6 +482,13 @@ def _analyze(args) -> int:
               f"{stored['type']} {stored['file']}:{stored['line']}")
     if result.races > 5:
         print(f"  ... and {result.races - 5} more")
+    if result.partial:
+        frac = result.analyzed_fraction
+        pct = f"{frac:.1%} of" if frac is not None else "part of"
+        print(f"PARTIAL: {pct} the trace analyzed before the "
+              f"{ck['stopped'] or 'resource'} guard stopped the run; "
+              f"resume with: repro analyze {args.trace} --resume {ck['dir']}")
+        return 4
     return 0
 
 

@@ -40,6 +40,8 @@ class OurDetector(BstDetector):
 
     name = "Our Contribution"
 
+    _CKPT_SKIP = BstDetector._CKPT_SKIP | {"_c_fragments", "_c_merges"}
+
     def __init__(self, *, enable_merge: bool = True, **kwargs) -> None:
         """``enable_merge=False`` gives the fragmentation-only ablation —
         the node-explosion variant §4.1 warns about."""

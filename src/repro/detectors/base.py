@@ -69,6 +69,11 @@ class Detector:
     #: pathological run would be pure overhead)
     MAX_KEPT_REPORTS = 1000
 
+    #: instance attributes never checkpointed: cached obs handles are
+    #: bound to a per-process registry and must be re-bound lazily after
+    #: a restore (possibly in a different process)
+    _CKPT_SKIP = frozenset({"_obs_reg", "_c_events"})
+
     def __init__(self, *, abort_on_race: bool = False) -> None:
         self.reports: List[RaceReport] = []
         self.reports_total = 0
@@ -136,6 +141,48 @@ class Detector:
             self.reports.append(report)
             if self.abort_on_race:
                 raise DataRaceError(report)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Checkpointable state of this detector (``repro-ckpt-v1``).
+
+        Captures every instance attribute except the per-process obs
+        handles (:attr:`_CKPT_SKIP`); containers are copied one level
+        deep so the live detector can keep mutating them.  Values deeper
+        down are captured by reference — serialize the snapshot before
+        applying more events if it must outlive this process.
+        Subclasses with non-serializable or recursion-deep state
+        override :meth:`_encode_state` / :meth:`_decode_state`.
+        """
+        state = {}
+        for key, value in self.__dict__.items():
+            if key in self._CKPT_SKIP:
+                continue
+            if isinstance(value, (list, set, dict)):
+                value = value.copy()
+            state[key] = value
+        return {"class": type(self).__name__,
+                "state": self._encode_state(state)}
+
+    def restore(self, snap: dict) -> None:
+        """Adopt a :meth:`snapshot`; the detector resumes mid-analysis."""
+        if snap.get("class") != type(self).__name__:
+            raise ValueError(
+                "checkpoint is for detector %r, not %r"
+                % (snap.get("class"), type(self).__name__))
+        self.__dict__.update(self._decode_state(dict(snap["state"])))
+        # cached instrument handles are stale (wrong process/registry):
+        # the next _count_event() re-binds against the active registry
+        self._obs_reg = None
+
+    def _encode_state(self, state: dict) -> dict:
+        """Subclass hook: make the state dict serialization-safe."""
+        return state
+
+    def _decode_state(self, state: dict) -> dict:
+        """Subclass hook: invert :meth:`_encode_state`."""
+        return state
 
     # -- forensic state hooks (subclasses override) ----------------------------
 

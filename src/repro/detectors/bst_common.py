@@ -19,6 +19,7 @@ accesses that are contained within each epoch").
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Optional, Set, Tuple
 
 from ..aliasing import AliasFilter, FilterPolicy
@@ -154,6 +155,31 @@ class BstDetector(Detector):
         # target side, recorded at the target (delivered by the tool's
         # MPI_Send notification, costed by the interposition layer)
         self._record(target, wid, target_access)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _encode_state(self, state: dict) -> dict:
+        """Replace the interval BSTs with structure-preserving states.
+
+        Node-linked trees pickle recursively (an unbalanced ablation
+        tree is O(n) deep), so each store goes through
+        :meth:`IntervalBST.save_state` — an iterative preorder encoding
+        that also carries the tie counter and TreeStats, keeping the
+        restored detector's future behavior (and published metrics)
+        byte-identical.
+        """
+        state["_stores"] = {
+            key: bst.save_state() for key, bst in self._stores.items()}
+        state["_closed_stats"] = self._closed_stats.to_dict()
+        state["filter"] = copy.copy(self.filter)
+        return state
+
+    def _decode_state(self, state: dict) -> dict:
+        state["_stores"] = {
+            key: IntervalBST.from_state(s)
+            for key, s in state["_stores"].items()}
+        state["_closed_stats"] = TreeStats.from_dict(state["_closed_stats"])
+        return state
 
     # -- statistics -------------------------------------------------------------------------
 

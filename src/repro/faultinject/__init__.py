@@ -26,6 +26,7 @@ Quickstart::
 from .corrupt import (
     ChunkInfo,
     chunk_index,
+    corrupt_checkpoint,
     corrupt_chunk_tag,
     flip_bytes,
     truncate_mid_chunk,
@@ -46,6 +47,7 @@ __all__ = [
     "StallWorker",
     "WriterCrash",
     "chunk_index",
+    "corrupt_checkpoint",
     "corrupt_chunk_tag",
     "flip_bytes",
     "truncate_mid_chunk",

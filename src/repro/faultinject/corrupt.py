@@ -24,6 +24,7 @@ __all__ = [
     "ChunkInfo",
     "chunk_index",
     "corrupt_chunk_tag",
+    "corrupt_checkpoint",
     "flip_bytes",
     "truncate_mid_chunk",
 ]
@@ -126,6 +127,44 @@ def truncate_mid_chunk(
     raw = path.read_bytes()[:cut]
     path.write_bytes(raw)
     return len(raw)
+
+
+def corrupt_checkpoint(
+    path: Union[str, Path],
+    *,
+    mode: str = "flip",
+    count: int = 4,
+    seed: int = 0,
+    keep_fraction: float = 0.5,
+) -> Path:
+    """Damage one ``repro-ckpt-v1`` file in place, deterministically.
+
+    ``mode="flip"`` XORs ``count`` seeded-random payload bytes (the crc
+    catches it on recovery); ``mode="truncate"`` cuts the file mid-
+    payload (a checkpoint torn by a crash on a filesystem without
+    atomic-rename semantics).  Either way recovery must quarantine the
+    file and fall back to the previous generation — never silently
+    restart from scratch.  Returns the path.
+    """
+    path = Path(path)
+    raw = bytearray(path.read_bytes())
+    # payload starts after magic(8) + u32 hlen + header + u32 len + u32 crc
+    (hlen,) = _U32.unpack_from(raw, 8)
+    payload_pos = 8 + 4 + hlen + 8
+    nbytes = len(raw) - payload_pos
+    if nbytes <= 0:
+        raise ValueError(f"{path} has no checkpoint payload to corrupt")
+    if mode == "flip":
+        rng = random.Random(seed)
+        for off in rng.sample(range(nbytes), min(count, nbytes)):
+            raw[payload_pos + off] ^= 0xFF
+        path.write_bytes(bytes(raw))
+    elif mode == "truncate":
+        cut = payload_pos + int(nbytes * keep_fraction)
+        path.write_bytes(bytes(raw[:cut]))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return path
 
 
 def corrupt_chunk_tag(path: Union[str, Path], chunk: int) -> int:

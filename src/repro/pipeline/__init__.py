@@ -15,6 +15,9 @@ subsystem exploits end to end:
 * :mod:`repro.pipeline.resilience` — worker supervision: heartbeats,
   stall timeouts, crash detection, and the retry/degrade machinery
   that keeps a crashed or wedged worker from sinking the analysis,
+* :mod:`repro.pipeline.checkpoint` — crash-consistent ``repro-ckpt-v1``
+  checkpoints of in-flight detector state, so retries resume mid-trace
+  and the deadline/memory guards leave resumable partial runs,
 * :mod:`repro.pipeline.record` — ``repro record``: run an app with a
   constant-memory streaming recorder attached.
 
@@ -31,6 +34,13 @@ runs unchanged — the pipeline instantiates one per shard and merges
 verdicts afterwards.
 """
 
+from .checkpoint import (
+    CKPT_MAGIC,
+    CKPT_SCHEMA,
+    CheckpointError,
+    CheckpointPlan,
+    CheckpointStore,
+)
 from .engine import (
     DETECTOR_SPECS,
     PipelineResult,
@@ -61,6 +71,11 @@ from .shard import ReplayWindow, dispatch_event, own_reports, shards_of
 __all__ = [
     "AppSpec",
     "BinaryTraceWriter",
+    "CKPT_MAGIC",
+    "CKPT_SCHEMA",
+    "CheckpointError",
+    "CheckpointPlan",
+    "CheckpointStore",
     "CollectOutcome",
     "DETECTOR_SPECS",
     "FORMAT_V1",

@@ -1,0 +1,259 @@
+"""Crash-consistent checkpoints of in-flight analysis state.
+
+The paper's detector state (the per-window BST) grows with dynamic
+accesses; on a long trace, losing a worker to a crash — or the whole run
+to a deadline or an OOM kill — costs re-analysis *from byte zero*.  This
+module bounds that cost: at chunk boundaries the analysis serializes its
+detector state (structure-preserving tree snapshots, see
+:meth:`repro.detectors.base.Detector.snapshot`), its obs registry and
+timeline rings, and the trace cursor of the last fully-applied chunk
+into a ``repro-ckpt-v1`` file, so recovery replays only the events since
+the newest checkpoint.
+
+Format (one file per checkpoint, little-endian)::
+
+    8s  magic    "REPROCK1"
+    u32 header length
+    ...  JSON header: {"schema", "lane", "seq", "meta": {...}}
+    u32 payload length
+    u32 payload crc32
+    ...  pickled state payload
+
+The header is JSON so validity and provenance checks never unpickle an
+untrusted blob; the payload crc turns a torn write into a detected —
+quarantined — checkpoint rather than silent state corruption.  Files are
+written with the same atomic pattern as trace finalize (``<name>.tmp`` +
+``os.replace``), so a crash mid-write never shadows the previous good
+checkpoint.
+
+A :class:`CheckpointStore` manages one *lane* (``serial``, or ``w3`` for
+worker 3) inside the checkpoint directory: monotonically numbered files,
+newest-first recovery with corrupt files renamed to ``*.bad`` (and
+reported — falling back silently would make "resumed" claims a lie), and
+pruning of superseded generations.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "CKPT_MAGIC",
+    "CKPT_SCHEMA",
+    "CheckpointError",
+    "CheckpointPlan",
+    "CheckpointStore",
+    "current_rss_mb",
+]
+
+CKPT_MAGIC = b"REPROCK1"
+CKPT_SCHEMA = "repro-ckpt-v1"
+
+_U32 = struct.Struct("<I")
+
+#: pickle protocol 4 reads back on every supported interpreter
+_PICKLE_PROTO = 4
+
+
+class CheckpointError(Exception):
+    """A checkpoint file is unusable, or resume preconditions fail."""
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """Everything a worker needs to checkpoint and guard itself.
+
+    Crosses the fork into worker processes, so it stays a frozen bag of
+    primitives.  ``deadline_at`` is an *absolute* ``time.time()`` value
+    computed once by the parent — forked workers share the clock, so
+    every lane observes the same deadline regardless of spawn jitter.
+    """
+
+    dir: str
+    every: int = 4
+    deadline_at: Optional[float] = None
+    max_rss_mb: Optional[int] = None
+    resume: bool = False
+    keep: int = 2
+
+
+def current_rss_mb() -> float:
+    """Resident-set high-water mark of this process, in MiB.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS.  Module-level
+    indirection on purpose: tests monkeypatch this to drive the memory
+    guard deterministically.
+    """
+    import resource
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+class CheckpointStore:
+    """One lane's numbered checkpoint files in a shared directory."""
+
+    def __init__(self, directory: Union[str, Path], lane: str) -> None:
+        self.dir = Path(directory)
+        self.lane = lane
+        self.dir.mkdir(parents=True, exist_ok=True)
+        #: files found corrupt/truncated during recovery, newest first
+        self.quarantined: List[str] = []
+
+    # -- naming ---------------------------------------------------------------
+
+    def _path(self, seq: int) -> Path:
+        return self.dir / f"{self.lane}-{seq:08d}.ckpt"
+
+    def _existing(self) -> List[Tuple[int, Path]]:
+        out = []
+        prefix = self.lane + "-"
+        for p in self.dir.glob(f"{self.lane}-*.ckpt"):
+            stem = p.name[len(prefix):-len(".ckpt")]
+            if stem.isdigit():
+                out.append((int(stem), p))
+        out.sort()
+        return out
+
+    def next_seq(self) -> int:
+        existing = self._existing()
+        return existing[-1][0] + 1 if existing else 1
+
+    # -- writing --------------------------------------------------------------
+
+    def write(self, meta: dict, state: dict) -> Path:
+        """Atomically persist one checkpoint; returns its path.
+
+        ``meta`` must be JSON-able (it lands in the header and is
+        checked *before* any unpickling on recovery); ``state`` is
+        pickled, so it may carry live detector snapshots.
+        """
+        seq = self.next_seq()
+        header = {"schema": CKPT_SCHEMA, "lane": self.lane, "seq": seq,
+                  "meta": meta}
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        payload = pickle.dumps(state, protocol=_PICKLE_PROTO)
+        path = self._path(seq)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(CKPT_MAGIC)
+            fh.write(_U32.pack(len(header_bytes)))
+            fh.write(header_bytes)
+            fh.write(_U32.pack(len(payload)))
+            fh.write(_U32.pack(zlib.crc32(payload)))
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.prune()
+        return path
+
+    def prune(self, keep: Optional[int] = None) -> None:
+        """Drop superseded generations, keeping the newest ``keep``.
+
+        At least two generations stay on disk so a checkpoint that turns
+        out torn on recovery still has a predecessor to fall back to.
+        """
+        keep = 2 if keep is None else max(1, keep)
+        existing = self._existing()
+        for _seq, path in existing[:-keep]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- recovery -------------------------------------------------------------
+
+    def load_latest(self, expect: Optional[dict] = None
+                    ) -> Optional[Tuple[dict, dict]]:
+        """Newest valid ``(header, state)``, or None when the lane is empty.
+
+        Corrupt or truncated files are renamed to ``*.bad`` and recorded
+        in :attr:`quarantined`, then the previous generation is tried —
+        recovery degrades one checkpoint at a time, never silently to
+        from-scratch.  ``expect`` pins header meta fields (detector,
+        nranks, trace identity): a mismatch is a hard
+        :class:`CheckpointError`, because resuming someone else's
+        checkpoint would produce confidently wrong verdicts.
+        """
+        for seq, path in reversed(self._existing()):
+            try:
+                header, state = self._read(path)
+            except CheckpointError:
+                self._quarantine(path)
+                continue
+            if expect:
+                for key, want in expect.items():
+                    got = header["meta"].get(key)
+                    if got != want:
+                        raise CheckpointError(
+                            f"{path.name}: checkpoint {key}={got!r} does "
+                            f"not match this analysis ({want!r})")
+            return header, state
+        return None
+
+    def _quarantine(self, path: Path) -> None:
+        bad = path.with_suffix(".ckpt.bad")
+        try:
+            os.replace(path, bad)
+        except OSError:
+            bad = path
+        self.quarantined.append(bad.name)
+
+    def _read(self, path: Path) -> Tuple[dict, dict]:
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise CheckpointError(f"{path.name}: unreadable: {exc}")
+        fh = io.BytesIO(blob)
+        if fh.read(len(CKPT_MAGIC)) != CKPT_MAGIC:
+            raise CheckpointError(f"{path.name}: bad magic")
+        header = self._read_header(path, fh)
+        if header.get("schema") != CKPT_SCHEMA:
+            raise CheckpointError(
+                f"{path.name}: unknown schema {header.get('schema')!r}")
+        raw = fh.read(_U32.size * 2)
+        if len(raw) != _U32.size * 2:
+            raise CheckpointError(f"{path.name}: truncated payload frame")
+        nbytes = _U32.unpack_from(raw, 0)[0]
+        crc = _U32.unpack_from(raw, _U32.size)[0]
+        payload = fh.read(nbytes)
+        if len(payload) != nbytes:
+            raise CheckpointError(f"{path.name}: truncated payload")
+        if zlib.crc32(payload) != crc:
+            raise CheckpointError(f"{path.name}: payload crc mismatch")
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:
+            raise CheckpointError(f"{path.name}: undecodable state: {exc}")
+        return header, state
+
+    @staticmethod
+    def _read_header(path: Path, fh: io.BytesIO) -> dict:
+        raw = fh.read(_U32.size)
+        if len(raw) != _U32.size:
+            raise CheckpointError(f"{path.name}: truncated header frame")
+        hlen = _U32.unpack(raw)[0]
+        if hlen > 1 << 20:
+            raise CheckpointError(f"{path.name}: implausible header size")
+        hbytes = fh.read(hlen)
+        if len(hbytes) != hlen:
+            raise CheckpointError(f"{path.name}: truncated header")
+        try:
+            header = json.loads(hbytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"{path.name}: bad header json: {exc}")
+        if not isinstance(header, dict):
+            raise CheckpointError(f"{path.name}: header is not an object")
+        return header

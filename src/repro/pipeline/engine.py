@@ -47,9 +47,11 @@ from __future__ import annotations
 
 import json
 import multiprocessing as mp
+import os
 import queue as _queue
 import time
 from dataclasses import dataclass, field
+from itertools import islice
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
@@ -58,6 +60,8 @@ from ..core.report import RaceReport
 from ..mpi.errors import WorkerCrashedError
 from ..mpi.trace import TraceEvent, TraceLog
 from ..mpi.trace_io import LoadedTrace, _access_to_dict
+from . import checkpoint as _ckpt
+from .checkpoint import CheckpointPlan, CheckpointStore
 from .format import TraceReader
 from .resilience import (
     HEARTBEAT_INTERVAL,
@@ -110,6 +114,13 @@ DETECTOR_SPECS: Dict[str, Callable] = {
     "mc": _mc,
     "must": _must,
 }
+
+#: backstop on memory-guard worker recycles per analysis.  The guard
+#: only recycles after at least one new chunk of progress, so every
+#: recycle advances the trace — this cap exists to bound pathological
+#: configurations (max_rss below the interpreter's baseline), not to be
+#: reached in practice.
+_MAX_RECYCLES = 256
 
 
 def _make_detector(name: str):
@@ -217,6 +228,18 @@ class PipelineResult:
     failed_workers: List[dict] = field(default_factory=list)
     #: salvage accounting when the trace was read with ``strict=False``
     salvage: Optional[dict] = None
+    #: True when a resource guard (deadline / memory, serial mode)
+    #: stopped the analysis early; the verdicts cover only
+    #: ``analyzed_fraction`` of the trace and the run is resumable from
+    #: its checkpoint directory
+    partial: bool = False
+    #: fraction of the trace's events analyzed (1.0 for a completed
+    #: checkpointed run, None when unknowable or checkpointing was off)
+    analyzed_fraction: Optional[float] = None
+    #: checkpoint/resume accounting: dir, cadence, files written,
+    #: per-lane ``resumed`` records (from_seq, events_skipped),
+    #: quarantined checkpoint files, recycles.  None with no --ckpt-dir
+    checkpoint: Optional[dict] = None
     #: merged observability snapshot of this run (schema repro-obs-v1);
     #: None when metrics are disabled (REPRO_OBS=off)
     obs: Optional[dict] = None
@@ -274,6 +297,9 @@ class PipelineResult:
             "degraded": self.degraded,
             "failed_workers": list(self.failed_workers),
             "salvage": self.salvage,
+            "partial": self.partial,
+            "analyzed_fraction": self.analyzed_fraction,
+            "checkpoint": self.checkpoint,
             "obs": self.obs,
             "forensics": self.forensics,
             "timeline": self.timeline,
@@ -308,6 +334,18 @@ class _ShardGroup:
         self.events[shard] += len(batch)
         obs.active().counter("pipeline.events.analyzed").add(len(batch))
 
+    def snapshot_state(self) -> dict:
+        """Checkpointable state of every shard detector (+ event counts)."""
+        return {
+            "detectors": {s: d.snapshot() for s, d in self.detectors.items()},
+            "events": dict(self.events),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for shard, det in self.detectors.items():
+            det.restore(state["detectors"][shard])
+        self.events.update(state["events"])
+
     def finish(self) -> List[ShardStats]:
         out = []
         for shard in sorted(self.detectors):
@@ -329,21 +367,102 @@ class _ShardGroup:
         return out
 
 
-def _worker_payload(group: _ShardGroup) -> dict:
+def _worker_payload(group: _ShardGroup, attempt: int = 0) -> dict:
     """The worker's "done" payload: shard stats + its registry snapshot.
 
     ``finish()`` publishes each detector's final statistics into the
     worker's registry first, so the snapshot carries them back to the
-    parent for merging.
+    parent for merging.  ``attempt`` tags the payload with the attempt
+    that produced it: the parent merges *only* the winning attempt's
+    registry, so a stale attempt's snapshot can never double-count
+    metrics or timeline events.
     """
     stats = group.finish()
     reg = obs.active()
     return {
         "stats": stats,
+        "attempt": attempt,
         "obs": reg.snapshot() if reg.enabled else None,
         "timeline": (reg.timeline.snapshot()
                      if reg.timeline.enabled else None),
     }
+
+
+# -- checkpoint plumbing ------------------------------------------------------
+
+
+def _ckpt_meta(detector: str, nranks: int, path, shards, cursor: dict) -> dict:
+    """JSON header metadata pinning what this checkpoint belongs to."""
+    trace_bytes = None
+    if path is not None:
+        try:
+            trace_bytes = os.path.getsize(path)
+        except OSError:
+            pass
+    return {
+        "detector": detector,
+        "nranks": nranks,
+        "trace": str(path) if path is not None else None,
+        "trace_bytes": trace_bytes,
+        "shards": list(shards),
+        "events_applied": cursor["events_applied"],
+        "chunk": cursor.get("chunk"),
+    }
+
+
+def _ckpt_expect(detector: str, nranks: int, path) -> dict:
+    """Header fields a checkpoint must match to be resumed here.
+
+    Trace identity is pinned by size, not path, so a trace copied or
+    moved next to its checkpoint directory still resumes.
+    """
+    expect = {"detector": detector, "nranks": nranks}
+    if path is not None:
+        try:
+            expect["trace_bytes"] = os.path.getsize(path)
+        except OSError:
+            pass
+    return expect
+
+
+def _ckpt_state(body: dict, cursor: dict, ticks: int) -> dict:
+    """Payload for one checkpoint: analysis state + registry deltas."""
+    reg = obs.active()
+    state = dict(body)
+    state["cursor"] = cursor
+    state["ticks"] = ticks
+    state["obs"] = reg.snapshot() if reg.enabled else None
+    state["timeline"] = (reg.timeline.snapshot()
+                         if reg.timeline.enabled else None)
+    return state
+
+
+def _ckpt_restore_registry(reg, state: dict) -> None:
+    """Fold a checkpoint's obs/timeline deltas back into a registry."""
+    if state.get("obs") and reg.enabled:
+        reg.merge(state["obs"])
+    if state.get("timeline") and reg.timeline.enabled:
+        reg.timeline.merge(state["timeline"])
+
+
+def _virtual_chunks(events, start: Optional[dict]):
+    """Chunk-wise iteration over an in-memory event list (LoadedTrace).
+
+    Mirrors :meth:`TraceReader.iter_chunks` for sources with no file to
+    seek: resume skips ``events_applied`` events by position.
+    """
+    size = TraceReader.VIRTUAL_CHUNK_EVENTS
+    total = start["events_applied"] if start is not None else 0
+    it = iter(events)
+    if total:
+        next(islice(it, total - 1, total), None)  # advance past the prefix
+    while True:
+        chunk = list(islice(it, size))
+        if not chunk:
+            break
+        total += len(chunk)
+        yield chunk, {"kind": "seq", "events_applied": total,
+                      "salvage": None}
 
 
 def _payload_stats(payload) -> list:
@@ -374,32 +493,111 @@ def _worker_queue(worker_id, shards, detector, nranks, in_q, out_q,
         if now - last_hb >= HEARTBEAT_INTERVAL:
             out_q.put(("hb", worker_id, attempt, ticks))
             last_hb = now
-    out_q.put(("done", worker_id, attempt, _worker_payload(group)))
+    out_q.put(("done", worker_id, attempt, _worker_payload(group, attempt)))
 
 
 def _worker_file(worker_id, shards, detector, nranks, path, out_q,
-                 attempt=0, fault_plan=None, strict=True):
-    """File-dispatch worker: stream the trace itself, keep own shards."""
+                 attempt=0, fault_plan=None, strict=True, ckpt=None):
+    """File-dispatch worker: stream the trace itself, keep own shards.
+
+    With a :class:`~repro.pipeline.checkpoint.CheckpointPlan`, the
+    worker iterates the trace *chunk-wise* and at chunk boundaries (the
+    only points where the reader cursor is crash-consistent):
+
+    * every ``ckpt.every`` chunks it writes its lane's checkpoint;
+    * past ``ckpt.deadline_at`` it checkpoints, reports a ``partial``
+      payload and stops cleanly (resumable);
+    * past ``ckpt.max_rss_mb`` it checkpoints and asks the engine to
+      *recycle* it — respawn a fresh process that resumes mid-trace.
+
+    A retry attempt (``attempt > 0``) or an explicit ``ckpt.resume``
+    restores the newest valid checkpoint first and replays only the
+    events after it, instead of re-running the shard-group from byte 0.
+    """
     reg = obs.reset()  # fork copied the parent's registry: start clean
     group = _ShardGroup(shards, detector, nranks)
     own = set(shards)
     ticks = 0
     last_hb = time.monotonic()
+
+    store = None
+    start = None
+    ckpt_info = {"written": 0, "resumed_from": None, "events_skipped": 0,
+                 "quarantined": []}
+    if ckpt is not None:
+        store = CheckpointStore(ckpt.dir, f"w{worker_id}")
+        if ckpt.resume or attempt > 0:
+            loaded = store.load_latest(
+                expect=_ckpt_expect(detector, nranks, path))
+            ckpt_info["quarantined"] = list(store.quarantined)
+            if loaded is not None:
+                header, state = loaded
+                group.restore_state(state["group"])
+                _ckpt_restore_registry(reg, state)
+                start = state["cursor"]
+                ticks = state["ticks"]
+                ckpt_info["resumed_from"] = header["seq"]
+                ckpt_info["events_skipped"] = start["events_applied"]
+
+    reader = TraceReader(path, strict=strict)
+    chunks_since = 0
+    stop = None
+    cursor = start
     with reg.span("worker.read"):
-        for event in TraceReader(path, strict=strict):
-            for shard in shards_of(event, nranks):
-                if shard in own:
-                    with reg.span("worker.analyze"):
-                        group.dispatch(shard, (event,))
-                    ticks += 1
-                    if fault_plan is not None:
-                        fault_plan.fire(worker_id, attempt, ticks)
-            if not (ticks & 0x3F):  # check the clock every 64 ticks at most
-                now = time.monotonic()
-                if now - last_hb >= HEARTBEAT_INTERVAL:
-                    out_q.put(("hb", worker_id, attempt, ticks))
-                    last_hb = now
-    out_q.put(("done", worker_id, attempt, _worker_payload(group)))
+        for events_chunk, cursor in reader.iter_chunks(start=start):
+            for event in events_chunk:
+                for shard in shards_of(event, nranks):
+                    if shard in own:
+                        with reg.span("worker.analyze"):
+                            group.dispatch(shard, (event,))
+                        ticks += 1
+                        if fault_plan is not None:
+                            fault_plan.fire(worker_id, attempt, ticks)
+                if not (ticks & 0x3F):  # check the clock every 64 ticks
+                    now = time.monotonic()
+                    if now - last_hb >= HEARTBEAT_INTERVAL:
+                        out_q.put(("hb", worker_id, attempt, ticks))
+                        last_hb = now
+            if ckpt is None:
+                continue
+            chunks_since += 1
+            wrote = False
+            if ckpt.every and chunks_since >= ckpt.every:
+                store.write(
+                    _ckpt_meta(detector, nranks, path, shards, cursor),
+                    _ckpt_state({"group": group.snapshot_state()},
+                                cursor, ticks))
+                ckpt_info["written"] += 1
+                chunks_since = 0
+                wrote = True
+            if ckpt.deadline_at is not None and time.time() >= ckpt.deadline_at:
+                stop = "deadline"
+            elif (ckpt.max_rss_mb is not None
+                  and _ckpt.current_rss_mb() > ckpt.max_rss_mb):
+                # guard checks run only at chunk boundaries, i.e. after at
+                # least one chunk of progress this attempt — so every
+                # recycle advances the trace and recycling terminates
+                stop = "recycle"
+            if stop is not None:
+                if not wrote:
+                    store.write(
+                        _ckpt_meta(detector, nranks, path, shards, cursor),
+                        _ckpt_state({"group": group.snapshot_state()},
+                                    cursor, ticks))
+                    ckpt_info["written"] += 1
+                break
+
+    if stop == "recycle":
+        out_q.put(("recycle", worker_id, attempt, {"ckpt": ckpt_info}))
+        return
+    payload = _worker_payload(group, attempt)
+    payload["ckpt"] = ckpt_info if ckpt is not None else None
+    payload["events_applied"] = (cursor["events_applied"]
+                                 if cursor is not None else ticks)
+    if not strict:
+        payload["salvage"] = reader.salvage_report()
+    kind = "partial" if stop == "deadline" else "done"
+    out_q.put((kind, worker_id, attempt, payload))
 
 
 def _run_shards_inline(events, shards, detector, nranks):
@@ -485,6 +683,133 @@ def _serial(events, nranks, detector_name, reader=None):
     )
 
 
+def _serial_ckpt(events, nranks, detector_name, reader, plan, path):
+    """Serial analysis with checkpoints and resource guards.
+
+    The chunk-wise twin of :func:`_serial`: per-event work is identical
+    (same timeline fanout before each dispatch, same counters — added
+    per chunk rather than at the end, so a mid-run checkpoint's registry
+    snapshot already accounts the events it covers).  Hitting the
+    deadline or the memory guard checkpoints, stops, and returns a
+    *partial* result with ``analyzed_fraction``; ``plan.resume`` picks
+    up from the newest valid checkpoint in the directory.
+    """
+    det = _make_detector(detector_name)
+    reg = obs.active()
+    t0 = time.perf_counter()
+    store = CheckpointStore(plan.dir, "serial")
+    shards = list(range(nranks))
+
+    start = None
+    resumed = []
+    if plan.resume:
+        loaded = store.load_latest(
+            expect=_ckpt_expect(detector_name, nranks, path))
+        if loaded is not None:
+            header, state = loaded
+            det.restore(state["detector"])
+            _ckpt_restore_registry(reg, state)
+            start = state["cursor"]
+            resumed.append({
+                "lane": "serial",
+                "from_seq": header["seq"],
+                "events_skipped": start["events_applied"],
+            })
+
+    if reader is not None:
+        chunks = reader.iter_chunks(start=start)
+    else:
+        chunks = _virtual_chunks(events, start)
+
+    n = start["events_applied"] if start is not None else 0
+    cursor = start
+    chunks_since = 0
+    stop = None
+    written = 0
+    c_read = reg.counter("pipeline.events.read")
+    c_analyzed = reg.counter("pipeline.events.analyzed")
+    tl = reg.timeline
+
+    def _write(cur):
+        nonlocal written, chunks_since
+        store.write(
+            _ckpt_meta(detector_name, nranks, path, shards, cur),
+            _ckpt_state({"detector": det.snapshot()}, cur, cur["events_applied"]))
+        written += 1
+        chunks_since = 0
+
+    with reg.span("worker.analyze"):
+        for chunk, cursor in chunks:
+            if tl.enabled:
+                fanout = tl.record_event_fanout
+                for event in chunk:
+                    # same lane projection the sharded pipeline routes
+                    # by, so serial and sharded lanes are byte-identical
+                    fanout(event, nranks)
+                    dispatch_event(det, event, nranks)
+            else:
+                for event in chunk:
+                    dispatch_event(det, event, nranks)
+            n = cursor["events_applied"]
+            c_read.add(len(chunk))
+            c_analyzed.add(len(chunk))
+            chunks_since += 1
+            wrote = False
+            if plan.every and chunks_since >= plan.every:
+                _write(cursor)
+                wrote = True
+            if plan.deadline_at is not None and time.time() >= plan.deadline_at:
+                stop = "deadline"
+            elif (plan.max_rss_mb is not None
+                  and _ckpt.current_rss_mb() > plan.max_rss_mb):
+                # serial mode cannot recycle itself; the memory guard
+                # stops like the deadline does, leaving a resumable run
+                stop = "memory"
+            if stop is not None:
+                if not wrote:
+                    _write(cursor)
+                break
+
+    det.finalize()
+    wall = time.perf_counter() - t0
+    det.publish_obs()
+    stats = det.node_stats()
+    peak = max(stats.max_nodes_per_rank.values(), default=0)
+    shard = ShardStats(
+        shard=-1, events=n, races=len(det.reports), peak_nodes=peak,
+        processed=stats.accesses_processed, reports=list(det.reports),
+    )
+    if reader is not None:
+        total = reader.total_events()
+    else:
+        total = len(events) if hasattr(events, "__len__") else None
+    if stop is not None and total is not None and n >= total:
+        stop = None  # the guard fired on the last chunk: nothing is missing
+    partial = stop is not None
+    if partial:
+        fraction = (n / total) if total else None
+    else:
+        fraction = 1.0
+    return PipelineResult(
+        detector=detector_name, nranks=nranks, jobs=1, dispatch="serial",
+        events_total=n, wall_seconds=wall,
+        verdicts=canonical_verdicts(det.reports), shard_stats=[shard],
+        salvage=_salvage_info(reader),
+        forensics=canonical_forensics(det.reports),
+        partial=partial,
+        analyzed_fraction=fraction,
+        checkpoint={
+            "dir": plan.dir,
+            "every": plan.every,
+            "written": written,
+            "resumed": resumed,
+            "quarantined": list(store.quarantined),
+            "recycles": 0,
+            "stopped": stop,
+        },
+    )
+
+
 def _mp_context():
     try:
         return mp.get_context("fork")
@@ -507,6 +832,11 @@ def analyze_trace(
     salvage: bool = False,
     recover: bool = True,
     fault_plan=None,
+    ckpt_dir: Optional[Union[str, Path]] = None,
+    ckpt_every: int = 4,
+    deadline_s: Optional[float] = None,
+    max_rss_mb: Optional[int] = None,
+    resume: bool = False,
 ) -> PipelineResult:
     """Analyze a recorded trace, optionally sharded over ``jobs`` processes.
 
@@ -523,6 +853,8 @@ def analyze_trace(
                 timeout=timeout, retries=retries,
                 backoff_base=backoff_base, backoff_max=backoff_max,
                 salvage=salvage, recover=recover, fault_plan=fault_plan,
+                ckpt_dir=ckpt_dir, ckpt_every=ckpt_every,
+                deadline_s=deadline_s, max_rss_mb=max_rss_mb, resume=resume,
             )
         if reg.enabled:
             if result.salvage is not None:
@@ -551,6 +883,11 @@ def _analyze_impl(
     salvage: bool = False,
     recover: bool = True,
     fault_plan=None,
+    ckpt_dir: Optional[Union[str, Path]] = None,
+    ckpt_every: int = 4,
+    deadline_s: Optional[float] = None,
+    max_rss_mb: Optional[int] = None,
+    resume: bool = False,
 ) -> PipelineResult:
     """Analyze a recorded trace, optionally sharded over ``jobs`` processes.
 
@@ -573,6 +910,18 @@ def _analyze_impl(
       failure instead of retrying/degrading;
     * ``fault_plan`` — a :class:`~repro.faultinject.FaultPlan` forwarded
       to the workers (chaos testing only).
+
+    Checkpoint knobs (see :mod:`repro.pipeline.checkpoint`):
+
+    * ``ckpt_dir`` — directory for ``repro-ckpt-v1`` files; enables
+      checkpointing, retry-resume, and the resource guards;
+    * ``ckpt_every`` — cadence in trace chunks between checkpoints;
+    * ``deadline_s`` — wall-clock budget: past it the analysis
+      checkpoints and returns a *partial*, resumable result;
+    * ``max_rss_mb`` — per-worker memory high-watermark: past it a
+      worker checkpoints and is recycled (serial: stops like deadline);
+    * ``resume`` — start from the newest valid checkpoint in
+      ``ckpt_dir`` instead of from byte 0.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
@@ -582,12 +931,34 @@ def _analyze_impl(
         raise ValueError("retries must be >= 0")
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive")
+    if ckpt_dir is None and (deadline_s is not None or max_rss_mb is not None
+                             or resume):
+        raise ValueError(
+            "deadline_s/max_rss_mb/resume need a checkpoint directory")
+    if ckpt_every < 1:
+        raise ValueError("ckpt_every must be >= 1")
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError("deadline_s must be positive")
+    plan = None
+    if ckpt_dir is not None:
+        plan = CheckpointPlan(
+            dir=str(ckpt_dir), every=ckpt_every,
+            deadline_at=(time.time() + deadline_s
+                         if deadline_s is not None else None),
+            max_rss_mb=max_rss_mb, resume=resume,
+        )
     events, nranks, path, reader = _as_stream(source, strict=not salvage)
     if reader is not None and not reader.strict:
         salvage = True  # honor an already-open salvage reader
     jobs = max(1, min(jobs, nranks))
     if jobs == 1:
+        if plan is not None:
+            return _serial_ckpt(events, nranks, detector, reader, plan, path)
         return _serial(events, nranks, detector, reader=reader)
+    if plan is not None and dispatch != "file":
+        raise ValueError(
+            "checkpointing with jobs>1 requires dispatch='file' — queue "
+            "batches die with their worker and cannot be replayed")
     if dispatch == "file" and path is None:
         raise ValueError("dispatch='file' needs a path-backed trace source")
     _make_detector(detector)  # validate the name before forking
@@ -599,7 +970,14 @@ def _analyze_impl(
     all_procs: List = []          # every process ever spawned, for cleanup
     in_qs: List = []
     failures_all: List[WorkerFailure] = []
+    #: per-worker attempt counter — retries *and* recycles bump it, and
+    #: collect_results drops any message tagged with an older attempt
+    attempts: Dict[int, int] = {w: 0 for w in range(jobs)}
+    partial_workers: set = set()
     retry_spawns = 0
+    recycle_spawns = 0
+    recycle_ckpt_written = 0
+    recycle_quarantined: List[str] = []
     clean_exit = False
     t0 = time.perf_counter()
 
@@ -618,7 +996,7 @@ def _analyze_impl(
         if dispatch == "file":
             procs = {
                 w: _spawn(_worker_file,
-                          (path, out_q, 0, fault_plan, not salvage), w)
+                          (path, out_q, 0, fault_plan, not salvage, plan), w)
                 for w in range(jobs)
             }
             # count events once in the parent for the throughput metric
@@ -627,9 +1005,11 @@ def _analyze_impl(
             reg.counter("pipeline.events.read").add(events_total)
             with reg.span("pipeline.collect"):
                 outcome = collect_results(out_q, procs, worker_shards,
-                                          timeout=timeout, attempt=0)
+                                          timeout=timeout, attempts=attempts)
             payloads = outcome.payloads
+            partial_workers.update(outcome.partial_workers)
             failures = outcome.failures
+            recycled = outcome.recycled
             failures_all.extend(failures)
             if failures and not recover:
                 first = failures[0]
@@ -637,28 +1017,70 @@ def _analyze_impl(
                     first.worker, first.shards,
                     reason=first.reason, exitcode=first.exitcode,
                 )
-            for rnd in range(1, retries + 1):
-                if not failures:
+            # Supervision loop: retried workers (with a checkpoint plan
+            # they resume from their lane's newest checkpoint instead of
+            # replaying from byte 0) consume the retry budget; recycled
+            # workers (memory guard) are respawned for free — their exit
+            # was voluntary, checkpointed progress, not a failure.
+            rnd = 0
+            recycles_by_worker: Dict[int, int] = {}
+            exhausted: List[WorkerFailure] = []
+            while failures or recycled:
+                if failures and rnd >= retries:
                     break
-                with reg.span("pipeline.retry"):
-                    time.sleep(backoff_delay(rnd, base=backoff_base,
-                                             cap=backoff_max))
-                    retry_procs = {
-                        f.worker: _spawn(
-                            _worker_file,
-                            (path, out_q, rnd, fault_plan, not salvage),
-                            f.worker,
-                        )
-                        for f in failures
-                    }
-                    retry_spawns += len(retry_procs)
-                    reg.counter("pipeline.retries").add(len(retry_procs))
-                    outcome = collect_results(out_q, retry_procs,
+                respawn: set = set()
+                if failures:
+                    rnd += 1
+                    retry_spawns += len(failures)
+                    reg.counter("pipeline.retries").add(len(failures))
+                    with reg.span("pipeline.retry"):
+                        time.sleep(backoff_delay(rnd, base=backoff_base,
+                                                 cap=backoff_max))
+                    respawn.update(f.worker for f in failures)
+                for rec in recycled:
+                    w = rec["worker"]
+                    info = (rec["info"] or {}).get("ckpt") or {}
+                    recycle_ckpt_written += info.get("written", 0)
+                    recycle_quarantined.extend(info.get("quarantined", ()))
+                    recycles_by_worker[w] = recycles_by_worker.get(w, 0) + 1
+                    if recycles_by_worker[w] > _MAX_RECYCLES:
+                        fail = WorkerFailure(
+                            w, list(worker_shards[w]), "recycle limit",
+                            attempt=attempts[w])
+                        exhausted.append(fail)
+                        failures_all.append(fail)
+                        continue
+                    recycle_spawns += 1
+                    reg.counter("pipeline.ckpt.recycles").inc()
+                    respawn.add(w)
+                if not respawn:
+                    break
+                new_procs = {}
+                for w in sorted(respawn):
+                    attempts[w] += 1
+                    new_procs[w] = _spawn(
+                        _worker_file,
+                        (path, out_q, attempts[w], fault_plan, not salvage,
+                         plan), w)
+                with reg.span("pipeline.collect"):
+                    outcome = collect_results(out_q, new_procs,
                                               worker_shards,
-                                              timeout=timeout, attempt=rnd)
+                                              timeout=timeout,
+                                              attempts=attempts)
                 payloads.update(outcome.payloads)
+                partial_workers.update(outcome.partial_workers)
                 failures = outcome.failures
+                recycled = outcome.recycled
                 failures_all.extend(failures)
+            # workers still recycled when the loop bailed (retry budget
+            # spent on others) have no payload — degrade covers them
+            for rec in recycled:
+                w = rec["worker"]
+                fail = WorkerFailure(w, list(worker_shards[w]),
+                                     "recycle limit", attempt=attempts[w])
+                failures.append(fail)
+                failures_all.append(fail)
+            failures = failures + exhausted
             queue_peak = [0] * jobs
         else:
             in_qs = [ctx.Queue(queue_depth) for _ in range(jobs)]
@@ -758,12 +1180,18 @@ def _analyze_impl(
         if failures_all:
             reg.counter("pipeline.worker_failures").add(len(failures_all))
         if reg.enabled:
-            # fold the worker registries into this run's scope
+            # fold the worker registries into this run's scope — only
+            # the *winning* attempt per worker, so a stale attempt's
+            # snapshot can never double-count counters/timeline events
             for w in payloads:
                 p = payloads[w]
-                if isinstance(p, dict) and p.get("obs"):
+                if not isinstance(p, dict):
+                    continue  # inline degrade replay ran in this registry
+                if p.get("attempt", 0) != attempts.get(w, 0):
+                    continue
+                if p.get("obs"):
                     reg.merge(p["obs"])
-                if isinstance(p, dict) and p.get("timeline"):
+                if p.get("timeline"):
                     reg.timeline.merge(p["timeline"])
         all_stats = [
             s for w in sorted(payloads) for s in _payload_stats(payloads[w])
@@ -785,6 +1213,58 @@ def _analyze_impl(
         forensics = canonical_forensics(
             r for s in all_stats for r in s.reports
         )
+    # a lane whose deadline fired on its final chunk analyzed everything:
+    # nothing is missing from it, so it does not make the result partial
+    partial_workers = {
+        w for w in partial_workers
+        if not (isinstance(payloads.get(w), dict)
+                and payloads[w].get("events_applied") is not None
+                and payloads[w]["events_applied"] >= events_total)
+    }
+    partial = bool(partial_workers)
+    ckpt_summary = None
+    fraction = None
+    if plan is not None:
+        written = recycle_ckpt_written
+        resumed = []
+        quarantined = list(recycle_quarantined)
+        for w in sorted(payloads):
+            p = payloads[w]
+            if not isinstance(p, dict) or not p.get("ckpt"):
+                continue
+            info = p["ckpt"]
+            written += info.get("written", 0)
+            quarantined.extend(info.get("quarantined", ()))
+            if info.get("resumed_from") is not None:
+                resumed.append({
+                    "lane": f"w{w}",
+                    "from_seq": info["resumed_from"],
+                    "events_skipped": info.get("events_skipped", 0),
+                })
+        ckpt_summary = {
+            "dir": plan.dir,
+            "every": plan.every,
+            "written": written,
+            "resumed": resumed,
+            "quarantined": quarantined,
+            "recycles": recycle_spawns,
+            "stopped": "deadline" if partial else None,
+        }
+        if reg.enabled and written:
+            reg.counter("pipeline.ckpt.written").add(written)
+        if partial:
+            # every lane checkpointed at or past its reported position;
+            # the conservative claim is the least-advanced partial lane
+            applied = [
+                payloads[w].get("events_applied")
+                for w in partial_workers
+                if isinstance(payloads.get(w), dict)
+            ]
+            applied = [a for a in applied if a is not None]
+            if applied and events_total:
+                fraction = min(applied) / events_total
+        else:
+            fraction = 1.0
     return PipelineResult(
         detector=detector, nranks=nranks, jobs=jobs, dispatch=dispatch,
         events_total=events_total, wall_seconds=wall, verdicts=merged,
@@ -795,4 +1275,7 @@ def _analyze_impl(
         degraded=degraded,
         failed_workers=[f.to_dict() for f in failures_all],
         salvage=_salvage_info(reader),
+        partial=partial,
+        analyzed_fraction=fraction,
+        checkpoint=ckpt_summary,
     )

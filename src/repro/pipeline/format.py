@@ -56,7 +56,7 @@ import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..intervals import AccessType, DebugInfo, Interval, MemoryAccess
 from ..mpi.errors import TraceFormatError
@@ -503,19 +503,127 @@ class TraceReader:
         return self._iter_v1()
 
     def salvage_report(self) -> dict:
-        """What the last (salvage-mode) iteration had to skip."""
+        """What the last (salvage-mode) iteration had to skip.
+
+        When the iteration was resumed from a checkpoint cursor
+        (:meth:`iter_chunks` with ``start``), the counts include the
+        losses recorded before the checkpoint — resume must not launder
+        away salvage accounting.
+        """
         return {
             "quarantined_chunks": list(self.quarantined_chunks),
             "events_lost": self.events_lost,
             "truncated": self.truncated,
         }
 
+    # -- chunk-wise iteration (checkpoint/resume) -----------------------------
+
+    #: v1 JSON-lines traces have no physical chunks; group this many
+    #: events into one *virtual* chunk so checkpoint cadence is
+    #: comparable across formats (matches the v2 writer's default)
+    VIRTUAL_CHUNK_EVENTS = 2048
+
+    def iter_chunks(self, start: Optional[dict] = None
+                    ) -> Iterator[Tuple[List[TraceEvent], dict]]:
+        """Iterate ``(events, cursor)`` one fully-decoded chunk at a time.
+
+        ``cursor`` resumes iteration *after* that chunk: pass it back as
+        ``start`` (possibly in another process, days later) and the
+        remaining chunks decode exactly as they would have — the cursor
+        carries the incremental string table, the cumulative event
+        count, and the salvage accounting, so loss statistics survive
+        the hop.  Cursors are plain picklable dicts; they are only valid
+        against the same trace file (checkpoint metadata pins identity).
+        """
+        if start is not None:
+            expect = "v2" if self.format == FORMAT_V2 else "v1"
+            if start.get("kind") != expect:
+                raise TraceFormatError(
+                    f"resume cursor kind {start.get('kind')!r} does not "
+                    f"match a {expect} trace", path=self.path)
+            salvage = start.get("salvage") or {}
+            self.quarantined_chunks = list(
+                salvage.get("quarantined_chunks", []))
+            self.events_lost = int(salvage.get("events_lost", 0))
+            self.truncated = bool(salvage.get("truncated", False))
+        else:
+            self.quarantined_chunks = []
+            self.events_lost = 0
+            self.truncated = False
+        if self.format == FORMAT_V2:
+            return self._chunks_v2(start)
+        return self._chunks_v1(start)
+
+    def _salvage_state(self, claimed_lost: int) -> dict:
+        return {
+            "quarantined_chunks": list(self.quarantined_chunks),
+            "events_lost": claimed_lost,
+            "truncated": self.truncated,
+        }
+
+    def total_events(self) -> Optional[int]:
+        """Total events the trace claims to hold, or None when unknowable.
+
+        v2 files are answered from the 12-byte trailer without scanning
+        the body (``analyzed_fraction`` needs this on multi-GB traces);
+        a missing/torn trailer returns None.  v1 counts event lines.
+        """
+        if self.format == FORMAT_V2:
+            try:
+                with self.path.open("rb") as fh:
+                    fh.seek(0, 2)
+                    size = fh.tell()
+                    if size < 4 + _U64.size:
+                        return None
+                    fh.seek(size - (4 + _U64.size))
+                    tail = fh.read(4 + _U64.size)
+            except OSError:
+                return None
+            if tail[:4] != b"TEND":
+                return None
+            return _U64.unpack(tail[4:])[0]
+        try:
+            with self.path.open() as fh:
+                fh.readline()  # header
+                return sum(1 for line in fh if line.strip())
+        except OSError:
+            return None
+
     def _iter_v1(self) -> Iterator[TraceEvent]:
+        for events, _cursor in self._chunks_v1(None):
+            yield from events
+
+    def _chunks_v1(self, start: Optional[dict]
+                   ) -> Iterator[Tuple[List[TraceEvent], dict]]:
         from ..mpi.trace_io import _event_from_dict  # lazy: avoids a cycle
 
         with self.path.open() as fh:
             fh.readline()  # header, validated in __init__
-            for lineno, line in enumerate(fh, start=2):
+            if start is not None:
+                fh.seek(start["pos"])
+                lineno = start["line"]
+                total = start["events_applied"]
+            else:
+                lineno = 1
+                total = 0
+            batch: List[TraceEvent] = []
+
+            def cursor() -> dict:
+                return {
+                    "kind": "v1",
+                    "pos": fh.tell(),
+                    "line": lineno,
+                    "events_applied": total,
+                    "salvage": self._salvage_state(self.events_lost),
+                }
+
+            while True:
+                # readline (not file iteration) keeps fh.tell() legal,
+                # which is what makes v1 cursors byte-resumable
+                line = fh.readline()
+                if not line:
+                    break
+                lineno += 1
                 if not line.strip():
                     continue
                 try:
@@ -538,7 +646,14 @@ class TraceReader:
                     self.quarantined_chunks.append(lineno)
                     self.events_lost += 1
                     continue
-                yield event
+                batch.append(event)
+                if len(batch) >= self.VIRTUAL_CHUNK_EVENTS:
+                    total += len(batch)
+                    yield batch, cursor()
+                    batch = []
+            if batch:
+                total += len(batch)
+                yield batch, cursor()
 
     def _bad(self, message: str) -> None:
         """Raise in strict mode; in salvage mode the caller quarantines."""
@@ -562,20 +677,34 @@ class TraceReader:
             overlap = hay[-3:]
 
     def _iter_v2(self) -> Iterator[TraceEvent]:
+        for events, _cursor in self._chunks_v2(None):
+            yield from events
+
+    def _chunks_v2(self, start: Optional[dict]
+                   ) -> Iterator[Tuple[List[TraceEvent], dict]]:
         header = self._header
         access_table: List[AccessType] = header["access_table"]
         sync_table: List[SyncKind] = header["sync_table"]
         region_table: List[RegionKind] = header["region_table"]
         frame = struct.Struct("<III") if header["chunk_crc"] \
             else struct.Struct("<II")
-        strings: List[str] = []
-        total = 0
-        claimed_lost = 0
+        if start is not None:
+            strings = list(start["strings"])
+            total = start["events_applied"]
+            claimed_lost = self.events_lost
+        else:
+            strings = []
+            total = 0
+            claimed_lost = 0
         with self.path.open("rb") as fh:
-            fh.seek(len(MAGIC_V2))
-            (hlen,) = _U32.unpack(fh.read(_U32.size))
-            fh.seek(hlen, 1)
-            chunk_no = 0
+            if start is not None:
+                fh.seek(start["pos"])
+                chunk_no = start["chunk"]
+            else:
+                fh.seek(len(MAGIC_V2))
+                (hlen,) = _U32.unpack(fh.read(_U32.size))
+                fh.seek(hlen, 1)
+                chunk_no = 0
             while True:
                 tag_pos = fh.tell()
                 tag = fh.read(4)
@@ -627,8 +756,15 @@ class TraceReader:
                         self.quarantined_chunks.append(chunk_no)
                         claimed_lost += nevents
                         continue
-                    yield from events
                     total += nevents
+                    yield events, {
+                        "kind": "v2",
+                        "chunk": chunk_no,
+                        "pos": fh.tell(),
+                        "strings": list(strings),
+                        "events_applied": total,
+                        "salvage": self._salvage_state(claimed_lost),
+                    }
                 elif tag == b"TEND":
                     raw = fh.read(_U64.size)
                     if len(raw) < _U64.size:

@@ -59,7 +59,8 @@ class WorkerFailure:
 
     worker: int
     shards: List[int]
-    reason: str            #: "crashed" | "stalled" | "exited without result"
+    #: "crashed" | "stalled" | "exited without result" | "recycle limit"
+    reason: str
     exitcode: object = None
     attempt: int = 0
 
@@ -79,6 +80,13 @@ class CollectOutcome:
 
     payloads: Dict[int, list] = field(default_factory=dict)
     failures: List[WorkerFailure] = field(default_factory=list)
+    #: workers whose payload is a *partial* result (deadline guard hit;
+    #: they checkpointed, stopped cleanly, and are resumable)
+    partial_workers: set = field(default_factory=set)
+    #: memory-guard recycle requests: the worker checkpointed and exited
+    #: voluntarily; respawning it is *not* a retry (no backoff, no retry
+    #: budget) — entries are {"worker", "attempt", "info"} dicts
+    recycled: List[dict] = field(default_factory=list)
 
 
 def backoff_delay(attempt: int, *, base: float, cap: float) -> float:
@@ -119,6 +127,7 @@ def collect_results(
     *,
     timeout: float = None,
     attempt: int = 0,
+    attempts: Dict[int, int] = None,
     poll: float = _POLL,
     grace: float = _EXIT_GRACE,
 ) -> CollectOutcome:
@@ -130,9 +139,18 @@ def collect_results(
     runs).  Returns payloads for workers that finished and a
     :class:`WorkerFailure` per worker that did not; stalled workers are
     terminated before being reported.
+
+    ``attempts`` maps worker id -> its current attempt number when
+    workers in one pass run different attempts (checkpoint resume mixes
+    retried and recycled workers); ``attempt`` is the uniform fallback.
+    Messages tagged with any other attempt are dropped — a stale
+    attempt's payload merging twice is exactly the double-count bug the
+    per-attempt registry scoping exists to prevent.
     """
     outcome = CollectOutcome()
     pending = set(procs)
+    expected = ({w: attempt for w in pending} if attempts is None
+                else {w: attempts[w] for w in pending})
     now = time.monotonic()
     last_progress = {w: now for w in pending}
     dead_since: Dict[int, float] = {}
@@ -156,14 +174,14 @@ def collect_results(
                 pending.discard(w)
                 outcome.failures.append(WorkerFailure(
                     w, list(worker_shards[w]), reason,
-                    exitcode=code, attempt=attempt,
+                    exitcode=code, attempt=expected[w],
                 ))
             elif timeout is not None and now - last_progress[w] > timeout:
                 _terminate(proc)
                 pending.discard(w)
                 outcome.failures.append(WorkerFailure(
                     w, list(worker_shards[w]), "stalled",
-                    exitcode=None, attempt=attempt,
+                    exitcode=None, attempt=expected[w],
                 ))
 
     while pending:
@@ -172,15 +190,26 @@ def collect_results(
         except _queue.Empty:
             check_liveness()
             continue
-        if msg_attempt != attempt or worker not in pending:
+        if worker not in pending or msg_attempt != expected[worker]:
             continue  # stale message from a previous, failed attempt
         if kind == "hb":
             last_progress[worker] = time.monotonic()
-        elif kind == "done":
+        elif kind in ("done", "partial"):
             outcome.payloads[worker] = payload
+            if kind == "partial":
+                outcome.partial_workers.add(worker)
+            pending.discard(worker)
+        elif kind == "recycle":
+            # the worker checkpointed and is exiting on purpose; hand
+            # the respawn decision to the engine (not a failure)
+            outcome.recycled.append({
+                "worker": worker, "attempt": msg_attempt, "info": payload,
+            })
             pending.discard(worker)
         check_liveness()
 
     for worker in outcome.payloads:
         procs[worker].join()
+    for rec in outcome.recycled:
+        procs[rec["worker"]].join()
     return outcome

@@ -1,0 +1,136 @@
+"""Property-based round-trip of the checkpoint tree snapshots.
+
+The ``repro-ckpt-v1`` payload carries detector state as structure-
+preserving tree snapshots (:meth:`AVLTree.snapshot` /
+:meth:`IntervalBST.save_state`).  Restoring must reproduce the tree
+*exactly* — not just the same key set: tree shape drives the legacy
+linear-scan comparison counts and the ablation (unbalanced) behavior, so
+a shape-changing round-trip would make "resumed" runs diverge from
+fault-free ones.  For arbitrary access sequences:
+
+* ``restore(snapshot(t))`` preserves the AVL structure invariants and
+  the augmented interval metadata (``check_invariants``),
+* in-order traversal, size, and overlap/containment query results are
+  identical before and after,
+* the restored tree *behaves* identically in the future: inserting the
+  same suffix into original and restored trees yields byte-identical
+  snapshots and identical TreeStats — for balanced and unbalanced
+  (ablation) trees alike,
+* pickling the snapshot (what the checkpoint file actually stores)
+  changes nothing.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bst import IntervalBST
+from repro.bst.avl import AVLTree
+from repro.core.insertion import insert_access
+from repro.intervals import AccessType, DebugInfo, Interval, MemoryAccess
+
+_NO_RACE = lambda stored, new: False  # noqa: E731 - terse predicate
+
+
+@st.composite
+def accesses(draw) -> MemoryAccess:
+    lo = draw(st.integers(min_value=0, max_value=48))
+    length = draw(st.integers(min_value=1, max_value=16))
+    type_ = draw(st.sampled_from(list(AccessType)))
+    file_ = draw(st.sampled_from(["a.c", "b.c"]))
+    line = draw(st.integers(min_value=1, max_value=3))
+    origin = draw(st.integers(min_value=0, max_value=2))
+    return MemoryAccess(
+        Interval(lo, lo + length), type_, DebugInfo(file_, line), origin
+    )
+
+
+access_lists = st.lists(accesses(), min_size=1, max_size=24)
+
+
+def _build(seq, *, balanced=True):
+    bst = IntervalBST(balanced=balanced)
+    for acc in seq:
+        insert_access(acc, bst, predicate=_NO_RACE)
+    return bst
+
+
+def _queries(bst):
+    """Deterministic probe of the query surface over a fixed range."""
+    overlaps = [bst.find_overlapping(Interval(lo, lo + 8))
+                for lo in range(0, 64, 4)]
+    contains = [bst.find_containing(addr) for addr in range(0, 64, 7)]
+    return overlaps, contains
+
+
+@given(access_lists, st.booleans())
+def test_interval_bst_roundtrip_preserves_everything(seq, balanced):
+    bst = _build(seq, balanced=balanced)
+    state = pickle.loads(pickle.dumps(bst.save_state()))
+    restored = IntervalBST.from_state(state)
+
+    restored.check_invariants()
+    assert len(restored) == len(bst)
+    assert restored.snapshot() == bst.snapshot()  # in-order access list
+    assert restored.height() == bst.height()
+    assert _queries(restored) == _queries(bst)
+    assert restored.stats.to_dict() == bst.stats.to_dict()
+
+
+@given(access_lists, access_lists, st.booleans())
+def test_restored_tree_behaves_identically_in_the_future(prefix, suffix,
+                                                         balanced):
+    """Same suffix into original vs restored → byte-identical trees.
+
+    This is the property resume correctness actually needs: the events
+    *after* the checkpoint must produce the same verdicts and stats on
+    the restored tree as they would have on the never-interrupted one.
+    """
+    original = _build(prefix, balanced=balanced)
+    restored = IntervalBST.from_state(original.save_state())
+    for acc in suffix:
+        insert_access(acc, original, predicate=_NO_RACE)
+        insert_access(acc, restored, predicate=_NO_RACE)
+        restored.check_invariants()
+    assert restored.save_state() == original.save_state()
+    assert restored.stats.to_dict() == original.stats.to_dict()
+    assert _queries(restored) == _queries(original)
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100),
+                min_size=0, max_size=40),
+       st.booleans())
+def test_avl_tree_roundtrip(keys, balanced):
+    tree = AVLTree(balanced=balanced)
+    for k in keys:
+        tree.insert(k, ("v", k))
+    snap = pickle.loads(pickle.dumps(tree.snapshot()))
+    restored = AVLTree(balanced=balanced)
+    restored.restore(snap)
+
+    restored.check_invariants()
+    assert list(restored) == list(tree)
+    assert len(restored) == len(tree)
+    assert restored.height() == tree.height()
+    # tie counter round-trips too: future equal-key inserts land in the
+    # same relative order on both trees
+    tree.insert(0, "later")
+    restored.insert(0, "later")
+    assert restored.snapshot() == tree.snapshot()
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100),
+                min_size=1, max_size=40))
+def test_avl_restore_rejects_balance_mismatch(keys):
+    tree = AVLTree(balanced=True)
+    for k in keys:
+        tree.insert(k, k)
+    other = AVLTree(balanced=False)
+    try:
+        other.restore(tree.snapshot())
+    except ValueError:
+        return
+    raise AssertionError("balanced-mode mismatch must not restore")

@@ -1,0 +1,509 @@
+"""Checkpoint/resume chaos matrix and unit coverage.
+
+The contract under test: with ``ckpt_dir`` set, any interruption —
+worker kill, stall, hard process death, deadline, memory guard — leaves
+``repro-ckpt-v1`` files from which the analysis resumes *mid-trace*
+(never a full shard-group re-run) and finishes with verdicts, forensics
+and merged metrics byte-identical to a fault-free run.  Corrupt or
+truncated checkpoints are quarantined and recovery falls back to the
+previous generation, reported in the result — never a silent restart
+from scratch.
+
+Metric parity deliberately excludes wall-clock spans and the
+resilience bookkeeping counters (``pipeline.retries``,
+``pipeline.worker_failures``, ``pipeline.degraded``,
+``pipeline.ckpt.*``) — those *should* differ under injected faults;
+everything else must not.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.faultinject import (
+    FaultPlan,
+    KillWorker,
+    StallWorker,
+    corrupt_checkpoint,
+    flip_bytes,
+)
+from repro.mpi.epoch import EpochTracker
+from repro.pipeline import (
+    BinaryTraceWriter,
+    CheckpointError,
+    CheckpointStore,
+    TraceReader,
+    analyze_trace,
+)
+from repro.pipeline.engine import DETECTOR_SPECS
+from repro.pipeline.shard import dispatch_event
+
+#: counters whose values legitimately differ between faulted and
+#: fault-free runs — everything else must match exactly
+_BOOKKEEPING = ("pipeline.retries", "pipeline.worker_failures",
+                "pipeline.degraded", "pipeline.ckpt.")
+
+
+def _strip(snapshot):
+    out = dict(snapshot)
+    out.pop("spans", None)
+    out["counters"] = {
+        k: v for k, v in out.get("counters", {}).items()
+        if not k.startswith(_BOOKKEEPING)
+    }
+    return out
+
+
+def assert_parity(result, baseline):
+    """Byte-identical verdicts, forensics, metrics and timeline."""
+    assert json.dumps(result.verdicts, sort_keys=True) == \
+        json.dumps(baseline.verdicts, sort_keys=True)
+    assert result.forensics == baseline.forensics
+    got, want = _strip(result.obs), _strip(baseline.obs)
+    assert got["counters"] == want["counters"]
+    assert got.get("gauges") == want.get("gauges")
+    assert got.get("histograms") == want.get("histograms")
+    assert result.timeline == baseline.timeline
+
+
+@pytest.fixture(scope="module")
+def chunked_trace(tmp_path_factory, mv_trace):
+    """The miniVite trace re-chunked to 200 events/chunk (12 chunks)."""
+    dst = tmp_path_factory.mktemp("ckpt") / "mv200.trace"
+    reader = TraceReader(mv_trace)
+    with BinaryTraceWriter(dst, nranks=reader.nranks,
+                           events_per_chunk=200) as writer:
+        for event in reader:
+            writer.write(event)
+    return dst
+
+
+@pytest.fixture(scope="module")
+def baseline_serial(chunked_trace):
+    return analyze_trace(chunked_trace, detector="our", jobs=1)
+
+
+@pytest.fixture(scope="module")
+def baseline_jobs4(chunked_trace):
+    return analyze_trace(chunked_trace, detector="our", jobs=4,
+                         dispatch="file")
+
+
+# -- unit: state snapshots ----------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(DETECTOR_SPECS))
+def test_detector_snapshot_roundtrip_mid_replay(name, mv_trace):
+    """snapshot() mid-replay + restore() == never-interrupted replay."""
+    import pickle
+
+    reader = TraceReader(mv_trace)
+    events = list(reader)
+    nranks = reader.nranks
+    cut = len(events) // 2
+
+    straight = DETECTOR_SPECS[name]()
+    for event in events:
+        dispatch_event(straight, event, nranks)
+    straight.finalize()
+
+    first = DETECTOR_SPECS[name]()
+    for event in events[:cut]:
+        dispatch_event(first, event, nranks)
+    snap = pickle.loads(pickle.dumps(first.snapshot()))
+    resumed = DETECTOR_SPECS[name]()
+    resumed.restore(snap)
+    for event in events[cut:]:
+        dispatch_event(resumed, event, nranks)
+    resumed.finalize()
+
+    assert len(resumed.reports) == len(straight.reports)
+    for a, b in zip(resumed.reports, straight.reports):
+        assert (a.rank, a.window, a.stored, a.new) == \
+            (b.rank, b.window, b.stored, b.new)
+    assert resumed.node_stats() == straight.node_stats()
+
+
+def test_detector_restore_rejects_wrong_class():
+    ours = DETECTOR_SPECS["our"]()
+    other = DETECTOR_SPECS["mc"]()
+    with pytest.raises(ValueError, match="checkpoint is for detector"):
+        other.restore(ours.snapshot())
+
+
+def test_epoch_tracker_snapshot_roundtrip():
+    t = EpochTracker()
+    t.lock_all(0, 0)
+    t.note_op(0, 0)
+    t.flush(0, 0)
+    t.note_op(0, 0)
+    t.lock(1, 0, target=2, exclusive=True)
+    t.fence(2, 1)
+
+    fresh = EpochTracker()
+    fresh.restore(t.snapshot())
+    assert fresh.snapshot() == t.snapshot()
+    # in-flight epochs resume as-is and keep evolving identically
+    for tracker in (t, fresh):
+        tracker.note_op(0, 0)
+        tracker.unlock_all(0, 0)
+        tracker.unlock(1, 0, target=2)
+    assert fresh.snapshot() == t.snapshot()
+    assert fresh.flush_gen(0, 0) == 1
+    assert fresh.epochs_completed(0, 0) == 1
+
+
+# -- unit: the checkpoint store ----------------------------------------------
+
+
+def test_store_write_load_prune(tmp_path):
+    store = CheckpointStore(tmp_path, "serial")
+    for seq in range(1, 5):
+        store.write({"n": seq}, {"state": seq * 11})
+    # keep=2: only the newest two generations survive
+    names = sorted(p.name for p in tmp_path.glob("*.ckpt"))
+    assert names == ["serial-00000003.ckpt", "serial-00000004.ckpt"]
+    header, state = store.load_latest()
+    assert header["seq"] == 4 and header["meta"] == {"n": 4}
+    assert state == {"state": 44}
+
+
+@pytest.mark.parametrize("mode", ["flip", "truncate"])
+def test_store_quarantines_corrupt_and_falls_back(tmp_path, mode):
+    store = CheckpointStore(tmp_path, "w0")
+    store.write({"n": 1}, {"state": 1})
+    store.write({"n": 2}, {"state": 2})
+    corrupt_checkpoint(tmp_path / "w0-00000002.ckpt", mode=mode)
+
+    header, state = store.load_latest()
+    assert header["seq"] == 1 and state == {"state": 1}
+    assert store.quarantined == ["w0-00000002.ckpt.bad"]
+    assert (tmp_path / "w0-00000002.ckpt.bad").exists()
+    assert not (tmp_path / "w0-00000002.ckpt").exists()
+
+
+def test_store_empty_lane_and_all_corrupt(tmp_path):
+    store = CheckpointStore(tmp_path, "w1")
+    assert store.load_latest() is None
+    store.write({}, {"s": 1})
+    corrupt_checkpoint(tmp_path / "w1-00000001.ckpt", mode="truncate",
+                       keep_fraction=0.0)
+    assert store.load_latest() is None
+    assert store.quarantined == ["w1-00000001.ckpt.bad"]
+
+
+def test_store_expect_mismatch_is_hard_error(tmp_path):
+    store = CheckpointStore(tmp_path, "serial")
+    store.write({"detector": "our", "nranks": 4}, {"s": 1})
+    with pytest.raises(CheckpointError, match="does not match"):
+        store.load_latest(expect={"detector": "mc", "nranks": 4})
+
+
+# -- chaos matrix: jobs=4 -----------------------------------------------------
+
+
+def _fault(kind, worker=1, tick=150):
+    if kind == "kill":
+        return FaultPlan(actions=(KillWorker(worker=worker,
+                                             after_batches=tick, attempt=0),))
+    return FaultPlan(actions=(StallWorker(worker=worker, after_batches=tick,
+                                          attempt=0, seconds=30.0),))
+
+
+@pytest.mark.parametrize("kind", ["kill", "stall"])
+def test_jobs4_fault_resumes_from_checkpoint(kind, chunked_trace, tmp_path,
+                                             baseline_jobs4):
+    r = analyze_trace(
+        chunked_trace, detector="our", jobs=4, dispatch="file",
+        fault_plan=_fault(kind), timeout=2.0 if kind == "stall" else None,
+        ckpt_dir=tmp_path / "ck", ckpt_every=1,
+    )
+    assert not r.degraded and not r.partial
+    assert r.retries == 1
+    # the retried lane resumed mid-trace — no full shard-group re-run
+    resumed = [rec for rec in r.checkpoint["resumed"] if rec["lane"] == "w1"]
+    assert resumed and resumed[0]["events_skipped"] > 0
+    assert r.checkpoint["quarantined"] == []
+    assert_parity(r, baseline_jobs4)
+
+
+@pytest.mark.parametrize("kind", ["kill", "stall"])
+def test_jobs4_fault_without_checkpoints_still_recovers(kind, chunked_trace,
+                                                        baseline_jobs4):
+    """Satellite regression: a retried shard group must not double-count
+    obs counters or timeline events — metrics equal the fault-free run."""
+    r = analyze_trace(
+        chunked_trace, detector="our", jobs=4, dispatch="file",
+        fault_plan=_fault(kind), timeout=2.0 if kind == "stall" else None,
+    )
+    assert not r.degraded and r.retries == 1
+    assert r.checkpoint is None
+    assert_parity(r, baseline_jobs4)
+
+
+def test_jobs4_corrupt_checkpoint_falls_back_one_generation(
+        chunked_trace, tmp_path, baseline_jobs4):
+    ck = tmp_path / "ck"
+    partial = analyze_trace(chunked_trace, detector="our", jobs=4,
+                            dispatch="file", ckpt_dir=ck, ckpt_every=1,
+                            deadline_s=1e-6)
+    assert partial.partial
+    # a second deadline-bounded leg advances one more chunk per lane,
+    # leaving two checkpoint generations on disk (keep=2)
+    again = analyze_trace(chunked_trace, detector="our", jobs=4,
+                          dispatch="file", ckpt_dir=ck, ckpt_every=1,
+                          deadline_s=1e-6, resume=True)
+    assert again.partial
+    lanes = sorted(ck.glob("w1-*.ckpt"))
+    assert len(lanes) >= 2  # keep=2 generations per lane
+    corrupt_checkpoint(lanes[-1], mode="flip")
+
+    r = analyze_trace(chunked_trace, detector="our", jobs=4,
+                      dispatch="file", ckpt_dir=ck, ckpt_every=1,
+                      resume=True)
+    assert not r.partial
+    assert lanes[-1].name + ".bad" in r.checkpoint["quarantined"]
+    resumed = {rec["lane"]: rec for rec in r.checkpoint["resumed"]}
+    # w1 fell back to the generation before the corrupt one
+    assert resumed["w1"]["from_seq"] == int(lanes[-2].stem.split("-")[1])
+    assert_parity(r, baseline_jobs4)
+
+
+def test_jobs4_deadline_partial_then_resume(chunked_trace, tmp_path,
+                                            baseline_jobs4):
+    ck = tmp_path / "ck"
+    partial = analyze_trace(chunked_trace, detector="our", jobs=4,
+                            dispatch="file", ckpt_dir=ck, ckpt_every=1,
+                            deadline_s=1e-6)
+    assert partial.partial
+    assert partial.checkpoint["stopped"] == "deadline"
+    assert 0 < partial.analyzed_fraction < 1
+    assert partial.checkpoint["written"] >= 4  # every lane checkpointed
+
+    r = analyze_trace(chunked_trace, detector="our", jobs=4,
+                      dispatch="file", ckpt_dir=ck, resume=True)
+    assert not r.partial and r.analyzed_fraction == 1.0
+    assert len(r.checkpoint["resumed"]) == 4
+    assert all(rec["events_skipped"] > 0 for rec in r.checkpoint["resumed"])
+    assert_parity(r, baseline_jobs4)
+
+
+def test_jobs4_memory_guard_recycles_workers(mv_trace):
+    """max_rss_mb below the interpreter baseline: every worker recycles
+    at each chunk boundary, resumes in a fresh process, and the run
+    still completes with full parity — no degrade, no retry budget."""
+    baseline = analyze_trace(mv_trace, detector="our", jobs=4,
+                             dispatch="file")
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as ck:
+        r = analyze_trace(mv_trace, detector="our", jobs=4, dispatch="file",
+                          ckpt_dir=ck, ckpt_every=1, max_rss_mb=1)
+    assert r.checkpoint["recycles"] >= 4
+    assert not r.degraded and not r.partial and r.retries == 0
+    assert r.failed_workers == []
+    assert_parity(r, baseline)
+
+
+# -- chaos matrix: serial -----------------------------------------------------
+
+
+def test_serial_deadline_partial_then_resume(chunked_trace, tmp_path,
+                                             baseline_serial):
+    ck = tmp_path / "ck"
+    partial = analyze_trace(chunked_trace, detector="our", jobs=1,
+                            ckpt_dir=ck, ckpt_every=1, deadline_s=1e-6)
+    assert partial.partial
+    assert partial.checkpoint["stopped"] == "deadline"
+    assert 0 < partial.analyzed_fraction < 1
+
+    r = analyze_trace(chunked_trace, detector="our", jobs=1,
+                      ckpt_dir=ck, resume=True)
+    assert not r.partial and r.analyzed_fraction == 1.0
+    assert r.checkpoint["resumed"][0]["events_skipped"] > 0
+    assert_parity(r, baseline_serial)
+
+
+def test_serial_memory_guard_stops_resumably(chunked_trace, tmp_path,
+                                             baseline_serial):
+    ck = tmp_path / "ck"
+    partial = analyze_trace(chunked_trace, detector="our", jobs=1,
+                            ckpt_dir=ck, ckpt_every=1, max_rss_mb=1)
+    assert partial.partial
+    assert partial.checkpoint["stopped"] == "memory"
+
+    r = analyze_trace(chunked_trace, detector="our", jobs=1,
+                      ckpt_dir=ck, resume=True)
+    assert not r.partial
+    assert_parity(r, baseline_serial)
+
+
+@pytest.mark.parametrize("mode", ["flip", "truncate"])
+def test_serial_corrupt_checkpoint_falls_back(mode, chunked_trace, tmp_path,
+                                              baseline_serial):
+    ck = tmp_path / "ck"
+    analyze_trace(chunked_trace, detector="our", jobs=1,
+                  ckpt_dir=ck, ckpt_every=1, deadline_s=1e-6)
+    analyze_trace(chunked_trace, detector="our", jobs=1,
+                  ckpt_dir=ck, ckpt_every=1, deadline_s=1e-6, resume=True)
+    lanes = sorted(ck.glob("serial-*.ckpt"))
+    assert len(lanes) >= 2
+    corrupt_checkpoint(lanes[-1], mode=mode)
+
+    r = analyze_trace(chunked_trace, detector="our", jobs=1,
+                      ckpt_dir=ck, resume=True)
+    assert not r.partial
+    assert lanes[-1].name + ".bad" in r.checkpoint["quarantined"]
+    # fell back to the previous generation, not from-scratch
+    assert r.checkpoint["resumed"][0]["from_seq"] == \
+        int(lanes[-2].stem.split("-")[1])
+    assert_parity(r, baseline_serial)
+
+
+def test_serial_hard_kill_then_resume(chunked_trace, tmp_path,
+                                      baseline_serial):
+    """SIGKILL-grade death right after a checkpoint hit disk: the child
+    process dies with no cleanup, and resuming from the on-disk state
+    still converges to the fault-free result."""
+    ck = tmp_path / "ck"
+    script = (
+        "import os\n"
+        "from repro.pipeline import analyze_trace\n"
+        "from repro.pipeline import checkpoint as ckpt_mod\n"
+        "real_write = ckpt_mod.CheckpointStore.write\n"
+        "def dying_write(self, meta, state):\n"
+        "    path = real_write(self, meta, state)\n"
+        "    if self.next_seq() > 3:\n"
+        "        os._exit(117)  # no cleanup, no atexit: a hard death\n"
+        "    return path\n"
+        "ckpt_mod.CheckpointStore.write = dying_write\n"
+        f"analyze_trace({str(chunked_trace)!r}, detector='our', jobs=1,\n"
+        f"              ckpt_dir={str(ck)!r}, ckpt_every=1)\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, timeout=60)
+    assert proc.returncode != 0  # it died mid-run, by design
+    assert sorted(ck.glob("serial-*.ckpt"))  # state survived the death
+
+    r = analyze_trace(chunked_trace, detector="our", jobs=1,
+                      ckpt_dir=ck, resume=True)
+    assert not r.partial
+    assert r.checkpoint["resumed"][0]["from_seq"] >= 2
+    assert_parity(r, baseline_serial)
+
+
+def test_serial_v1_json_trace_resume(cfd_json_trace, tmp_path):
+    """Checkpoint cursors work for the v1 JSON-lines format too."""
+    baseline = analyze_trace(cfd_json_trace, detector="our", jobs=1)
+    ck = tmp_path / "ck"
+    partial = analyze_trace(cfd_json_trace, detector="our", jobs=1,
+                            ckpt_dir=ck, ckpt_every=1, deadline_s=1e-6)
+    assert partial.partial
+    r = analyze_trace(cfd_json_trace, detector="our", jobs=1,
+                      ckpt_dir=ck, resume=True)
+    assert not r.partial
+    assert r.checkpoint["resumed"][0]["events_skipped"] > 0
+    assert_parity(r, baseline)
+
+
+# -- salvage accounting through resume ---------------------------------------
+
+
+def test_salvage_loss_accounting_survives_resume(chunked_trace, tmp_path):
+    """Satellite regression: a reader driven from a resumed offset must
+    report *cumulative* salvage losses, identical to a one-shot read."""
+    damaged = tmp_path / "damaged.trace"
+    damaged.write_bytes(chunked_trace.read_bytes())
+    flip_bytes(damaged, chunk=5, seed=3)
+
+    oneshot = analyze_trace(damaged, detector="our", jobs=1, salvage=True)
+    assert oneshot.salvage["quarantined_chunks"] == [5]
+    assert oneshot.salvage["events_lost"] > 0
+
+    ck = tmp_path / "ck"
+    partial = analyze_trace(damaged, detector="our", jobs=1, salvage=True,
+                            ckpt_dir=ck, ckpt_every=1, deadline_s=1e-6)
+    assert partial.partial
+    resumed = analyze_trace(damaged, detector="our", jobs=1, salvage=True,
+                            ckpt_dir=ck, resume=True)
+    assert not resumed.partial
+    assert resumed.salvage == oneshot.salvage
+    assert json.dumps(resumed.verdicts, sort_keys=True) == \
+        json.dumps(oneshot.verdicts, sort_keys=True)
+
+
+def test_salvage_loss_before_checkpoint_still_counted(chunked_trace,
+                                                      tmp_path):
+    """Damage quarantined *before* the final resume point: the last
+    reader never sees chunk 2 at all, yet the cursor threads its loss
+    through the checkpoint and the final accounting still includes it."""
+    damaged = tmp_path / "damaged.trace"
+    damaged.write_bytes(chunked_trace.read_bytes())
+    flip_bytes(damaged, chunk=2, seed=7)
+
+    oneshot = analyze_trace(damaged, detector="our", jobs=1, salvage=True)
+    ck = tmp_path / "ck"
+    # leg 1 stops after chunk 1; leg 2 resumes, quarantines chunk 2 and
+    # checkpoints past it; the final leg starts beyond the damage
+    for _ in range(2):
+        partial = analyze_trace(damaged, detector="our", jobs=1,
+                                salvage=True, ckpt_dir=ck, ckpt_every=1,
+                                deadline_s=1e-6, resume=ck.exists())
+        assert partial.partial
+    resumed = analyze_trace(damaged, detector="our", jobs=1, salvage=True,
+                            ckpt_dir=ck, resume=True)
+    assert not resumed.partial
+    assert resumed.salvage == oneshot.salvage
+
+
+# -- validation and API surface ----------------------------------------------
+
+
+def test_guards_require_ckpt_dir(mv_trace):
+    with pytest.raises(ValueError, match="checkpoint directory"):
+        analyze_trace(mv_trace, deadline_s=10.0)
+    with pytest.raises(ValueError, match="checkpoint directory"):
+        analyze_trace(mv_trace, max_rss_mb=100)
+    with pytest.raises(ValueError, match="checkpoint directory"):
+        analyze_trace(mv_trace, resume=True)
+
+
+def test_queue_dispatch_rejects_checkpointing(mv_trace, tmp_path):
+    with pytest.raises(ValueError, match="dispatch='file'"):
+        analyze_trace(mv_trace, jobs=4, dispatch="queue",
+                      ckpt_dir=tmp_path / "ck")
+
+
+def test_ckpt_every_must_be_positive(mv_trace, tmp_path):
+    with pytest.raises(ValueError, match="ckpt_every"):
+        analyze_trace(mv_trace, ckpt_dir=tmp_path / "ck", ckpt_every=0)
+
+
+def test_resume_with_empty_dir_runs_from_scratch(chunked_trace, tmp_path,
+                                                 baseline_serial):
+    r = analyze_trace(chunked_trace, detector="our", jobs=1,
+                      ckpt_dir=tmp_path / "empty", resume=True)
+    assert not r.partial
+    assert r.checkpoint["resumed"] == []
+    assert_parity(r, baseline_serial)
+
+
+def test_mismatched_checkpoint_is_rejected(chunked_trace, mv_trace,
+                                           tmp_path):
+    """A checkpoint from another trace/detector must never be resumed."""
+    ck = tmp_path / "ck"
+    analyze_trace(chunked_trace, detector="our", jobs=1,
+                  ckpt_dir=ck, ckpt_every=1, deadline_s=1e-6)
+    with pytest.raises(CheckpointError, match="does not match"):
+        analyze_trace(mv_trace, detector="our", jobs=1,
+                      ckpt_dir=ck, resume=True)
+    with pytest.raises(CheckpointError, match="does not match"):
+        analyze_trace(chunked_trace, detector="mc", jobs=1,
+                      ckpt_dir=ck, resume=True)

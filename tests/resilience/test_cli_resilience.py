@@ -2,7 +2,9 @@
 
 Exit-code contract: 0 success, 2 operator error (bad input, unreadable
 or corrupt trace, crashed analysis), 3 the *recorded application*
-failed under simulation (``repro record``).
+failed under simulation (``repro record``), 4 a resource guard stopped
+the analysis early — the verdict is partial and resumable with
+``--resume``.
 """
 
 import json
@@ -111,3 +113,66 @@ def test_worker_failures_reported_in_text_output(monkeypatch, mv_trace,
     out = capsys.readouterr().out
     assert "worker 0 crashed" in out
     assert "recovered via 1 worker retry" in out
+
+
+def test_deadline_partial_exits_4_and_resume_exits_0(mv_trace, tmp_path,
+                                                     capsys):
+    ck = tmp_path / "ck"
+    status = main(["analyze", str(mv_trace), "--ckpt-dir", str(ck),
+                   "--ckpt-every", "1", "--deadline-s", "0.000001"])
+    assert status == 4
+    out = capsys.readouterr().out
+    assert "PARTIAL:" in out
+    assert f"--resume {ck}" in out
+    assert list(ck.glob("serial-*.ckpt"))
+
+    status = main(["analyze", str(mv_trace), "--resume", str(ck)])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "resumed lane serial from checkpoint" in out
+    assert "PARTIAL" not in out
+
+
+def test_partial_json_report_carries_checkpoint_fields(mv_trace, tmp_path,
+                                                       capsys):
+    ck = tmp_path / "ck"
+    status = main(["analyze", str(mv_trace), "--json",
+                   "--ckpt-dir", str(ck), "--ckpt-every", "1",
+                   "--deadline-s", "0.000001"])
+    assert status == 4
+    report = json.loads(capsys.readouterr().out)
+    assert report["partial"] is True
+    assert 0 < report["analyzed_fraction"] < 1
+    assert report["checkpoint"]["written"] >= 1
+    assert report["checkpoint"]["stopped"] == "deadline"
+
+
+def test_resume_and_ckpt_dir_must_agree(mv_trace, tmp_path, capsys):
+    assert main(["analyze", str(mv_trace),
+                 "--ckpt-dir", str(tmp_path / "a"),
+                 "--resume", str(tmp_path / "b")]) == 2
+    assert "disagree" in capsys.readouterr().err
+
+
+def test_guards_without_ckpt_dir_exit_2(mv_trace, capsys):
+    assert main(["analyze", str(mv_trace), "--deadline-s", "5"]) == 2
+    assert "checkpoint directory" in capsys.readouterr().err
+
+
+def test_corrupt_checkpoint_quarantine_reported(mv_trace, tmp_path, capsys):
+    from repro.faultinject import corrupt_checkpoint
+
+    ck = tmp_path / "ck"
+    main(["analyze", str(mv_trace), "--ckpt-dir", str(ck),
+          "--ckpt-every", "1", "--deadline-s", "0.000001"])
+    main(["analyze", str(mv_trace), "--ckpt-dir", str(ck),
+          "--ckpt-every", "1", "--deadline-s", "0.000001", "--resume",
+          str(ck)])
+    capsys.readouterr()
+    newest = sorted(ck.glob("serial-*.ckpt"))[-1]
+    corrupt_checkpoint(newest, mode="flip")
+    status = main(["analyze", str(mv_trace), "--resume", str(ck)])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert f"quarantined corrupt checkpoint: {newest.name}.bad" in out
+    assert "resumed lane serial" in out
