@@ -1,0 +1,117 @@
+"""Bench: the scenario corpus — generation throughput and scoring cost.
+
+Two numbers the gate workflow depends on:
+
+* **generation throughput** (scenarios/s): composing labeled scenarios
+  is pure in-memory construction and must stay cheap enough that CI can
+  regenerate its corpus on every run instead of checking blobs in;
+* **end-to-end score time**: recording the smoke corpus through the
+  simulated runtime and replaying it into the full detector zoo plus
+  the static checker — the wall-clock price of the ``scenario-gate``
+  CI job.
+
+Writes ``BENCH_scenarios.json`` at the repo root.  Also runnable
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.scenarios import (
+    TOOL_NAMES,
+    corpus_to_jsonl,
+    generate_corpus,
+    score_corpus,
+)
+
+_HERE = Path(__file__).resolve().parent
+OUT = _HERE.parent / "BENCH_scenarios.json"
+
+SEED = 7
+GEN_N = 1000
+SCORE_N = 60  # the CI smoke-corpus size
+ROUNDS = 5
+
+
+def _timed(fn):
+    import gc
+
+    gc.collect()
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def run_bench(out: Path = OUT, *, rounds: int = ROUNDS,
+              gen_n: int = GEN_N, score_n: int = SCORE_N) -> dict:
+    gen_times, jsonl_times = [], []
+    for _ in range(rounds):
+        dt, corpus = _timed(lambda: generate_corpus(SEED, gen_n))
+        gen_times.append(dt)
+        dt, _text = _timed(lambda: corpus_to_jsonl(corpus))
+        jsonl_times.append(dt)
+
+    smoke = generate_corpus(SEED, score_n)
+    score_times = []
+    report = None
+    for _ in range(rounds):
+        dt, report = _timed(lambda: score_corpus(smoke))
+        score_times.append(dt)
+
+    gen_s = statistics.median(gen_times)
+    score_s = statistics.median(score_times)
+    result = {
+        "bench": "scenarios",
+        "rounds": rounds,
+        "cpu_count": os.cpu_count(),
+        "generate": {
+            "scenarios": gen_n,
+            "seconds": round(gen_s, 6),
+            "scenarios_per_second": round(gen_n / gen_s, 1),
+            "jsonl_encode_seconds": round(
+                statistics.median(jsonl_times), 6),
+        },
+        "score": {
+            "scenarios": score_n,
+            "tools": list(TOOL_NAMES),
+            "seconds": round(score_s, 6),
+            "scenarios_per_second": round(score_n / score_s, 1),
+            "verdicts_per_second": round(
+                score_n * len(TOOL_NAMES) / score_s, 1),
+        },
+        "note": (
+            "generate = compose_scenario only (no simulation); score = "
+            "record each scenario on the simulated runtime once, replay "
+            "into every dynamic detector and lower onto the static "
+            "checker; medians of perf_counter rounds"
+        ),
+    }
+    if report is not None:
+        ours = report["tools"]["our"]["overall"]
+        result["score"]["our_precision"] = ours["precision"]
+        result["score"]["our_recall"] = ours["recall"]
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_bench_scenarios_report(tmp_path):
+    """Tier-1-safe smoke: the report is generated and well-formed."""
+    report = run_bench(tmp_path / "scenarios.json", rounds=1,
+                       gen_n=60, score_n=12)
+    assert report["generate"]["scenarios_per_second"] > 0
+    assert report["score"]["verdicts_per_second"] > 0
+    assert report["score"]["our_precision"] == 1.0
+    assert report["score"]["our_recall"] == 1.0
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUT}")

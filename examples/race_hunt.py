@@ -1,61 +1,81 @@
 #!/usr/bin/env python
-"""Race hunt: find and fix an injected bug in a real application.
+"""Race hunt across a seeded, ground-truth-labeled scenario corpus.
 
-Reproduces the paper's Fig. 9 workflow end to end:
+The paper validates its detector on a fixed microbenchmark suite; this
+example drives the :mod:`repro.scenarios` generator instead — an
+unbounded labeled corpus over epoch style x access shape x race kind —
+and hunts with the full detector zoo:
 
-1. inject the duplicated ``MPI_Put`` into MiniVite (Fig. 9a),
-2. run it under our detector — it reports the race with exact source
-   locations (Fig. 9b),
-3. "fix" the code (drop the duplicate) and re-run: clean.
-
-Also shows the same hunt with the original RMA-Analyzer (which catches
-this particular race too) and with the MUST-RMA model.
+1. compose a deterministic corpus (same ``SEED`` => same scenarios,
+   byte for byte);
+2. pick one racy scenario and run it live under the paper's detector:
+   the report names exactly the labeled racing pair, and the ``new``
+   access is the labeled abort location (where ``MPI_Abort`` fires);
+3. score every detector over the whole corpus and print the
+   precision/recall scoreboard — the known blind spots of the
+   comparison tools fall out as classified disagreements, not
+   mystery regressions.
 
 Usage::
 
-    python examples/race_hunt.py
+    python examples/race_hunt.py [seed] [count]
 """
 
-from repro import MustRma, OurDetector, RmaAnalyzerLegacy, World
-from repro.apps import (
-    MiniViteConfig,
-    MiniViteResult,
-    default_graph,
-    make_comm_plan,
-    minivite_program,
+import sys
+from collections import Counter
+
+from repro.core import OurDetector
+from repro.scenarios import (
+    TOOL_NAMES,
+    generate_corpus,
+    run_scenario,
+    score_corpus,
 )
 
-NRANKS = 4
-NVERTICES = 2048
+SEED = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+COUNT = int(sys.argv[2]) if len(sys.argv) > 2 else 60
 
 
-def run(inject: bool, factory) -> object:
-    config = MiniViteConfig(nvertices=NVERTICES, inject_put_race=inject)
-    graph = default_graph(config)
-    plan = make_comm_plan(graph, NRANKS)
-    detector = factory()
-    World(NRANKS, [detector]).run(
-        minivite_program, graph, plan, config, MiniViteResult()
-    )
-    return detector
+def hunt_one(scenario) -> None:
+    """Run one labeled scenario live and compare report vs labels."""
+    print(f"$ mpiexec -n {scenario.nranks} ./{scenario.file}"
+          f"   # {scenario.labels.description}\n")
+    detector = OurDetector()
+    flagged, _ = run_scenario(scenario, detector)
+    print(f"[{detector.name}] {'error' if flagged else 'clean'}")
+    for report in detector.reports[:1]:
+        print(f"    {report.message}")
+    print(f"labels: RACE_KIND={scenario.labels.race_kind}"
+          f" RACE_PAIR={' vs '.join(scenario.labels.race_pair)}")
+    print(f"        abort expected at {scenario.labels.abort_location}\n")
 
 
 def main() -> None:
-    print(f"$ mpiexec -n {NRANKS} ./miniVite -n {NVERTICES}   # with the bug\n")
-    for factory in (OurDetector, RmaAnalyzerLegacy, MustRma):
-        detector = run(inject=True, factory=factory)
-        verdict = "error" if detector.race_detected else "no error found"
-        print(f"[{detector.name}] {verdict}")
-        for report in detector.reports[:1]:
-            print(f"    {report.message}")
-    print("\nthe reports blame ./dspl.hpp:612 and :614 — the duplicated Put.")
+    corpus = generate_corpus(SEED, COUNT)
+    racy = sum(1 for sc in corpus if sc.racy)
+    print(f"corpus: {len(corpus)} scenarios (seed {SEED}), "
+          f"{racy} racy / {len(corpus) - racy} known-negative controls\n")
 
-    print("\n$ mpiexec -n 4 ./miniVite -n 2048   # after removing the duplicate\n")
-    for factory in (OurDetector, RmaAnalyzerLegacy, MustRma):
-        detector = run(inject=False, factory=factory)
-        verdict = "error" if detector.race_detected else "clean"
-        print(f"[{detector.name}] {verdict}")
-        assert not detector.race_detected
+    hunt_one(next(sc for sc in corpus if sc.racy))
+
+    report = score_corpus(corpus)
+    print(f"{'tool':<14} {'precision':>9} {'recall':>7} {'abort-acc':>9}")
+    for tool in TOOL_NAMES:
+        o = report["tools"][tool]["overall"]
+        acc = o["abort_accuracy"]
+        print(f"{tool:<14} {o['precision']:>9.3f} {o['recall']:>7.3f} "
+              f"{acc if acc is None else format(acc, '>9.3f')}")
+
+    classes = Counter((d["tool"], d["class"])
+                      for d in report["disagreements"])
+    if classes:
+        print("\nevery disagreement lands in a known defect class:")
+        for (tool, cls), n in sorted(classes.items()):
+            print(f"  {tool:<14} {cls:<32} x{n}")
+    genuine = [d for d in report["disagreements"]
+               if d["class"] == "genuine-regression"]
+    assert not genuine, genuine
+    print("\n0 genuine regressions — the gate would pass.")
 
 
 if __name__ == "__main__":

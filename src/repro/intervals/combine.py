@@ -18,11 +18,21 @@ exhaustively.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Tuple
 
 from .access import AccessType, MemoryAccess
 
-__all__ = ["combined_type", "combine_accesses", "table1_rows"]
+__all__ = ["combined_type", "combine_accesses", "table1_rows",
+           "MIXED_ACCUM_OP"]
+
+#: accumulate marker of a fragment built from accesses that were not
+#: same-op atomics.  It keeps ``is_atomic`` true — the same-*origin*
+#: accumulate-ordering exemption must survive combination — but can
+#: never equal a real reduction op, so the same-*op* exemption cannot
+#: fire against it: the fragment stands for several accesses of which
+#: at least one would conflict with any later cross-origin accumulate.
+MIXED_ACCUM_OP = "<mixed>"
 
 
 def _rank(t: AccessType) -> Tuple[int, int]:
@@ -54,7 +64,18 @@ def combine_accesses(stored: MemoryAccess, new: MemoryAccess) -> MemoryAccess:
     inter = stored.interval.intersection(new.interval)
     if inter is None:
         raise ValueError(f"accesses do not intersect: {stored} vs {new}")
-    return winner.with_interval(inter)
+    frag = winner.with_interval(inter)
+    if (
+        (stored.is_atomic or new.is_atomic)
+        and stored.accum_op != new.accum_op
+    ):
+        # e.g. same-origin Accumulate(sum) then Accumulate(max): exempt
+        # from racing with each other (accumulate ordering), but the
+        # fragment must not inherit a single op — a later cross-origin
+        # accumulate matching the winner's op would wrongly pass the
+        # same-op atomicity exemption and hide a real race
+        frag = replace(frag, accum_op=MIXED_ACCUM_OP)
+    return frag
 
 
 def table1_rows() -> list[list[str]]:

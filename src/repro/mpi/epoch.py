@@ -27,12 +27,14 @@ __all__ = ["EpochTracker"]
 @dataclass
 class _EpochState:
     active: bool = False
-    mode: str = ""  # "lock" | "fence" when active
+    mode: str = ""  # "lock" | "fence" | "pscw" when active
     ops_issued: int = 0
     flush_gen: int = 0
     epochs_completed: int = 0
     # per-target passive locks held by this rank: target -> exclusive?
     target_locks: Dict[int, bool] = field(default_factory=dict)
+    # PSCW exposure epoch (MPI_Win_post .. MPI_Win_wait) open on this rank
+    exposed: bool = False
 
 
 class EpochTracker:
@@ -72,10 +74,10 @@ class EpochTracker:
         any) and opens the next one.  Mixing with passive-target
         synchronization (lock_all or per-target locks) is an error."""
         st = self._get(rank, wid)
-        if st.active and st.mode == "lock":
+        if st.active and st.mode in ("lock", "pscw"):
             raise EpochError(
                 f"rank {rank}: MPI_Win_fence on window {wid} inside a "
-                "passive-target epoch"
+                f"{'passive-target' if st.mode == 'lock' else 'PSCW'} epoch"
             )
         if st.target_locks:
             raise EpochError(
@@ -88,6 +90,57 @@ class EpochTracker:
         st.mode = "fence"
         st.ops_issued = 0
 
+    def start(self, rank: int, wid: int) -> None:
+        """MPI_Win_start: open a PSCW *access* epoch (general active
+        target).  The matching target group is not modelled — the
+        simulator schedules post before start, so the blocking semantics
+        of MPI_Win_start never come into play."""
+        st = self._get(rank, wid)
+        if st.active:
+            raise EpochError(
+                f"rank {rank}: MPI_Win_start on window {wid} inside an epoch"
+            )
+        if st.target_locks:
+            raise EpochError(
+                f"rank {rank}: MPI_Win_start on window {wid} while holding "
+                f"per-target locks on {sorted(st.target_locks)}"
+            )
+        st.active = True
+        st.mode = "pscw"
+        st.ops_issued = 0
+
+    def complete(self, rank: int, wid: int) -> None:
+        """MPI_Win_complete: close the PSCW access epoch."""
+        st = self._get(rank, wid)
+        if not st.active or st.mode != "pscw":
+            raise EpochError(
+                f"rank {rank}: MPI_Win_complete on window {wid} without a "
+                "PSCW access epoch"
+            )
+        st.active = False
+        st.mode = ""
+        st.epochs_completed += 1
+
+    def post(self, rank: int, wid: int) -> None:
+        """MPI_Win_post: open a PSCW *exposure* epoch on this rank."""
+        st = self._get(rank, wid)
+        if st.exposed:
+            raise EpochError(
+                f"rank {rank}: MPI_Win_post on window {wid} inside an "
+                "exposure epoch"
+            )
+        st.exposed = True
+
+    def wait(self, rank: int, wid: int) -> None:
+        """MPI_Win_wait: close the PSCW exposure epoch."""
+        st = self._get(rank, wid)
+        if not st.exposed:
+            raise EpochError(
+                f"rank {rank}: MPI_Win_wait on window {wid} without an "
+                "exposure epoch"
+            )
+        st.exposed = False
+
     def lock(self, rank: int, wid: int, target: int, exclusive: bool) -> None:
         """MPI_Win_lock(target): per-target passive-target epoch."""
         st = self._get(rank, wid)
@@ -98,6 +151,10 @@ class EpochTracker:
         if st.mode == "lock":
             raise EpochError(
                 f"rank {rank}: MPI_Win_lock while lock_all holds window {wid}"
+            )
+        if st.mode == "pscw":
+            raise EpochError(
+                f"rank {rank}: MPI_Win_lock inside a PSCW access epoch on {wid}"
             )
         if target in st.target_locks:
             raise EpochError(
@@ -158,6 +215,7 @@ class EpochTracker:
                 "epochs_completed": st.epochs_completed,
                 "target_locks": {str(t): x
                                  for t, x in st.target_locks.items()},
+                "exposed": st.exposed,
             }
             for key, st in self._state.items()
         }
@@ -175,6 +233,7 @@ class EpochTracker:
                 epochs_completed=d["epochs_completed"],
                 target_locks={int(t): bool(x)
                               for t, x in d["target_locks"].items()},
+                exposed=d.get("exposed", False),
             )
         self._state = state
 
@@ -200,7 +259,7 @@ class EpochTracker:
         """
         for rank in range(nranks):
             st = self._get(rank, wid)
-            if st.active and st.mode == "lock":
+            if st.active and st.mode in ("lock", "pscw"):
                 raise EpochError(
                     f"rank {rank}: window {wid} freed with an open epoch"
                 )
@@ -208,4 +267,9 @@ class EpochTracker:
                 raise EpochError(
                     f"rank {rank}: window {wid} freed with per-target locks "
                     f"held on {sorted(st.target_locks)}"
+                )
+            if st.exposed:
+                raise EpochError(
+                    f"rank {rank}: window {wid} freed with an open exposure "
+                    "epoch (MPI_Win_wait missing)"
                 )

@@ -273,6 +273,28 @@ class RankContext:
         """MPI_Win_unlock: close the per-target epoch (completes its ops)."""
         self._world._unlock(self.rank, win, target)
 
+    def win_post(self, win: Window, group: Optional[Sequence[int]] = None) -> None:
+        """MPI_Win_post: open an exposure epoch for ``group`` (PSCW).
+
+        The simulator does not block: post/start pairing is the
+        program's responsibility (schedule post before the matching
+        start with a ``yield None`` pass, as real codes order them with
+        the underlying handshake).
+        """
+        self._world._pscw_post(self.rank, win)
+
+    def win_start(self, win: Window, group: Optional[Sequence[int]] = None) -> None:
+        """MPI_Win_start: open a PSCW access epoch towards ``group``."""
+        self._world._pscw_start(self.rank, win)
+
+    def win_complete(self, win: Window) -> None:
+        """MPI_Win_complete: close the PSCW access epoch (completes ops)."""
+        self._world._pscw_complete(self.rank, win)
+
+    def win_wait(self, win: Window) -> None:
+        """MPI_Win_wait: close the exposure epoch opened by win_post."""
+        self._world._pscw_wait(self.rank, win)
+
     def win_flush_all(self, win: Window) -> None:
         self._world._flush(self.rank, win, all_targets=True)
 
@@ -525,6 +547,10 @@ class World:
         self._excl_epochs: Dict[tuple, int] = {}
         # per-target locks currently held, per (rank, wid)
         self._locks_held: Dict[tuple, int] = {}
+        # PSCW epochs open per (rank, wid): an access epoch (start..
+        # complete) and an exposure epoch (post..wait) may coexist on
+        # one rank; detectors see a single logical epoch span
+        self._pscw_open: Dict[tuple, int] = {}
 
     # -- runtime internals (called from RankContext) ---------------------------------
 
@@ -578,6 +604,47 @@ class World:
         self._locks_held[key] = held - 1
         if held == 1:
             self.interposition.epoch_end(rank, win.wid)
+
+    def _pscw_epoch_open(self, rank: int, wid: int) -> None:
+        key = (rank, wid)
+        held = self._pscw_open.get(key, 0)
+        self._pscw_open[key] = held + 1
+        if held == 0:
+            self.interposition.epoch_start(rank, wid)
+
+    def _pscw_epoch_close(self, rank: int, wid: int) -> None:
+        key = (rank, wid)
+        held = self._pscw_open.get(key, 1)
+        self._pscw_open[key] = held - 1
+        if held == 1:
+            self.interposition.epoch_end(rank, wid)
+
+    def _pscw_start(self, rank: int, win: Window) -> None:
+        win._check_live()
+        self.epochs.start(rank, win.wid)
+        self.clock.charge(rank, self.clock.params.sync_base_ns, "sync")
+        self._pscw_epoch_open(rank, win.wid)
+
+    def _pscw_complete(self, rank: int, win: Window) -> None:
+        win._check_live()
+        self.epochs.complete(rank, win.wid)
+        self.clock.charge(rank, self.clock.params.sync_base_ns, "sync")
+        self._pscw_epoch_close(rank, win.wid)
+
+    def _pscw_post(self, rank: int, win: Window) -> None:
+        # an exposure epoch is the window side of PSCW: local accesses to
+        # the exposed memory are epoch-scoped, exactly like an access
+        # epoch, so detectors see the same epoch_start/epoch_end events
+        win._check_live()
+        self.epochs.post(rank, win.wid)
+        self.clock.charge(rank, self.clock.params.sync_base_ns, "sync")
+        self._pscw_epoch_open(rank, win.wid)
+
+    def _pscw_wait(self, rank: int, win: Window) -> None:
+        win._check_live()
+        self.epochs.wait(rank, win.wid)
+        self.clock.charge(rank, self.clock.params.sync_base_ns, "sync")
+        self._pscw_epoch_close(rank, win.wid)
 
     def _flush(self, rank: int, win: Window, *, all_targets: bool) -> None:
         win._check_live()

@@ -1,0 +1,69 @@
+"""Seeded, ground-truth-labeled MPI-RMA scenario corpus + scoring harness.
+
+The paper validates its detector on a fixed 154-code microbenchmark
+suite; this package generalizes that into an unbounded labeled corpus
+(RMARaceBench-style) that serves as the standing regression gate for
+all detector work:
+
+* :mod:`repro.scenarios.model` — the scenario/label data model;
+* :mod:`repro.scenarios.generate` — the seeded composer over the axes
+  epoch style x access shape x race kind x rank count;
+* :mod:`repro.scenarios.build` — scenarios as runnable simulated-MPI
+  programs (record/replay through the existing pipeline);
+* :mod:`repro.scenarios.staticlower` — the :mod:`repro.staticcheck`
+  front-end for scenarios;
+* :mod:`repro.scenarios.score` — precision/recall/abort-location
+  scoring of every detector, with disagreement classification.
+
+CLI: ``repro scenarios generate|score|gate``.
+"""
+
+from .build import build_program, record_scenario, run_scenario
+from .generate import (
+    CORPUS_SCHEMA,
+    compose_scenario,
+    corpus_to_jsonl,
+    generate_corpus,
+    load_corpus,
+)
+from .model import (
+    ACCESS_SHAPES,
+    Action,
+    EPOCH_STYLES,
+    RACE_KINDS,
+    RaceLabels,
+    Scenario,
+    SiteOp,
+)
+from .score import (
+    TOOL_NAMES,
+    classify_disagreement,
+    gate_violations,
+    known_legacy_false_positive,
+    score_corpus,
+)
+from .staticlower import lower_scenario
+
+__all__ = [
+    "ACCESS_SHAPES",
+    "Action",
+    "CORPUS_SCHEMA",
+    "EPOCH_STYLES",
+    "RACE_KINDS",
+    "RaceLabels",
+    "Scenario",
+    "SiteOp",
+    "TOOL_NAMES",
+    "build_program",
+    "classify_disagreement",
+    "compose_scenario",
+    "corpus_to_jsonl",
+    "gate_violations",
+    "generate_corpus",
+    "known_legacy_false_positive",
+    "load_corpus",
+    "lower_scenario",
+    "record_scenario",
+    "run_scenario",
+    "score_corpus",
+]

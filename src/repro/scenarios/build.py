@@ -1,0 +1,166 @@
+"""Turn a :class:`~repro.scenarios.model.Scenario` into a runnable
+simulated-MPI program.
+
+Memory layout: every rank allocates one heap origin buffer (``buf``,
+marked may-alias-RMA upfront, as a static alias analysis would) and the
+window is ``MPI_Win_allocate``'d.  The two site operations execute in
+spec order, strictly separated by a scheduling point — never by MPI
+synchronization — so the only ordering facts available to detectors are
+program order and the epoch structure.
+
+The epoch skeleton follows the scenario's style:
+
+* ``fence`` — a fence before and after the operation passes;
+* ``lock_all`` — every rank brackets the passes with lock_all/unlock_all;
+* ``lock`` — each rank takes shared per-target locks for exactly the
+  targets it accesses (a rank that load/stores its own exposed window
+  memory locks itself, as the separate memory model requires); ``excl``
+  site ops instead wrap themselves in their own exclusive lock epoch;
+* ``pscw`` — ranks whose window memory is accessed post/wait an
+  exposure epoch, ranks issuing one-sided operations start/complete an
+  access epoch (posts are scheduled strictly before starts, standing in
+  for the post->start handshake).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Set, Tuple
+
+from ..intervals import DebugInfo
+from ..mpi import BYTE, Buffer, RankContext, World
+from ..mpi.interposition import DetectorProtocol
+from ..mpi.trace import TraceLog
+from .model import Action, Scenario, SiteOp
+
+__all__ = ["build_program", "run_scenario", "record_scenario"]
+
+
+def _rma_targets(op: SiteOp) -> Set[int]:
+    return {a.target for a in op.actions if a.is_onesided}
+
+
+def _lock_plan(sc: Scenario) -> Dict[int, Set[int]]:
+    """rank -> targets it must hold shared locks on (lock style)."""
+    plan: Dict[int, Set[int]] = {}
+    for op in sc.ops:
+        if op.excl:
+            continue  # takes its own exclusive per-op epoch
+        need = plan.setdefault(op.caller, set())
+        need |= _rma_targets(op)
+        if any(not a.is_onesided and a.space == "win" for a in op.actions):
+            need.add(op.caller)
+    return plan
+
+
+def _pscw_roles(sc: Scenario) -> Tuple[Set[int], Set[int]]:
+    """(starters, posters): access-epoch vs exposure-epoch ranks."""
+    starters: Set[int] = set()
+    posters: Set[int] = set()
+    for op in sc.ops:
+        starters |= {op.caller} if _rma_targets(op) else set()
+        posters |= _rma_targets(op)
+        if any(not a.is_onesided and a.space == "win" for a in op.actions):
+            posters.add(op.caller)
+    return starters, posters
+
+
+def _run_action(ctx: RankContext, win, buf: Buffer, a: Action,
+                debug: DebugInfo) -> None:
+    if a.kind == "put":
+        ctx.put(win, a.target, a.disp, buf, a.off, a.count, debug=debug)
+    elif a.kind == "get":
+        ctx.get(win, a.target, a.disp, buf, a.off, a.count, debug=debug)
+    elif a.kind == "accumulate":
+        ctx.accumulate(win, a.target, a.disp, buf, a.off, a.count,
+                       a.accum_op or "sum", debug=debug)
+    elif a.kind == "put_vector":
+        ctx.put_vector(win, a.target, a.disp, buf, a.off, a.blocks,
+                       a.blocklen, a.stride, debug=debug)
+    elif a.kind == "get_vector":
+        ctx.get_vector(win, a.target, a.disp, buf, a.off, a.blocks,
+                       a.blocklen, a.stride, debug=debug)
+    elif a.kind in ("load", "store"):
+        mem = buf if a.space == "buf" else Buffer(win.region_of(ctx.rank),
+                                                  BYTE)
+        if a.kind == "load":
+            ctx.load(mem, a.off, a.count, debug=debug)
+        else:
+            ctx.store(mem, a.off, 0x5A, a.count, debug=debug)
+    else:  # pragma: no cover - the generator only emits the kinds above
+        raise ValueError(f"unknown action kind {a.kind!r}")
+
+
+def build_program(sc: Scenario) -> Callable[[RankContext], Generator]:
+    """The SPMD generator program of one scenario."""
+
+    lock_plan = _lock_plan(sc)
+    starters, posters = _pscw_roles(sc)
+
+    def program(ctx: RankContext) -> Generator:
+        win = yield ctx.win_allocate("w", sc.win_bytes, BYTE)
+        buf = ctx.alloc("buf", sc.buf_bytes, BYTE, rma_hint=True)
+
+        # -- open the epoch structure ---------------------------------
+        if sc.epoch_style == "fence":
+            yield ctx.win_fence(win)
+        elif sc.epoch_style == "lock_all":
+            ctx.win_lock_all(win)
+            yield  # every epoch is open before any operation runs
+        elif sc.epoch_style == "lock":
+            for t in sorted(lock_plan.get(ctx.rank, ())):
+                ctx.win_lock(win, t)
+            yield
+        else:  # pscw: posts strictly before the matching starts
+            if ctx.rank in posters:
+                ctx.win_post(win, group=sorted(starters))
+            yield
+            if ctx.rank in starters:
+                ctx.win_start(win, group=sorted(posters))
+            yield
+
+        # -- the two site operations, strictly ordered ----------------
+        for op in sc.ops:
+            if ctx.rank == op.caller:
+                debug = DebugInfo(sc.file, op.line)
+                if op.excl:
+                    (t,) = _rma_targets(op)
+                    ctx.win_lock(win, t, exclusive=True)
+                for a in op.actions:
+                    _run_action(ctx, win, buf, a, debug)
+                if op.excl:
+                    ctx.win_unlock(win, t)
+            yield  # scheduling point only - no MPI synchronization
+
+        # -- close the epoch structure --------------------------------
+        if sc.epoch_style == "fence":
+            yield ctx.win_fence(win)
+        elif sc.epoch_style == "lock_all":
+            ctx.win_unlock_all(win)
+        elif sc.epoch_style == "lock":
+            for t in sorted(lock_plan.get(ctx.rank, ())):
+                ctx.win_unlock(win, t)
+        else:  # pscw: completes strictly before the matching waits
+            if ctx.rank in starters:
+                ctx.win_complete(win)
+            yield
+            if ctx.rank in posters:
+                ctx.win_wait(win)
+        yield ctx.win_free(win)
+
+    return program
+
+
+def run_scenario(
+    sc: Scenario, detector: DetectorProtocol
+) -> Tuple[bool, World]:
+    """Run one scenario under one live detector."""
+    world = World(sc.nranks, [detector])
+    world.run(build_program(sc))
+    return bool(getattr(detector, "reports", [])), world
+
+
+def record_scenario(sc: Scenario) -> TraceLog:
+    """Record one scenario's trace through the interposition pipeline."""
+    world = World(sc.nranks, [], trace=True)
+    world.run(build_program(sc))
+    return world.trace_log

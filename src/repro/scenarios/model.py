@@ -1,0 +1,175 @@
+"""Data model of the labeled scenario corpus.
+
+A *scenario* is a small, fully-determined MPI-RMA program over one
+window and one origin buffer per rank, described by two *site
+operations* (the potentially-conflicting pair) plus the epoch structure
+that surrounds them.  Scenarios are composed by
+:mod:`repro.scenarios.generate` along four orthogonal axes:
+
+* **epoch style** — ``fence`` (active target), ``lock`` (per-target
+  passive locks), ``lock_all`` (the paper's main mode) or ``pscw``
+  (general active target: post/start/complete/wait);
+* **access shape** — ``adjacent`` (touching but contiguous blocks),
+  ``overlapping`` (partially shifted blocks), ``strided`` (a vector
+  derived-datatype footprint against a contiguous block) or ``hybrid``
+  (a one-sided operation against a plain load/store);
+* **race kind** — ``local`` (the conflict lives in the origin's buffer),
+  ``remote`` (it lives in the target's window) or ``none`` (a
+  known-negative control: disjoint, program-ordered, exclusive-lock
+  serialized, atomic-accumulate or read-shared);
+* **rank count** — 2..8 simulated processes.
+
+Every scenario carries RMARaceBench-style ``RACE_LABELS`` ground truth
+(:class:`RaceLabels`), which the scoring harness treats as the oracle.
+The model is plain data — JSON round-trippable with a canonical byte
+encoding so that a seeded corpus is byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "ACCESS_SHAPES",
+    "Action",
+    "EPOCH_STYLES",
+    "RACE_KINDS",
+    "RaceLabels",
+    "Scenario",
+    "SiteOp",
+]
+
+EPOCH_STYLES = ("fence", "lock", "lock_all", "pscw")
+ACCESS_SHAPES = ("adjacent", "overlapping", "strided", "hybrid")
+RACE_KINDS = ("local", "remote", "none")
+
+
+@dataclass(frozen=True)
+class Action:
+    """One primitive call of a site operation.
+
+    ``kind`` is one of ``put | get | accumulate | put_vector |
+    get_vector | load | store``.  One-sided kinds use ``target``/``disp``
+    for the window side and ``off``/``count`` for the caller's origin
+    buffer; ``load``/``store`` touch ``off``/``count`` bytes of the
+    caller's buffer (``space="buf"``) or of the caller's own window
+    memory (``space="win"``).
+    """
+
+    kind: str
+    off: int
+    count: int
+    space: str = "buf"
+    target: Optional[int] = None
+    disp: Optional[int] = None
+    accum_op: Optional[str] = None
+    # vector derived-datatype shape (put_vector / get_vector only)
+    blocks: Optional[int] = None
+    blocklen: Optional[int] = None
+    stride: Optional[int] = None
+
+    @property
+    def is_onesided(self) -> bool:
+        return self.kind in ("put", "get", "accumulate",
+                             "put_vector", "get_vector")
+
+
+@dataclass(frozen=True)
+class SiteOp:
+    """One of the two potentially-conflicting program sites.
+
+    All actions of a site share one source line (the site *is* one
+    source statement; a strided local footprint is one loop).  ``excl``
+    wraps the site in its own exclusive ``MPI_Win_lock`` epoch — only
+    meaningful under the ``lock`` epoch style.
+    """
+
+    caller: int
+    line: int
+    mpi_name: str  # "MPI_Put" | "MPI_Get" | "MPI_Accumulate" | "LOAD" | "STORE"
+    actions: Tuple[Action, ...]
+    excl: bool = False
+
+
+@dataclass(frozen=True)
+class RaceLabels:
+    """RMARaceBench-style ground-truth metadata (the oracle)."""
+
+    race_kind: str  # "local" | "remote" | "none"
+    access_set: Tuple[str, ...]  # e.g. ("rma write", "load")
+    race_pair: Tuple[str, ...]  # ("MPI_Put@name.c:10", "STORE@name.c:20")
+    consistency_calls: Tuple[str, ...]
+    sync_calls: Tuple[str, ...]
+    nprocs: int
+    abort_location: str  # "name.c:20"; "" for race-free controls
+    description: str
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One labeled, runnable MPI-RMA program."""
+
+    name: str
+    index: int
+    seed: int
+    epoch_style: str
+    access_shape: str
+    race_kind: str
+    variant: str  # racy | disjoint | ord | excl | atomic | readshare | gap
+    nranks: int
+    win_bytes: int
+    buf_bytes: int
+    ops: Tuple[SiteOp, SiteOp]
+    labels: RaceLabels
+
+    @property
+    def file(self) -> str:
+        return f"{self.name}.c"
+
+    @property
+    def category(self) -> str:
+        """The scoring bucket: style/shape/kind."""
+        return f"{self.epoch_style}/{self.access_shape}/{self.race_kind}"
+
+    @property
+    def racy(self) -> bool:
+        return self.race_kind != "none"
+
+    # -- canonical serialization ------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        """Canonical one-line encoding (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Scenario":
+        ops = tuple(
+            SiteOp(
+                caller=o["caller"], line=o["line"], mpi_name=o["mpi_name"],
+                actions=tuple(Action(**a) for a in o["actions"]),
+                excl=o.get("excl", False),
+            )
+            for o in d["ops"]
+        )
+        labels = dict(d["labels"])
+        for key in ("access_set", "race_pair", "consistency_calls",
+                    "sync_calls"):
+            labels[key] = tuple(labels[key])
+        return cls(
+            name=d["name"], index=d["index"], seed=d["seed"],
+            epoch_style=d["epoch_style"], access_shape=d["access_shape"],
+            race_kind=d["race_kind"], variant=d["variant"],
+            nranks=d["nranks"], win_bytes=d["win_bytes"],
+            buf_bytes=d["buf_bytes"], ops=ops,  # type: ignore[arg-type]
+            labels=RaceLabels(**labels),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "Scenario":
+        return cls.from_dict(json.loads(line))

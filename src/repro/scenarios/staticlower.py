@@ -1,0 +1,68 @@
+"""Lower a scenario onto the :mod:`repro.staticcheck` symbolic IR.
+
+The lowering plays the role of the compiler front-end: each rank's view
+of the scenario becomes a straight-line :class:`StaticProgram` over the
+symbols ``"buf"`` (its origin buffer) and ``"win"`` (window memory, owned
+by the access's target).  Epoch calls map onto the IR's sync vocabulary
+— ``lock``/``pscw`` epochs complete one-sided operations exactly like
+``lock_all`` epochs do from the issuing process's program-order point of
+view, so both lower to ``lock_all``/``unlock_all``.
+
+Vector derived datatypes are lowered block by block (the static pass
+knows the datatype layout at compile time), which is what lets the
+checker thread a contiguous access through a vector footprint's gaps
+without a false alarm.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..intervals import Interval
+from ..staticcheck import SOp, StaticProgram
+from .model import Action, Scenario
+
+__all__ = ["lower_scenario"]
+
+
+def _action_sops(a: Action, line: int) -> List[SOp]:
+    if a.kind in ("put_vector", "get_vector"):
+        kind = "put" if a.kind == "put_vector" else "get"
+        return [
+            SOp(kind, line, buf="buf",
+                buf_range=Interval(a.off + b * a.blocklen,
+                                   a.off + (b + 1) * a.blocklen),
+                target=a.target,
+                win_range=Interval(a.disp + b * a.stride,
+                                   a.disp + b * a.stride + a.blocklen))
+            for b in range(a.blocks)
+        ]
+    if a.is_onesided:
+        return [SOp(a.kind, line, buf="buf",
+                    buf_range=Interval(a.off, a.off + a.count),
+                    target=a.target,
+                    win_range=Interval(a.disp, a.disp + a.count))]
+    symbol = "buf" if a.space == "buf" else "win"
+    return [SOp(a.kind, line, buf=symbol,
+                buf_range=Interval(a.off, a.off + a.count))]
+
+
+def lower_scenario(sc: Scenario) -> StaticProgram:
+    """The per-rank symbolic op sequences of one scenario."""
+    prog = StaticProgram()
+    open_op = "fence" if sc.epoch_style == "fence" else "lock_all"
+    close_op = "fence" if sc.epoch_style == "fence" else "unlock_all"
+    callers = sorted({op.caller for op in sc.ops})
+    for rank in callers:
+        prog.add(rank, SOp(open_op))
+    for op in sc.ops:
+        if op.excl:
+            prog.add(op.caller, SOp("lock_all"))
+        for a in op.actions:
+            for sop in _action_sops(a, op.line):
+                prog.add(op.caller, sop)
+        if op.excl:
+            prog.add(op.caller, SOp("unlock_all"))
+    for rank in callers:
+        prog.add(rank, SOp(close_op))
+    return prog

@@ -1,9 +1,12 @@
 """Exhaustive tests of the Table-1 combination rules."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.intervals import AccessType, Interval, combine_accesses, combined_type
-from repro.intervals.combine import table1_rows
+from repro.intervals.combine import MIXED_ACCUM_OP, table1_rows
+from repro.intervals.conflict import is_race
 from tests.conftest import LR, LW, RR, RW, acc
 
 ALL = [LR, LW, RR, RW]
@@ -68,6 +71,65 @@ class TestCombineAccesses:
     def test_disjoint_raises(self):
         with pytest.raises(ValueError):
             combine_accesses(acc(2, 5, LR), acc(6, 9, LR))
+
+
+class TestMixedAccumulates:
+    """Combination must not launder the atomicity exemption.
+
+    Regression for a fuzzer-found miss: same-origin Accumulate(sum)
+    then Accumulate(max) fragment without racing (accumulate ordering),
+    but if the fragment inherited the winner's single op, a later
+    cross-origin Accumulate(max) would wrongly pass the same-op
+    exemption of :func:`is_race` and a real race (vs the absorbed sum)
+    would go unreported.
+    """
+
+    @staticmethod
+    def _acc_access(op, origin=0, line=1):
+        return replace(acc(0, 8, RW, line=line, origin=origin),
+                       accum_op=op)
+
+    def test_same_op_fragment_keeps_the_op(self):
+        frag = combine_accesses(self._acc_access("sum", line=1),
+                                self._acc_access("sum", line=2))
+        assert frag.accum_op == "sum" and frag.is_atomic
+
+    def test_mixed_ops_fragment_is_marked(self):
+        frag = combine_accesses(self._acc_access("sum", line=1),
+                                self._acc_access("max", line=2))
+        assert frag.accum_op == MIXED_ACCUM_OP
+        assert frag.is_atomic  # same-origin ordering must survive
+
+    def test_atomic_with_nonatomic_is_marked(self):
+        stored = acc(0, 8, LR, line=1)  # local read, then same-origin acc
+        frag = combine_accesses(stored, self._acc_access("max", line=2))
+        assert frag.accum_op == MIXED_ACCUM_OP
+
+    def test_marked_fragment_races_with_cross_origin_same_op(self):
+        frag = combine_accesses(self._acc_access("sum", origin=0),
+                                self._acc_access("max", origin=0))
+        later = self._acc_access("max", origin=1, line=3)
+        assert is_race(frag, later)
+
+    def test_marked_fragment_exempt_same_origin(self):
+        frag = combine_accesses(self._acc_access("sum", origin=0),
+                                self._acc_access("max", origin=0))
+        later = self._acc_access("min", origin=0, line=3)
+        assert not is_race(frag, later)
+
+    def test_detector_end_to_end_catches_the_fuzz_schedule(self):
+        """rank2: acc sum; rank2: acc max; rank0: acc max — a race."""
+        from repro.bst import IntervalBST
+        from repro.core import insert_access
+
+        bst = IntervalBST()
+        assert not insert_access(self._acc_access("sum", origin=2),
+                                 bst).has_race
+        assert not insert_access(
+            self._acc_access("max", origin=2, line=2), bst).has_race
+        outcome = insert_access(
+            self._acc_access("max", origin=0, line=3), bst)
+        assert outcome.has_race
 
 
 class TestTable1Rendering:

@@ -1,0 +1,185 @@
+"""PSCW (post/start/complete/wait) general active-target synchronization.
+
+The simulator models PSCW on top of the existing epoch interposition:
+an access epoch (start/complete) and an exposure epoch (post/wait) both
+surface as ``epoch_start``/``epoch_end`` to detectors and as
+``LOCK_ALL``/``UNLOCK_ALL`` sync events in traces, so the trace format
+and every detector stay unchanged.  A rank that both posts and starts
+holds one *logical* epoch span (refcounted), not two.
+"""
+
+import pytest
+
+from repro.core import OurDetector
+from repro.mpi import BYTE, EpochError, World
+from repro.mpi.trace import SyncEvent, SyncKind
+
+
+def _epoch_spans(world, rank):
+    """(#epoch_start, #epoch_end) sync events of one rank's trace."""
+    evs = [e for e in world.trace_log.events
+           if isinstance(e, SyncEvent) and e.rank == rank]
+    starts = sum(1 for e in evs if e.kind is SyncKind.LOCK_ALL)
+    ends = sum(1 for e in evs if e.kind is SyncKind.UNLOCK_ALL)
+    return starts, ends
+
+
+class TestLifecycle:
+    def test_put_inside_pscw_epoch_runs_clean(self):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64, BYTE)
+            buf = ctx.alloc("b", 64, BYTE)
+            if ctx.rank == 1:
+                ctx.win_post(win, group=[0])
+            yield
+            if ctx.rank == 0:
+                ctx.win_start(win, group=[1])
+                ctx.put(win, 1, 0, buf, 0, 8)
+                ctx.win_complete(win)
+            yield
+            if ctx.rank == 1:
+                ctx.win_wait(win)
+            yield ctx.win_free(win)
+
+        world = World(2, [], trace=True)
+        world.run(program)
+        # one epoch span each: the access epoch and the exposure epoch
+        assert _epoch_spans(world, 0) == (1, 1)
+        assert _epoch_spans(world, 1) == (1, 1)
+
+    def test_post_and_start_share_one_logical_span(self):
+        """A rank in both roles must not emit nested epoch events."""
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64, BYTE)
+            buf = ctx.alloc("b", 64, BYTE)
+            ctx.win_post(win, group=[0, 1])
+            yield
+            ctx.win_start(win, group=[0, 1])
+            ctx.put(win, (ctx.rank + 1) % 2, 0 if ctx.rank else 32,
+                    buf, 0, 8)
+            yield
+            ctx.win_complete(win)
+            yield
+            ctx.win_wait(win)
+            yield ctx.win_free(win)
+
+        world = World(2, [], trace=True)
+        world.run(program)
+        assert _epoch_spans(world, 0) == (1, 1)
+        assert _epoch_spans(world, 1) == (1, 1)
+
+    def test_detector_sees_pscw_race(self):
+        """Two unsynchronized puts to the same bytes inside PSCW."""
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64, BYTE)
+            buf = ctx.alloc("b", 64, BYTE)
+            if ctx.rank == 2:
+                ctx.win_post(win, group=[0, 1])
+            yield
+            if ctx.rank in (0, 1):
+                ctx.win_start(win, group=[2])
+                ctx.put(win, 2, 0, buf, 0, 8)
+            yield
+            if ctx.rank in (0, 1):
+                ctx.win_complete(win)
+            yield
+            if ctx.rank == 2:
+                ctx.win_wait(win)
+            yield ctx.win_free(win)
+
+        det = OurDetector()
+        World(3, [det]).run(program)
+        assert det.reports
+
+
+class TestErrors:
+    @staticmethod
+    def _run2(body):
+        def program(ctx):
+            win = yield ctx.win_allocate("w", 64, BYTE)
+            yield from body(ctx, win)
+            yield ctx.win_free(win)
+
+        World(2, []).run(program)
+
+    def test_fence_inside_access_epoch_raises(self):
+        def body(ctx, win):
+            if ctx.rank == 0:
+                ctx.win_start(win, group=[1])
+            yield ctx.win_fence(win)
+
+        with pytest.raises(EpochError, match="PSCW"):
+            self._run2(body)
+
+    def test_lock_inside_access_epoch_raises(self):
+        def body(ctx, win):
+            if ctx.rank == 0:
+                ctx.win_start(win, group=[1])
+                ctx.win_lock(win, 1)
+            yield
+            if ctx.rank == 0:
+                ctx.win_unlock(win, 1)
+                ctx.win_complete(win)
+
+        with pytest.raises(EpochError, match="PSCW"):
+            self._run2(body)
+
+    def test_start_twice_raises(self):
+        def body(ctx, win):
+            if ctx.rank == 0:
+                ctx.win_start(win, group=[1])
+                ctx.win_start(win, group=[1])
+            yield
+            if ctx.rank == 0:
+                ctx.win_complete(win)
+
+        with pytest.raises(EpochError, match="inside an epoch"):
+            self._run2(body)
+
+    def test_complete_without_start_raises(self):
+        def body(ctx, win):
+            if ctx.rank == 0:
+                ctx.win_complete(win)
+            yield
+
+        with pytest.raises(EpochError, match="MPI_Win_complete"):
+            self._run2(body)
+
+    def test_double_post_raises(self):
+        def body(ctx, win):
+            if ctx.rank == 0:
+                ctx.win_post(win)
+                ctx.win_post(win)
+            yield
+            if ctx.rank == 0:
+                ctx.win_wait(win)
+
+        with pytest.raises(EpochError, match="MPI_Win_post"):
+            self._run2(body)
+
+    def test_wait_without_post_raises(self):
+        def body(ctx, win):
+            if ctx.rank == 0:
+                ctx.win_wait(win)
+            yield
+
+        with pytest.raises(EpochError, match="MPI_Win_wait"):
+            self._run2(body)
+
+    def test_win_free_with_open_exposure_raises(self):
+        def body(ctx, win):
+            if ctx.rank == 0:
+                ctx.win_post(win)
+            yield
+
+        with pytest.raises(EpochError, match="MPI_Win_wait"):
+            self._run2(body)
+
+    def test_win_free_with_open_access_epoch_raises(self):
+        def body(ctx, win):
+            if ctx.rank == 0:
+                ctx.win_start(win, group=[1])
+            yield
+
+        with pytest.raises(EpochError):
+            self._run2(body)

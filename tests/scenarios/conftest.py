@@ -1,0 +1,30 @@
+"""Hypothesis configuration for the scenario-corpus suite.
+
+Same two profiles as the property suite:
+
+* ``ci`` (the default): 500 examples per property, derandomized so CI
+  runs are reproducible, no deadline (shared runners are noisy);
+* ``dev``: 50 examples for quick local iteration
+  (``REPRO_HYPOTHESIS_PROFILE=dev``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=500,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))

@@ -1,0 +1,105 @@
+"""CLI coverage for ``repro scenarios generate|score|gate``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.scenarios import CORPUS_SCHEMA, TOOL_NAMES, load_corpus
+
+
+def _generate(tmp_path, capsys, n=24, seed=7):
+    corpus = tmp_path / "corpus.jsonl"
+    assert main(["scenarios", "generate", "--seed", str(seed),
+                 "-n", str(n), "-o", str(corpus)]) == 0
+    capsys.readouterr()
+    return corpus
+
+
+class TestGenerate:
+    def test_writes_corpus_and_summary(self, tmp_path, capsys):
+        corpus = tmp_path / "c.jsonl"
+        assert main(["scenarios", "generate", "--seed", "7", "-n", "24",
+                     "-o", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "24 scenarios (seed 7)" in out
+        assert len(load_corpus(corpus)) == 24
+
+    def test_stdout_corpus(self, capsys):
+        assert main(["scenarios", "generate", "-n", "3", "-o", "-"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.startswith("{")]
+        assert len(lines) == 3
+        assert [json.loads(ln)["index"] for ln in lines] == [0, 1, 2]
+
+    def test_metrics_flag_reports_generation_counters(self, tmp_path,
+                                                      capsys):
+        assert main(["scenarios", "generate", "-n", "6",
+                     "-o", str(tmp_path / "c.jsonl"), "--metrics"]) == 0
+        assert "scenarios.generated" in capsys.readouterr().out
+
+
+class TestScore:
+    def test_score_to_file(self, tmp_path, capsys):
+        corpus = _generate(tmp_path, capsys)
+        out_path = tmp_path / "report.json"
+        assert main(["scenarios", "score", str(corpus),
+                     "-o", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == CORPUS_SCHEMA
+        assert report["scenarios"] == 24
+        assert set(report["tools"]) == set(TOOL_NAMES)
+
+    def test_score_subset_of_tools_to_stdout(self, tmp_path, capsys):
+        corpus = _generate(tmp_path, capsys, n=6)
+        assert main(["scenarios", "score", str(corpus),
+                     "--tools", "our,staticcheck"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report["tools"]) == {"our", "staticcheck"}
+
+    def test_unknown_tool_exits_2(self, tmp_path, capsys):
+        corpus = _generate(tmp_path, capsys, n=3)
+        assert main(["scenarios", "score", str(corpus),
+                     "--tools", "our,bogus"]) == 2
+        assert "unknown tool" in capsys.readouterr().err
+
+    def test_missing_corpus_exits_2(self, tmp_path, capsys):
+        assert main(["scenarios", "score",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro scenarios score:" in capsys.readouterr().err
+
+
+class TestGate:
+    def test_pass_from_corpus(self, tmp_path, capsys):
+        corpus = _generate(tmp_path, capsys)
+        assert main(["scenarios", "gate", str(corpus)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_pass_from_saved_report(self, tmp_path, capsys):
+        corpus = _generate(tmp_path, capsys)
+        out_path = tmp_path / "report.json"
+        main(["scenarios", "score", str(corpus), "-o", str(out_path)])
+        capsys.readouterr()
+        assert main(["scenarios", "gate", "--report", str(out_path)]) == 0
+
+    def test_blind_detector_fails_with_violations(self, tmp_path, capsys):
+        corpus = _generate(tmp_path, capsys)
+        assert main(["scenarios", "gate", str(corpus),
+                     "--detector", "park_mirror"]) == 1
+        out = capsys.readouterr().out
+        assert "GATE:" in out and "gate FAILED" in out
+
+    def test_relaxed_floor_passes_a_blind_detector(self, tmp_path, capsys):
+        corpus = _generate(tmp_path, capsys)
+        assert main(["scenarios", "gate", str(corpus),
+                     "--detector", "park_mirror",
+                     "--min-precision", "0", "--min-recall", "0"]) == 0
+
+    def test_requires_exactly_one_input(self, tmp_path, capsys):
+        assert main(["scenarios", "gate"]) == 2
+        corpus = _generate(tmp_path, capsys, n=3)
+        report = tmp_path / "r.json"
+        main(["scenarios", "score", str(corpus), "-o", str(report)])
+        capsys.readouterr()
+        assert main(["scenarios", "gate", str(corpus),
+                     "--report", str(report)]) == 2

@@ -1,0 +1,121 @@
+"""Determinism and coverage contract of the scenario generator.
+
+The corpus is the standing regression oracle, so its bytes are part of
+the contract: the same ``--seed`` must produce a byte-identical corpus
+on every platform and every run.  The golden hashes below pin the
+seed-7 corpora used by the CI gate; regenerating them is a deliberate,
+reviewed act (any change to the generator's sampling order shifts every
+scenario after the edit point).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.scenarios import (
+    ACCESS_SHAPES,
+    EPOCH_STYLES,
+    Scenario,
+    compose_scenario,
+    corpus_to_jsonl,
+    generate_corpus,
+    load_corpus,
+)
+
+#: sha256 of ``corpus_to_jsonl(generate_corpus(seed=7, n))``
+GOLDEN_SHA256_N200 = (
+    "c25c1e20ceaa5fc0fa91444354e01e20a44bfce562c10bf18c17053800891766"
+)
+GOLDEN_SHA256_N60 = (
+    "eb7225744b014d4d41a4a14d83b8cd4b63202b23ed9e61af802e5bc9229c1d3f"
+)
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class TestByteDeterminism:
+    def test_same_seed_twice_is_byte_identical(self):
+        a = corpus_to_jsonl(generate_corpus(7, 200))
+        b = corpus_to_jsonl(generate_corpus(7, 200))
+        assert a == b
+
+    def test_golden_hash_seed7_n200(self):
+        assert _sha(corpus_to_jsonl(generate_corpus(7, 200))) == (
+            GOLDEN_SHA256_N200
+        )
+
+    def test_golden_hash_seed7_n60_ci_smoke(self):
+        assert _sha(corpus_to_jsonl(generate_corpus(7, 60))) == (
+            GOLDEN_SHA256_N60
+        )
+
+    def test_prefix_stability(self):
+        """Scenario i depends only on (seed, i), never on n."""
+        long = generate_corpus(7, 96)
+        short = generate_corpus(7, 48)
+        assert [s.to_json() for s in short] == [
+            s.to_json() for s in long[:48]
+        ]
+
+    def test_different_seeds_differ(self):
+        assert corpus_to_jsonl(generate_corpus(7, 48)) != (
+            corpus_to_jsonl(generate_corpus(8, 48))
+        )
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trips_scenarios(self, tmp_path):
+        corpus = generate_corpus(11, 30)
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(corpus_to_jsonl(corpus))
+        assert load_corpus(path) == list(corpus)
+
+    def test_load_corpus_names_the_bad_line(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(compose_scenario(1, 0).to_json() + "\n{broken\n")
+        try:
+            load_corpus(path)
+        except ValueError as exc:
+            assert ":2:" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("bad line accepted")
+
+    def test_single_scenario_json_round_trip(self):
+        sc = compose_scenario(3, 5)
+        assert Scenario.from_json(sc.to_json()) == sc
+
+
+class TestCoverage:
+    """The acceptance-criteria floor of ISSUE.md, pinned as a test."""
+
+    def test_axis_coverage_and_control_share(self):
+        corpus = generate_corpus(7, 200)
+        assert len(corpus) == 200
+        styles = {sc.epoch_style for sc in corpus}
+        shapes = {sc.access_shape for sc in corpus}
+        assert styles == set(EPOCH_STYLES) and len(styles) >= 4
+        assert shapes == set(ACCESS_SHAPES) and len(shapes) >= 4
+        controls = sum(1 for sc in corpus if not sc.racy)
+        assert controls >= 0.20 * len(corpus)
+
+    def test_labels_are_rmaracebench_shaped(self):
+        for sc in generate_corpus(7, 60):
+            lab = sc.labels
+            assert lab.nprocs == sc.nranks
+            assert lab.sync_calls  # window lifecycle at minimum
+            if sc.racy:
+                assert lab.race_kind in ("local", "remote")
+                assert len(lab.race_pair) == 2
+                assert lab.abort_location == f"{sc.file}:20"
+                assert all("@" in p for p in lab.race_pair)
+            else:
+                assert lab.race_kind == "none"
+                assert lab.race_pair == ()
+                assert not lab.abort_location
+            assert len(lab.access_set) == 2
+
+    def test_rank_counts_span_the_axis(self):
+        nranks = {sc.nranks for sc in generate_corpus(7, 200)}
+        assert min(nranks) == 2 and max(nranks) == 8
