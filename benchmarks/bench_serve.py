@@ -1,0 +1,136 @@
+"""Bench: the daemon's submit→verdict latency, cold vs cached.
+
+One in-process ``repro serve`` stack (scheduler + HTTP listener on an
+ephemeral port), one recorded miniVite trace, three measurements
+written to ``BENCH_serve.json``:
+
+* ``direct`` — ``analyze_trace`` in this process: the floor any
+  service path pays on top of.
+* ``cold`` — first submission over HTTP: upload + admission + journal
+  + checkpointed analysis + result fetch.
+* ``cached`` — repeat submissions of the identical trace: answered
+  from the content-hash verdict cache without running a detector
+  (median of several rounds).
+
+Verdict parity between the served result and the direct analysis is
+asserted unconditionally — a fast wrong answer is not a benchmark win.
+
+Also runnable directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.pipeline import analyze_trace, record_app
+from repro.serve import (
+    ReproServer,
+    Scheduler,
+    ServeConfig,
+    poll_job,
+    request,
+    submit_trace,
+)
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+CACHED_ROUNDS = 5
+
+
+def _submit_to_verdict(base: str, trace: Path) -> tuple:
+    """One submit→terminal round-trip; returns (seconds, job dict)."""
+    t0 = time.perf_counter()
+    status, _, job = submit_trace(base, trace)
+    assert status == 202, (status, job)
+    if job["state"] not in ("done", "failed", "quarantined"):
+        job = poll_job(base, job["id"], timeout_s=120.0, interval_s=0.005)
+    dt = time.perf_counter() - t0
+    assert job["state"] == "done", job
+    return dt, job
+
+
+def run_serve_bench(out: Path = OUT, *, size: int = 512) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = Path(tmp) / "mv.trace"
+        rec = record_app("minivite", nranks=4, size=size,
+                         inject_race=True, out=trace, format="binary")
+
+        t0 = time.perf_counter()
+        direct = analyze_trace(trace, detector="our", jobs=1)
+        direct_s = time.perf_counter() - t0
+
+        state = Path(tmp) / "svc"
+        config = ServeConfig(state_dir=str(state), port=0, workers=1)
+        sched = Scheduler(state, workers=1)
+        sched.recover()
+        sched.start()
+        httpd = ReproServer(config, sched)
+        threading.Thread(target=httpd.serve_forever,
+                         kwargs={"poll_interval": 0.01},
+                         daemon=True).start()
+        host, port = httpd.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            cold_s, cold_job = _submit_to_verdict(base, trace)
+            assert not cold_job["cached"]
+            _, _, served = request(f"{base}/jobs/{cold_job['id']}/result")
+            assert (json.dumps(served["verdicts"], sort_keys=True)
+                    == json.dumps(direct.to_dict()["verdicts"],
+                                  sort_keys=True)), \
+                "served verdicts diverged from direct analysis"
+
+            cached = []
+            for _ in range(CACHED_ROUNDS):
+                dt, job = _submit_to_verdict(base, trace)
+                assert job["cached"], job
+                cached.append(dt)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            sched.drain(timeout=10.0)
+
+    cached_median = statistics.median(cached)
+    report = {
+        "bench": "serve_latency",
+        "app": "minivite",
+        "events": rec.events,
+        "races": direct.races,
+        "direct_analyze_s": round(direct_s, 4),
+        "cold": {
+            "submit_to_verdict_s": round(cold_s, 4),
+            "overhead_vs_direct_x": round(cold_s / direct_s, 2)
+            if direct_s > 0 else None,
+        },
+        "cached": {
+            "rounds": CACHED_ROUNDS,
+            "submit_to_verdict_s_median": round(cached_median, 4),
+            "submit_to_verdict_s": [round(d, 4) for d in cached],
+            "speedup_vs_cold_x": round(cold_s / cached_median, 1)
+            if cached_median > 0 else None,
+        },
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_serve_latency(once):
+    report = once(run_serve_bench)
+    print(f"\ncold submit→verdict: {report['cold']['submit_to_verdict_s']}s "
+          f"({report['cold']['overhead_vs_direct_x']}x direct), "
+          f"cached: {report['cached']['submit_to_verdict_s_median']}s "
+          f"({report['cached']['speedup_vs_cold_x']}x faster)")
+    assert OUT.exists()
+    # a cache hit must be decisively cheaper than re-analysis
+    assert (report["cached"]["submit_to_verdict_s_median"]
+            < report["cold"]["submit_to_verdict_s"]), report
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_serve_bench(), indent=2))

@@ -9,6 +9,9 @@ Subcommands::
     repro record <app>         # record an application trace to disk
     repro analyze <trace>      # (sharded) post-mortem race analysis
     repro explain <trace>      # annotated race forensics for a trace
+    repro serve                # crash-safe analysis daemon (HTTP)
+    repro submit <trace>       # submit a trace to a running daemon
+    repro jobs                 # inspect a daemon's job table
 
 Examples::
 
@@ -18,6 +21,13 @@ Examples::
     repro analyze mv.trace --detector our --jobs 4
     repro analyze mv.trace --trace-out mv.chrome.json --report-html mv.html
     repro explain mv.trace --jobs 4
+    repro serve --state /tmp/svc --port 8787
+    repro submit mv.trace --server http://127.0.0.1:8787 --wait
+
+Exit codes are a contract (see :mod:`repro.exitcodes`): 0 success,
+1 gate violation, 2 usage/operational error, 3 recorded app failed,
+4 partial (resumable) analysis, 5 submitted job failed, 6 server
+unavailable, 143 SIGTERM.
 """
 
 from __future__ import annotations
@@ -28,6 +38,15 @@ import time
 from typing import List, Optional
 
 from . import __version__
+from .exitcodes import (
+    EX_APP_FAILED,
+    EX_ERROR,
+    EX_GATE_FAILED,
+    EX_JOB_FAILED,
+    EX_OK,
+    EX_PARTIAL,
+    EX_UNAVAILABLE,
+)
 from .experiments import EXPERIMENTS
 
 __all__ = ["main", "build_parser"]
@@ -218,6 +237,82 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also gate the hybrid local+remote categories "
                            "(default: non-hybrid only, the Table-3 claim)")
     _add_metrics_args(gate)
+
+    srv = sub.add_parser(
+        "serve", help="run the crash-safe analysis daemon",
+        description="Serve trace analysis over HTTP with a durable "
+                    "(journaled, fsync'd) job queue: after a hard kill, "
+                    "a restart replays the journal and resumes every "
+                    "in-flight analysis from its last checkpoint.",
+    )
+    srv.add_argument("--state", required=True, metavar="DIR",
+                     help="daemon state directory (journal, traces, "
+                          "checkpoints, verdict cache, serve.json)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=0, metavar="P",
+                     help="listen port (default 0 = ephemeral; the "
+                          "chosen port is published in serve.json)")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="analysis worker threads (default 2)")
+    srv.add_argument("--max-queue", type=int, default=16, metavar="N",
+                     help="admission bound on queued+running jobs; past "
+                          "it submissions get 429 (default 16)")
+    srv.add_argument("--tenant-cap", type=int, default=4, metavar="N",
+                     help="concurrent live jobs per tenant (default 4)")
+    srv.add_argument("--retries", type=int, default=2, metavar="R",
+                     help="retries before a repeatedly failing job is "
+                          "quarantined as poison (default 2)")
+    srv.add_argument("--deadline-s", type=float, default=None, metavar="SEC",
+                     help="per-job wall-clock budget (checkpoint + fail "
+                          "past it; default: none)")
+    srv.add_argument("--max-rss-mb", type=int, default=None, metavar="MB",
+                     help="per-job memory high-watermark (default: none)")
+    srv.add_argument("--ckpt-every", type=int, default=1, metavar="N",
+                     help="per-job checkpoint cadence in trace chunks "
+                          "(default 1 — the daemon favors resumability)")
+    srv.add_argument("--drain-s", type=float, default=10.0, metavar="SEC",
+                     help="graceful-drain budget on SIGTERM (default 10)")
+    srv.add_argument("--max-body-mb", type=int, default=256, metavar="MB",
+                     help="largest accepted trace upload (default 256)")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log every HTTP request")
+
+    sb = sub.add_parser(
+        "submit", help="submit a trace to a running daemon",
+        description="Upload a recorded trace to 'repro serve' and print "
+                    "the accepted job; --wait polls to a terminal state "
+                    "(riding out daemon restarts).",
+    )
+    sb.add_argument("trace", help="trace file written by 'repro record'")
+    sb.add_argument("--server", default=None, metavar="URL",
+                    help="daemon base URL, e.g. http://127.0.0.1:8787")
+    sb.add_argument("--state", default=None, metavar="DIR",
+                    help="discover the daemon via DIR/serve.json instead "
+                         "of --server")
+    sb.add_argument("--detector", choices=_DETECTORS, default="our",
+                    help="detector to analyze under (default: our)")
+    sb.add_argument("--tenant", default="default",
+                    help="tenant name for admission accounting")
+    sb.add_argument("--wait", action="store_true",
+                    help="poll until the job is done/failed/quarantined")
+    sb.add_argument("--timeout-s", type=float, default=120.0, metavar="SEC",
+                    help="--wait polling budget (default 120)")
+    sb.add_argument("--json", action="store_true",
+                    help="emit the final job record as JSON")
+
+    jb = sub.add_parser(
+        "jobs", help="inspect a running daemon's job table",
+        description="List a daemon's jobs, or show one job by id.",
+    )
+    jb.add_argument("job", nargs="?", default=None,
+                    help="job id to show (default: list all)")
+    jb.add_argument("--server", default=None, metavar="URL",
+                    help="daemon base URL")
+    jb.add_argument("--state", default=None, metavar="DIR",
+                    help="discover the daemon via DIR/serve.json")
+    jb.add_argument("--json", action="store_true",
+                    help="emit raw JSON")
     return parser
 
 
@@ -230,6 +325,23 @@ def _add_metrics_args(sub: argparse.ArgumentParser) -> None:
                           "JSON) to PATH")
 
 
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via tmp + fsync + ``os.replace``.
+
+    Reports are consumed by CI and gating scripts; a SIGTERM or crash
+    mid-write must leave either the old file or the new one on disk,
+    never a torn hybrid that parses as a truncated result.
+    """
+    import os
+
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 def _emit_metrics(snap, *, show: bool, json_path: Optional[str]) -> None:
     """Render/dump one registry snapshot for --metrics/--metrics-json."""
     from . import obs
@@ -240,8 +352,7 @@ def _emit_metrics(snap, *, show: bool, json_path: Optional[str]) -> None:
     if show:
         print(obs.render_metrics(snap))
     if json_path:
-        with open(json_path, "w") as fh:
-            fh.write(obs.snapshot_to_json(snap) + "\n")
+        _atomic_write_text(json_path, obs.snapshot_to_json(snap) + "\n")
 
 
 def _jsonable(value):
@@ -265,7 +376,7 @@ def _run_one(exp_id: str, *, as_json: bool = False) -> int:
         print(f"unknown experiment {exp_id!r}; "
               f"valid names: {', '.join(EXPERIMENTS)}",
               file=sys.stderr)
-        return 2
+        return EX_ERROR
     t0 = time.perf_counter()
     result = fn()
     dt = time.perf_counter() - t0
@@ -281,7 +392,7 @@ def _run_one(exp_id: str, *, as_json: bool = False) -> int:
     else:
         print(result)
         print(f"[{exp_id} regenerated in {dt:.1f}s]\n")
-    return 0
+    return EX_OK
 
 
 def _graceful_sigterm() -> None:
@@ -313,12 +424,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id, fn in EXPERIMENTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{exp_id:8s} {doc}")
-        return 0
+        return EX_OK
 
     if args.command == "run":
         from . import obs
 
-        status = 0
+        status = EX_OK
         # one fresh scope over every experiment: the detectors publish
         # into it and the CLI prints Table-4-consistent counts from it
         with obs.scope() as reg:
@@ -335,7 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return status
 
     if args.command == "all":
-        status = 0
+        status = EX_OK
         for exp_id in EXPERIMENTS:
             status = max(status, _run_one(exp_id))
         return status
@@ -349,7 +460,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.names:
             for spec in suite:
                 print(f"  {spec.name}")
-        return 0
+        return EX_OK
 
     if args.command == "record":
         return _record(args)
@@ -363,7 +474,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "scenarios":
         return _scenarios(args)
 
-    return 2  # pragma: no cover
+    if args.command == "serve":
+        return _serve(args)
+
+    if args.command == "submit":
+        return _submit(args)
+
+    if args.command == "jobs":
+        return _jobs(args)
+
+    return EX_ERROR  # pragma: no cover
 
 
 def _write_chrome(path: str, *, timeline=None, trace_path=None,
@@ -406,14 +526,14 @@ def _record(args) -> int:
             dt = time.perf_counter() - t0
         except ValueError as exc:
             print(f"repro record: {exc}", file=sys.stderr)
-            return 2
+            return EX_ERROR
         except MpiSimError as exc:
             # the *recorded application* misbehaved (deadlock, RMA
             # misuse): one line naming the failure, no partial trace
             # left behind
             print(f"repro record: {args.app} failed: "
                   f"{type(exc).__name__}: {exc}", file=sys.stderr)
-            return 3
+            return EX_APP_FAILED
         if args.metrics or args.metrics_json:
             snap = reg.snapshot() if reg.enabled else None
             _emit_metrics(snap, show=args.metrics,
@@ -421,7 +541,7 @@ def _record(args) -> int:
     print(f"recorded {result.app} on {result.nranks} ranks: "
           f"{result.events} events -> {result.path} "
           f"({args.format}, {dt:.1f}s)")
-    return 0
+    return EX_OK
 
 
 def _analyze(args) -> int:
@@ -434,7 +554,7 @@ def _analyze(args) -> int:
         if ckpt_dir is not None and ckpt_dir != args.resume:
             print("repro analyze: --resume and --ckpt-dir disagree",
                   file=sys.stderr)
-            return 2
+            return EX_ERROR
         ckpt_dir = args.resume
         resume = True
     try:
@@ -450,7 +570,7 @@ def _analyze(args) -> int:
     except (TraceFormatError, WorkerCrashedError, CheckpointError, OSError,
             ValueError) as exc:
         print(f"repro analyze: {exc}", file=sys.stderr)
-        return 2
+        return EX_ERROR
 
     if args.metrics or args.metrics_json:
         _emit_metrics(result.obs, show=args.metrics,
@@ -462,26 +582,25 @@ def _analyze(args) -> int:
         except OSError as exc:
             print(f"repro analyze: --trace-out failed: {exc}",
                   file=sys.stderr)
-            return 2
+            return EX_ERROR
     if args.report_html:
         from .obs.htmlreport import render_html_report
 
         try:
-            with open(args.report_html, "w") as fh:
-                fh.write(render_html_report(
-                    result.to_dict(),
-                    title=f"repro race report — {args.trace}"))
+            _atomic_write_text(args.report_html, render_html_report(
+                result.to_dict(),
+                title=f"repro race report — {args.trace}"))
         except OSError as exc:
             print(f"repro analyze: --report-html failed: {exc}",
                   file=sys.stderr)
-            return 2
+            return EX_ERROR
         print(f"html report -> {args.report_html}")
 
     if args.json:
         import json
 
         print(json.dumps(result.to_dict(), indent=2))
-        return 4 if result.partial else 0
+        return EX_PARTIAL if result.partial else EX_OK
 
     name = detector_display_name(args.detector)
     print(f"{args.trace}: {result.events_total} events, "
@@ -540,8 +659,8 @@ def _analyze(args) -> int:
         print(f"PARTIAL: {pct} the trace analyzed before the "
               f"{ck['stopped'] or 'resource'} guard stopped the run; "
               f"resume with: repro analyze {args.trace} --resume {ck['dir']}")
-        return 4
-    return 0
+        return EX_PARTIAL
+    return EX_OK
 
 
 def _explain(args) -> int:
@@ -552,7 +671,7 @@ def _explain(args) -> int:
 
     if args.context < 1:
         print("repro explain: --context must be positive", file=sys.stderr)
-        return 2
+        return EX_ERROR
     # the bundle is captured at detection time inside the (possibly
     # forked) workers, so the context width is set before analysis
     Detector.FORENSICS_CONTEXT = args.context
@@ -562,7 +681,7 @@ def _explain(args) -> int:
     except (TraceFormatError, WorkerCrashedError, OSError,
             ValueError) as exc:
         print(f"repro explain: {exc}", file=sys.stderr)
-        return 2
+        return EX_ERROR
 
     if args.json:
         import json
@@ -587,12 +706,11 @@ def _explain(args) -> int:
     if args.html:
         from .obs.htmlreport import render_html_report
 
-        with open(args.html, "w") as fh:
-            fh.write(render_html_report(
-                result.to_dict(),
-                title=f"repro race report — {args.trace}"))
+        _atomic_write_text(args.html, render_html_report(
+            result.to_dict(),
+            title=f"repro race report — {args.trace}"))
         print(f"html report -> {args.html}")
-    return 0
+    return EX_OK
 
 
 def _scenarios(args) -> int:
@@ -615,8 +733,7 @@ def _scenarios(args) -> int:
             if args.out == "-":
                 sys.stdout.write(payload)
             else:
-                with open(args.out, "w") as fh:
-                    fh.write(payload)
+                _atomic_write_text(args.out, payload)
                 racy = sum(1 for sc in corpus if sc.racy)
                 styles = len({sc.epoch_style for sc in corpus})
                 shapes = len({sc.access_shape for sc in corpus})
@@ -624,7 +741,7 @@ def _scenarios(args) -> int:
                       f"{racy} racy / {len(corpus) - racy} controls, "
                       f"{styles} epoch styles x {shapes} access shapes "
                       f"-> {args.out}")
-            status = 0
+            status = EX_OK
 
         elif args.scenarios_cmd == "score":
             tools = (tuple(args.tools.split(",")) if args.tools
@@ -634,28 +751,27 @@ def _scenarios(args) -> int:
                 print(f"repro scenarios score: unknown tool(s) "
                       f"{', '.join(unknown)}; valid: "
                       f"{', '.join(TOOL_NAMES)}", file=sys.stderr)
-                return 2
+                return EX_ERROR
             try:
                 corpus = load_corpus(args.corpus)
             except (OSError, ValueError) as exc:
                 print(f"repro scenarios score: {exc}", file=sys.stderr)
-                return 2
+                return EX_ERROR
             report = score_corpus(corpus, tools)
             text = json.dumps(report, indent=2) + "\n"
             if args.out:
-                with open(args.out, "w") as fh:
-                    fh.write(text)
+                _atomic_write_text(args.out, text)
                 print(f"scored {len(corpus)} scenarios with "
                       f"{len(tools)} tool(s) -> {args.out}")
             else:
                 sys.stdout.write(text)
-            status = 0
+            status = EX_OK
 
         else:  # gate
             if (args.corpus is None) == (args.report is None):
                 print("repro scenarios gate: give a corpus or --report "
                       "(not both)", file=sys.stderr)
-                return 2
+                return EX_ERROR
             try:
                 if args.report is not None:
                     with open(args.report) as fh:
@@ -664,7 +780,7 @@ def _scenarios(args) -> int:
                     report = score_corpus(load_corpus(args.corpus))
             except (OSError, ValueError) as exc:
                 print(f"repro scenarios gate: {exc}", file=sys.stderr)
-                return 2
+                return EX_ERROR
             violations = gate_violations(
                 report, detector=args.detector,
                 min_precision=args.min_precision,
@@ -678,20 +794,125 @@ def _scenarios(args) -> int:
                 print(f"gate FAILED: {len(violations)} violation(s) "
                       f"({scope} categories, floor "
                       f"P>={args.min_precision} R>={args.min_recall})")
-                status = 1
+                status = EX_GATE_FAILED
             else:
                 what = "category" if args.include_hybrid \
                     else "non-hybrid category"
                 print(f"gate passed: {args.detector!r} meets "
                       f"P>={args.min_precision} R>={args.min_recall} on "
                       f"every {what}")
-                status = 0
+                status = EX_OK
 
         if args.metrics or args.metrics_json:
             snap = reg.snapshot() if reg.enabled else None
             _emit_metrics(snap, show=args.metrics,
                           json_path=args.metrics_json)
     return status
+
+
+def _serve(args) -> int:
+    from .serve import ServeConfig, serve_forever
+
+    try:
+        config = ServeConfig(
+            state_dir=args.state, host=args.host, port=args.port,
+            workers=args.workers, max_queue=args.max_queue,
+            tenant_cap=args.tenant_cap, retries=args.retries,
+            deadline_s=args.deadline_s, max_rss_mb=args.max_rss_mb,
+            ckpt_every=args.ckpt_every, drain_s=args.drain_s,
+            max_body_mb=args.max_body_mb, quiet=not args.verbose,
+        )
+        return serve_forever(config)
+    except (OSError, ValueError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return EX_ERROR
+
+
+def _job_line(job: dict) -> str:
+    tail = ""
+    if job.get("state") == "done":
+        tail = (f"  races={job.get('races')}"
+                + ("  (cached)" if job.get("cached") else ""))
+    elif job.get("reason"):
+        tail = f"  {job['reason']}"
+    return (f"{job.get('id', '?'):8s} {job.get('state', '?'):12s} "
+            f"{job.get('detector', '?'):5s} tenant={job.get('tenant', '?')}"
+            f"{tail}")
+
+
+def _submit(args) -> int:
+    import json
+
+    from .serve import (
+        ServerUnavailable,
+        poll_job,
+        resolve_server,
+        submit_trace,
+    )
+
+    try:
+        base = resolve_server(args.server, args.state)
+        status, headers, payload = submit_trace(
+            base, args.trace, detector=args.detector, tenant=args.tenant)
+    except ServerUnavailable as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return EX_UNAVAILABLE
+    except OSError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return EX_ERROR
+    if status == 429:
+        retry = headers.get("Retry-After", "?")
+        print(f"repro submit: rejected: {payload.get('error')} "
+              f"(Retry-After: {retry}s)", file=sys.stderr)
+        return EX_UNAVAILABLE
+    if status not in (200, 202):
+        print(f"repro submit: HTTP {status}: {payload.get('error', payload)}",
+              file=sys.stderr)
+        return EX_ERROR
+    job = payload
+    if args.wait and job.get("state") not in ("done", "failed",
+                                              "quarantined"):
+        job = poll_job(base, job["id"], timeout_s=args.timeout_s)
+    if args.json:
+        print(json.dumps(job, indent=2))
+    else:
+        print(_job_line(job))
+    state = job.get("state")
+    if state == "done":
+        return EX_OK
+    if state in ("failed", "quarantined"):
+        return EX_JOB_FAILED
+    # accepted but not waited for (or still live at the poll deadline)
+    return EX_OK if not args.wait else EX_PARTIAL
+
+
+def _jobs(args) -> int:
+    import json
+
+    from .serve import ServerUnavailable, request, resolve_server
+
+    try:
+        base = resolve_server(args.server, args.state)
+        if args.job:
+            status, _, payload = request(f"{base}/jobs/{args.job}")
+        else:
+            status, _, payload = request(f"{base}/jobs")
+    except ServerUnavailable as exc:
+        print(f"repro jobs: {exc}", file=sys.stderr)
+        return EX_UNAVAILABLE
+    if status != 200:
+        print(f"repro jobs: HTTP {status}: {payload.get('error', payload)}",
+              file=sys.stderr)
+        return EX_ERROR
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return EX_OK
+    jobs = payload.get("jobs", [payload] if args.job else [])
+    if not jobs:
+        print("no jobs")
+    for job in jobs:
+        print(_job_line(job))
+    return EX_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

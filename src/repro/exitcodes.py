@@ -1,0 +1,70 @@
+"""The CLI exit-code contract, in one place.
+
+Every ``repro`` subcommand exits through one of these codes, and the
+meanings are load-bearing: CI jobs, the chaos suites, and service
+supervisors all branch on them.  ``tests/test_exitcodes.py`` pins the
+numeric values, so reshuffling a code is a visible, reviewed act — not
+an accident of refactoring.
+
+Contract:
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+0     success (a completed analysis, a passed gate, a drained
+      daemon)
+1     quality gate violation (``repro scenarios gate`` below its
+      precision/recall floor)
+2     usage or operational error (bad arguments, unreadable or
+      corrupt input, I/O failure) — nothing ran to completion
+3     the *recorded application* failed (``repro record``:
+      simulated deadlock / RMA misuse), no partial trace left
+4     partial analysis: a resource guard (deadline / memory /
+      drain) checkpointed and stopped the run; resumable with
+      ``--resume``
+5     submitted job failed terminally (``repro submit --wait``:
+      the daemon reports ``failed`` or ``quarantined``)
+6     server unavailable or overloaded (``repro submit``: 429
+      admission rejection, or the daemon cannot be reached)
+143   terminated by SIGTERM (128+15) after graceful cleanup —
+      ``repro serve`` instead *drains* on SIGTERM and exits 0
+====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+__all__ = [
+    "EXIT_CODES",
+    "EX_APP_FAILED",
+    "EX_ERROR",
+    "EX_GATE_FAILED",
+    "EX_JOB_FAILED",
+    "EX_OK",
+    "EX_PARTIAL",
+    "EX_SIGTERM",
+    "EX_UNAVAILABLE",
+]
+
+EX_OK = 0
+EX_GATE_FAILED = 1
+EX_ERROR = 2
+EX_APP_FAILED = 3
+EX_PARTIAL = 4
+EX_JOB_FAILED = 5
+EX_UNAVAILABLE = 6
+EX_SIGTERM = 143
+
+#: the full contract, read-only — new codes land here first, with their
+#: one-line meaning, and the pinning test updates in the same change
+EXIT_CODES = MappingProxyType({
+    EX_OK: "success",
+    EX_GATE_FAILED: "quality gate violation",
+    EX_ERROR: "usage or operational error",
+    EX_APP_FAILED: "recorded application failed",
+    EX_PARTIAL: "partial analysis (resource guard stopped; resumable)",
+    EX_JOB_FAILED: "submitted job failed terminally",
+    EX_UNAVAILABLE: "server unavailable or overloaded",
+    EX_SIGTERM: "terminated by SIGTERM after cleanup",
+})

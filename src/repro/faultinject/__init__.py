@@ -28,8 +28,16 @@ from .corrupt import (
     chunk_index,
     corrupt_checkpoint,
     corrupt_chunk_tag,
+    corrupt_journal_record,
     flip_bytes,
     truncate_mid_chunk,
+)
+from .daemon import (
+    KillAfterCheckpoints,
+    StallAfterCheckpoints,
+    install_serve_faults_from_env,
+    kill_daemon,
+    sever_mid_upload,
 )
 from .plan import (
     FaultPlan,
@@ -42,13 +50,19 @@ from .plan import (
 __all__ = [
     "ChunkInfo",
     "FaultPlan",
+    "KillAfterCheckpoints",
     "KillWorker",
     "SimulatedWriterCrash",
+    "StallAfterCheckpoints",
     "StallWorker",
     "WriterCrash",
     "chunk_index",
     "corrupt_checkpoint",
     "corrupt_chunk_tag",
+    "corrupt_journal_record",
     "flip_bytes",
+    "install_serve_faults_from_env",
+    "kill_daemon",
+    "sever_mid_upload",
     "truncate_mid_chunk",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "chunk_index",
     "corrupt_chunk_tag",
     "corrupt_checkpoint",
+    "corrupt_journal_record",
     "flip_bytes",
     "truncate_mid_chunk",
 ]
@@ -165,6 +166,54 @@ def corrupt_checkpoint(
     else:
         raise ValueError(f"unknown corruption mode {mode!r}")
     return path
+
+
+def corrupt_journal_record(
+    path: Union[str, Path],
+    record: int = 1,
+    *,
+    mode: str = "flip",
+    count: int = 4,
+    seed: int = 0,
+) -> int:
+    """Damage one record of a ``repro-jobs-v1`` daemon journal in place.
+
+    ``record`` is 1-based.  ``mode="flip"`` XORs ``count`` seeded-random
+    payload bytes (the record crc catches it on replay, which must
+    quarantine the damaged suffix and keep the valid prefix);
+    ``mode="truncate"`` cuts the file mid-record (the torn tail a crash
+    during append leaves behind — replay trims it silently).  Returns
+    the file offset of the damaged record's frame.
+    """
+    from ..serve.journal import JOURNAL_MAGIC
+
+    path = Path(path)
+    raw = bytearray(path.read_bytes())
+    if raw[:len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+        raise ValueError(f"{path} is not a repro-jobs-v1 journal")
+    pos = len(JOURNAL_MAGIC)
+    (hlen,) = _U32.unpack_from(raw, pos)
+    pos += 4 + hlen
+    seen = 0
+    while pos + 8 <= len(raw):
+        (nbytes,) = _U32.unpack_from(raw, pos)
+        payload_pos = pos + 8
+        if payload_pos + nbytes > len(raw):
+            break
+        seen += 1
+        if seen == record:
+            if mode == "flip":
+                rng = random.Random(seed)
+                for off in rng.sample(range(nbytes), min(count, nbytes)):
+                    raw[payload_pos + off] ^= 0xFF
+                path.write_bytes(bytes(raw))
+            elif mode == "truncate":
+                path.write_bytes(bytes(raw[:payload_pos + nbytes // 2]))
+            else:
+                raise ValueError(f"unknown corruption mode {mode!r}")
+            return pos
+        pos = payload_pos + nbytes
+    raise ValueError(f"{path} has {seen} records, no record {record}")
 
 
 def corrupt_chunk_tag(path: Union[str, Path], chunk: int) -> int:

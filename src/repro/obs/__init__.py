@@ -33,6 +33,7 @@ switch turns every instrument into a shared no-op (see
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -86,26 +87,45 @@ __all__ = [
     "timeline_context",
 ]
 
-_current = Registry()
+#: the process-wide default registry — what every thread sees unless it
+#: scoped its own (below)
+_default = Registry()
+
+#: per-thread registry override.  ``repro serve`` multiplexes concurrent
+#: analyses over worker *threads*, each running under its own
+#: ``obs.scope()``; a single process global would let those scopes race
+#: each other's swap/restore and misattribute metrics across jobs.
+_tls = threading.local()
 
 
 def active() -> Registry:
-    """The process's currently active registry."""
-    return _current
+    """The calling thread's active registry (its scope, else the default)."""
+    reg = getattr(_tls, "registry", None)
+    return reg if reg is not None else _default
 
 
 def set_registry(reg: Registry) -> Registry:
-    """Swap the active registry; returns the previous one."""
-    global _current
-    prev = _current
-    _current = reg
+    """Swap the active registry; returns the previous one.
+
+    On the main thread this replaces the *process default* (the
+    historical single-global behavior every existing caller relies on);
+    on any other thread it installs a thread-local override, so
+    concurrent scopes cannot clobber each other.
+    """
+    global _default
+    prev = active()
+    if threading.current_thread() is threading.main_thread():
+        _default = reg
+        _tls.registry = None
+    else:
+        _tls.registry = reg
     return prev
 
 
 def reset(*, enabled: Optional[bool] = None) -> Registry:
     """Fresh active registry (pipeline workers call this after fork)."""
     set_registry(Registry(enabled=enabled))
-    return _current
+    return active()
 
 
 @contextmanager
@@ -117,7 +137,7 @@ def scope(reg: Optional[Registry] = None, *,
     (``merge=False`` discards it instead), so scoped runs stay visible
     to a caller accumulating globally.
     """
-    inner = reg if reg is not None else Registry(enabled=_current.enabled)
+    inner = reg if reg is not None else Registry(enabled=active().enabled)
     outer = set_registry(inner)
     try:
         yield inner
@@ -133,29 +153,29 @@ def scope(reg: Optional[Registry] = None, *,
 
 
 def counter(name: str, **labels: str) -> Counter:
-    return _current.counter(name, **labels)
+    return active().counter(name, **labels)
 
 
 def gauge(name: str, **labels: str) -> Gauge:
-    return _current.gauge(name, **labels)
+    return active().gauge(name, **labels)
 
 
 def histogram(name: str, **labels: str) -> Histogram:
-    return _current.histogram(name, **labels)
+    return active().histogram(name, **labels)
 
 
 def add(name: str, n: int = 1) -> None:
-    _current.counter(name).add(n)
+    active().counter(name).add(n)
 
 
 def span(name: str):
-    return _current.span(name)
+    return active().span(name)
 
 
 def timeline() -> Timeline:
     """The active registry's event timeline (null when disabled)."""
-    return _current.timeline
+    return active().timeline
 
 
 def snapshot() -> dict:
-    return _current.snapshot()
+    return active().snapshot()

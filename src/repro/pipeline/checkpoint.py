@@ -51,7 +51,11 @@ __all__ = [
     "CheckpointError",
     "CheckpointPlan",
     "CheckpointStore",
+    "add_write_hook",
     "current_rss_mb",
+    "drain_requested",
+    "install_drain_event",
+    "remove_write_hook",
 ]
 
 CKPT_MAGIC = b"REPROCK1"
@@ -85,20 +89,83 @@ class CheckpointPlan:
     keep: int = 2
 
 
-def current_rss_mb() -> float:
+_rss_unavailable_warned = False
+
+
+def current_rss_mb() -> Optional[float]:
     """Resident-set high-water mark of this process, in MiB.
 
     ``ru_maxrss`` is kibibytes on Linux and bytes on macOS.  Module-level
     indirection on purpose: tests monkeypatch this to drive the memory
     guard deterministically.
+
+    On platforms without a working :mod:`resource` probe this returns
+    ``None`` — callers treat that as "guard unavailable" and keep
+    analyzing (with a one-line warning, once per process) rather than
+    dying on a telemetry read.
     """
-    import resource
+    global _rss_unavailable_warned
     import sys
 
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError, ValueError):
+        if not _rss_unavailable_warned:
+            _rss_unavailable_warned = True
+            import warnings
+
+            warnings.warn(
+                "RSS probe unavailable on this platform; the "
+                "--max-rss-mb memory guard is disabled for this run",
+                RuntimeWarning, stacklevel=2,
+            )
+        return None
     if sys.platform == "darwin":
         return peak / (1024.0 * 1024.0)
     return peak / 1024.0
+
+
+# -- service hooks ------------------------------------------------------------
+#
+# ``repro serve`` runs analyses on worker threads inside one long-lived
+# process.  Two tiny, optional hook points let the daemon cooperate with
+# the engine without the engine knowing about the daemon:
+#
+# * a *drain event*: when set (SIGTERM drain), every checkpointed serial
+#   analysis stops at its next chunk boundary exactly like a deadline —
+#   checkpoint written, ``partial`` result, resumable;
+# * *write hooks*: called after each checkpoint file lands on disk.
+#   The chaos injectors use this to kill or stall the daemon at a
+#   deterministic point ("after the job's 2nd checkpoint"), which is
+#   what makes the crash-recovery certification reproducible.
+
+_drain_event = None
+_write_hooks: List = []
+
+
+def install_drain_event(event) -> None:
+    """Install (or clear, with ``None``) the process drain event."""
+    global _drain_event
+    _drain_event = event
+
+
+def drain_requested() -> bool:
+    """True when a drain event is installed and set."""
+    return _drain_event is not None and _drain_event.is_set()
+
+
+def add_write_hook(hook) -> None:
+    """Register ``hook(lane, seq, path)`` to run after checkpoint writes."""
+    _write_hooks.append(hook)
+
+
+def remove_write_hook(hook) -> None:
+    try:
+        _write_hooks.remove(hook)
+    except ValueError:
+        pass
 
 
 class CheckpointStore:
@@ -157,6 +224,8 @@ class CheckpointStore:
             os.fsync(fh.fileno())
         os.replace(tmp, path)
         self.prune()
+        for hook in list(_write_hooks):
+            hook(self.lane, seq, path)
         return path
 
     def prune(self, keep: Optional[int] = None) -> None:

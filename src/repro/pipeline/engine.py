@@ -572,12 +572,14 @@ def _worker_file(worker_id, shards, detector, nranks, path, out_q,
                 wrote = True
             if ckpt.deadline_at is not None and time.time() >= ckpt.deadline_at:
                 stop = "deadline"
-            elif (ckpt.max_rss_mb is not None
-                  and _ckpt.current_rss_mb() > ckpt.max_rss_mb):
+            elif ckpt.max_rss_mb is not None:
                 # guard checks run only at chunk boundaries, i.e. after at
                 # least one chunk of progress this attempt — so every
-                # recycle advances the trace and recycling terminates
-                stop = "recycle"
+                # recycle advances the trace and recycling terminates.
+                # An unavailable RSS probe (None) disables the guard.
+                rss = _ckpt.current_rss_mb()
+                if rss is not None and rss > ckpt.max_rss_mb:
+                    stop = "recycle"
             if stop is not None:
                 if not wrote:
                     store.write(
@@ -760,11 +762,17 @@ def _serial_ckpt(events, nranks, detector_name, reader, plan, path):
                 wrote = True
             if plan.deadline_at is not None and time.time() >= plan.deadline_at:
                 stop = "deadline"
-            elif (plan.max_rss_mb is not None
-                  and _ckpt.current_rss_mb() > plan.max_rss_mb):
+            elif _ckpt.drain_requested():
+                # the serving daemon is draining (SIGTERM): stop exactly
+                # like a deadline — checkpointed, partial, resumable
+                stop = "drain"
+            elif plan.max_rss_mb is not None:
                 # serial mode cannot recycle itself; the memory guard
-                # stops like the deadline does, leaving a resumable run
-                stop = "memory"
+                # stops like the deadline does, leaving a resumable run.
+                # An unavailable RSS probe (None) disables the guard.
+                rss = _ckpt.current_rss_mb()
+                if rss is not None and rss > plan.max_rss_mb:
+                    stop = "memory"
             if stop is not None:
                 if not wrote:
                     _write(cursor)

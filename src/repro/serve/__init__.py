@@ -1,0 +1,58 @@
+"""``repro.serve`` — the crash-safe analysis daemon.
+
+Analysis-as-a-service over the substrate the pipeline already provides:
+trace uploads become durable *jobs* (``repro-jobs-v1`` journal,
+:mod:`~repro.serve.journal`), a bounded scheduler with per-tenant caps
+runs each one as a checkpointed serial analysis
+(:mod:`~repro.serve.scheduler`), finished verdicts are content-hash
+cached (:mod:`~repro.serve.cache`), and a zero-dependency stdlib HTTP
+server fronts the whole thing (:mod:`~repro.serve.server`).
+
+The design center is crash safety, in the same spirit as the paper's
+insistence on trustworthy race reports: after a hard daemon kill, a
+restart replays the journal, requeues every interrupted job, and each
+resumes from its newest ``repro-ckpt-v1`` cursor — final verdicts are
+byte-identical to a direct ``repro analyze`` of the same trace.  The
+chaos suite under ``tests/serve/`` certifies exactly that, failure by
+injected failure.
+
+Quickstart::
+
+    repro serve --state /tmp/svc --port 8787 &
+    repro submit mv.trace --server http://127.0.0.1:8787 --wait
+    repro jobs --server http://127.0.0.1:8787
+"""
+
+from .cache import VerdictCache, trace_sha256
+from .client import (
+    ServerUnavailable,
+    poll_job,
+    request,
+    resolve_server,
+    submit_trace,
+)
+from .journal import JOURNAL_MAGIC, JOURNAL_SCHEMA, JobJournal, JournalError
+from .scheduler import AdmissionError, Job, Scheduler, job_ckpt_dir
+from .server import ReproServer, ServeConfig, serve_forever, write_endpoint
+
+__all__ = [
+    "AdmissionError",
+    "JOURNAL_MAGIC",
+    "JOURNAL_SCHEMA",
+    "Job",
+    "JobJournal",
+    "JournalError",
+    "ReproServer",
+    "Scheduler",
+    "ServeConfig",
+    "ServerUnavailable",
+    "VerdictCache",
+    "job_ckpt_dir",
+    "poll_job",
+    "request",
+    "resolve_server",
+    "serve_forever",
+    "submit_trace",
+    "trace_sha256",
+    "write_endpoint",
+]

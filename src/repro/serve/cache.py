@@ -1,0 +1,75 @@
+"""Content-hash verdict cache: identical traces answer instantly.
+
+Analysis is deterministic — the same trace bytes under the same
+detector always produce the same canonical verdicts — so the daemon
+keys finished results by ``(sha256(trace), detector)`` and serves a
+repeat submission from disk without re-running anything.  Entries are
+full ``PipelineResult.to_dict()`` payloads (verdicts, forensics,
+timeline), which is also exactly what the HTML report renderer eats.
+
+Writes are atomic (tmp + ``os.replace``): a daemon killed mid-store
+leaves either a complete entry or none.  Reads treat any undecodable
+entry as a miss and quarantine it to ``*.bad`` — a corrupt cache file
+must never turn into a wrong verdict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["VerdictCache", "trace_sha256"]
+
+
+def trace_sha256(path: Union[str, Path]) -> str:
+    """Streaming sha256 of a trace file's bytes."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()
+
+
+class VerdictCache:
+    """One directory of ``<sha256>-<detector>.json`` result entries."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, sha: str, detector: str) -> Path:
+        return self.dir / f"{sha}-{detector}.json"
+
+    def get(self, sha: str, detector: str) -> Optional[dict]:
+        path = self._path(sha, detector)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if not isinstance(entry, dict) or "verdicts" not in entry:
+            self._quarantine(path)
+            return None
+        return entry
+
+    def put(self, sha: str, detector: str, result: dict) -> Path:
+        path = self._path(sha, detector)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(result, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(".json.bad"))
+        except OSError:
+            pass

@@ -1,0 +1,108 @@
+"""A tiny stdlib HTTP client for the daemon (``repro submit`` / ``jobs``).
+
+Nothing here is clever: ``urllib.request`` against the JSON endpoints,
+with the one convention that matters — a daemon on an ephemeral port is
+discovered through the ``serve.json`` file its state directory
+publishes (:func:`resolve_server`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "ServerUnavailable",
+    "poll_job",
+    "request",
+    "resolve_server",
+    "submit_trace",
+]
+
+TERMINAL_STATES = ("done", "failed", "quarantined")
+
+
+class ServerUnavailable(Exception):
+    """The daemon cannot be reached (connection refused, no serve.json)."""
+
+
+def resolve_server(server: Optional[str],
+                   state: Optional[Union[str, Path]]) -> str:
+    """Base URL from ``--server`` or a state dir's ``serve.json``."""
+    if server:
+        return server.rstrip("/")
+    if state is None:
+        raise ServerUnavailable("give --server URL or --state DIR")
+    path = Path(state) / "serve.json"
+    try:
+        with open(path) as fh:
+            ep = json.load(fh)
+        return f"http://{ep['host']}:{ep['port']}"
+    except (OSError, ValueError, KeyError) as exc:
+        raise ServerUnavailable(
+            f"no running daemon found via {path}: {exc}") from exc
+
+
+def request(url: str, *, method: str = "GET", data: Optional[bytes] = None,
+            timeout: float = 30.0) -> Tuple[int, dict, dict]:
+    """One HTTP exchange → ``(status, headers, parsed-json-payload)``.
+
+    Non-2xx responses are returned, not raised — admission rejections
+    (429) carry policy the caller wants to read.  Transport failures
+    raise :class:`ServerUnavailable`.
+    """
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/octet-stream")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            body = resp.read()
+            status, headers = resp.status, dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        status, headers = exc.code, dict(exc.headers)
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise ServerUnavailable(f"{url}: {exc}") from exc
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        payload = {"raw": body.decode("utf-8", "replace")}
+    return status, headers, payload
+
+
+def submit_trace(base: str, trace: Union[str, Path], *,
+                 detector: str = "our", tenant: str = "default",
+                 timeout: float = 60.0) -> Tuple[int, dict, dict]:
+    """POST one trace file; returns the raw ``(status, headers, payload)``."""
+    data = Path(trace).read_bytes()
+    url = f"{base}/jobs?detector={detector}&tenant={tenant}"
+    return request(url, method="POST", data=data, timeout=timeout)
+
+
+def poll_job(base: str, job_id: str, *, timeout_s: float = 120.0,
+             interval_s: float = 0.2) -> dict:
+    """Poll until the job reaches a terminal state (or time runs out).
+
+    Returns the last observed job dict either way; the caller inspects
+    ``state``.  Tolerates a daemon restart mid-poll (connection errors
+    are retried until the deadline — recovery is the point).
+    """
+    deadline = time.monotonic() + timeout_s
+    last: dict = {"id": job_id, "state": "unknown"}
+    while time.monotonic() < deadline:
+        try:
+            status, _, payload = request(f"{base}/jobs/{job_id}",
+                                         timeout=min(10.0, timeout_s))
+        except ServerUnavailable:
+            time.sleep(interval_s)
+            continue
+        if status == 200:
+            last = payload
+            if payload.get("state") in TERMINAL_STATES:
+                return payload
+        time.sleep(interval_s)
+    return last

@@ -1,0 +1,240 @@
+"""The durable job journal: ``repro-jobs-v1``, append-only, crc32'd.
+
+The daemon's source of truth about jobs is this file — *not* the
+in-memory queue, which dies with the process.  Every job transition
+(submitted, queued, running, done, failed, quarantined) is appended as
+one crc32-framed JSON record and fsync'd before the daemon acts on it,
+so after a hard ``kill -9`` a restart replays the journal and knows
+exactly which jobs existed and how far each had gotten.  Combined with
+the per-job ``repro-ckpt-v1`` checkpoints, recovery resumes every
+in-flight analysis from its last checkpoint cursor instead of losing or
+re-running it from byte zero.
+
+Format (little-endian), in the same family as ``repro-ckpt-v1``::
+
+    8s  magic    "REPROJL1"
+    u32 header length
+    ...  JSON header: {"schema": "repro-jobs-v1"}
+    then zero or more records:
+    u32 payload length
+    u32 payload crc32
+    ...  JSON record payload (utf-8)
+
+Failure model:
+
+* **Torn tail** (daemon killed mid-append): the final record frame is
+  incomplete at EOF.  Replay trims it — the transition never happened,
+  exactly the semantics of a write that did not commit.
+* **Corrupt record** (bit rot, a chaos injector): the crc catches it.
+  The damaged suffix is quarantined to ``<journal>.bad`` — never
+  silently dropped — and replay keeps the valid prefix.  Jobs whose
+  later transitions were lost recover as *queued* and simply re-run;
+  deterministic replay makes that safe.
+* **Rotation**: the journal grows by one record per transition, so the
+  daemon periodically *compacts* it — the live job table is rewritten
+  as one record per job into ``<journal>.tmp``, fsync'd, and atomically
+  ``os.replace``'d over the old file (the same tmp+fsync+replace
+  pattern as trace finalize and checkpoint writes).  A crash anywhere
+  during rotation leaves either the old or the new journal, both valid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "JOURNAL_MAGIC",
+    "JOURNAL_SCHEMA",
+    "JobJournal",
+    "JournalError",
+]
+
+JOURNAL_MAGIC = b"REPROJL1"
+JOURNAL_SCHEMA = "repro-jobs-v1"
+
+_U32 = struct.Struct("<I")
+
+#: cap on a single record frame — a length field beyond this is
+#: corruption, not a real record
+_MAX_RECORD = 1 << 24
+
+
+class JournalError(Exception):
+    """The journal file is structurally unusable (bad magic/header)."""
+
+
+class JobJournal:
+    """One append-only ``repro-jobs-v1`` file of job-state records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = None
+        #: human-readable notes about damage found during replay
+        self.quarantined: List[str] = []
+        #: records appended since open/compaction (drives rotation)
+        self.appended = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def _ensure_open(self) -> None:
+        if self._fh is None:
+            if not self.path.exists():
+                self._create_empty()
+            self._fh = open(self.path, "ab")
+
+    def _create_empty(self) -> None:
+        header = json.dumps({"schema": JOURNAL_SCHEMA},
+                            sort_keys=True).encode("utf-8")
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "wb") as fh:
+            fh.write(JOURNAL_MAGIC)
+            fh.write(_U32.pack(len(header)))
+            fh.write(header)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    # -- appending ------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (write + flush + fsync)."""
+        self._ensure_open()
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        frame = _U32.pack(len(payload)) + _U32.pack(zlib.crc32(payload))
+        self._fh.write(frame + payload)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.appended += 1
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay(self) -> List[dict]:
+        """All valid records, oldest first; damage quarantined, not hidden.
+
+        A corrupt record (crc mismatch, implausible length) quarantines
+        the entire damaged suffix to ``<journal>.bad`` and truncates the
+        journal back to its last valid record, so subsequent appends
+        extend a clean file.  A bare torn tail (incomplete final frame,
+        the normal artifact of a crash mid-append) is trimmed the same
+        way but without a ``.bad`` file — nothing was lost that ever
+        committed.
+        """
+        self.close()
+        if not self.path.exists():
+            return []
+        blob = self.path.read_bytes()
+        if blob[:len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+            raise JournalError(f"{self.path.name}: bad journal magic")
+        pos = len(JOURNAL_MAGIC)
+        if len(blob) < pos + _U32.size:
+            raise JournalError(f"{self.path.name}: truncated journal header")
+        (hlen,) = _U32.unpack_from(blob, pos)
+        pos += _U32.size
+        try:
+            header = json.loads(blob[pos:pos + hlen].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise JournalError(f"{self.path.name}: bad header json: {exc}")
+        if header.get("schema") != JOURNAL_SCHEMA:
+            raise JournalError(
+                f"{self.path.name}: unknown schema {header.get('schema')!r}")
+        pos += hlen
+
+        records: List[dict] = []
+        good_end = pos
+        corrupt: Optional[str] = None
+        while pos < len(blob):
+            rec, new_pos, why = self._read_record(blob, pos)
+            if rec is None:
+                corrupt = why
+                break
+            records.append(rec)
+            good_end = new_pos
+            pos = new_pos
+        if pos < len(blob) or corrupt:
+            self._trim(blob, good_end, corrupt)
+        return records
+
+    def _read_record(self, blob: bytes, pos: int
+                     ) -> Tuple[Optional[dict], int, Optional[str]]:
+        """One frame at ``pos`` → (record, next_pos, None) or (None, pos, why).
+
+        ``why`` is None for a clean torn tail (incomplete frame at EOF)
+        and a description for genuine corruption.
+        """
+        if pos + 2 * _U32.size > len(blob):
+            return None, pos, None  # torn frame header at EOF
+        nbytes = _U32.unpack_from(blob, pos)[0]
+        crc = _U32.unpack_from(blob, pos + _U32.size)[0]
+        if nbytes > _MAX_RECORD:
+            return None, pos, f"implausible record length {nbytes}"
+        start = pos + 2 * _U32.size
+        payload = blob[start:start + nbytes]
+        if len(payload) != nbytes:
+            return None, pos, None  # torn payload at EOF
+        if zlib.crc32(payload) != crc:
+            return None, pos, "record crc mismatch"
+        try:
+            rec = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return None, pos, f"undecodable record: {exc}"
+        if not isinstance(rec, dict):
+            return None, pos, "record is not an object"
+        return rec, start + nbytes, None
+
+    def _trim(self, blob: bytes, good_end: int, corrupt: Optional[str]) -> None:
+        """Truncate past the last valid record; quarantine corrupt bytes."""
+        if corrupt:
+            bad = self.path.with_suffix(self.path.suffix + ".bad")
+            with open(bad, "wb") as fh:
+                fh.write(blob[good_end:])
+            self.quarantined.append(
+                f"{corrupt}: {len(blob) - good_end} byte(s) quarantined "
+                f"to {bad.name}")
+        else:
+            self.quarantined.append(
+                f"torn tail: {len(blob) - good_end} byte(s) trimmed")
+        with open(self.path, "r+b") as fh:
+            fh.truncate(good_end)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- rotation -------------------------------------------------------------
+
+    def compact(self, records: List[dict]) -> None:
+        """Atomically rewrite the journal as exactly ``records``.
+
+        The caller passes its live job table rendered as one record per
+        job; the rewrite goes through ``<journal>.tmp`` + fsync +
+        ``os.replace``, so a crash mid-rotation leaves a valid journal
+        (old or new, never a hybrid).
+        """
+        self.close()
+        header = json.dumps({"schema": JOURNAL_SCHEMA},
+                            sort_keys=True).encode("utf-8")
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(JOURNAL_MAGIC)
+            fh.write(_U32.pack(len(header)))
+            fh.write(header)
+            for rec in records:
+                payload = json.dumps(rec, sort_keys=True).encode("utf-8")
+                fh.write(_U32.pack(len(payload)))
+                fh.write(_U32.pack(zlib.crc32(payload)))
+                fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self.appended = 0

@@ -1,0 +1,470 @@
+"""The job scheduler: bounded queue, worker threads, crash recovery.
+
+The scheduler owns the daemon's job table and the policy around it:
+
+* **Admission control.**  The queue is bounded (``max_queue`` jobs
+  queued+running) and each tenant has a concurrent-job cap; past either
+  limit :meth:`submit` raises :class:`AdmissionError` and the HTTP layer
+  answers 429 with a ``Retry-After`` — overload sheds load at the door
+  instead of growing an unbounded backlog.
+* **Durability.**  Every transition is journaled (fsync'd) *before*
+  the scheduler acts on it, so the on-disk journal is never behind the
+  in-memory state it would need to reconstruct.
+* **Checkpointed execution.**  Each job runs a serial checkpointed
+  analysis (``analyze_trace(..., ckpt_dir=<per-job dir>, resume=True)``)
+  in a worker thread.  The per-job checkpoint directory is keyed by
+  trace content hash + detector, so two jobs can never clobber each
+  other's checkpoint generations, and a *restarted* job (crash recovery,
+  retry) resumes from its newest checkpoint cursor — deterministic
+  replay makes the final verdicts byte-identical either way.
+* **Retry and poison quarantine.**  Unexpected analysis failures retry
+  with capped exponential backoff; a job that keeps failing — or keeps
+  taking the daemon down with it (attempts exhausted at recovery) — is
+  *quarantined*: parked terminally, never silently dropped, never
+  allowed to crash-loop the service.
+* **Graceful drain.**  :meth:`drain` stops the workers and (through the
+  engine's drain hook) makes every in-flight analysis checkpoint and
+  stop at its next chunk boundary; the interrupted jobs are journaled
+  back to ``queued`` and complete after the next start.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue
+import shutil
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .. import obs
+from ..mpi.errors import TraceFormatError
+from ..pipeline import CheckpointError, analyze_trace, backoff_delay
+from ..pipeline import checkpoint as _ckpt
+from .cache import VerdictCache, trace_sha256
+from .journal import JobJournal
+
+__all__ = ["AdmissionError", "Job", "Scheduler", "job_ckpt_dir"]
+
+#: job states.  queued/running are *live*; the rest are terminal.
+LIVE_STATES = ("queued", "running")
+TERMINAL_STATES = ("done", "failed", "quarantined")
+
+#: exception types whose failure is deterministic — retrying the same
+#: trace bytes can only fail the same way, so the job fails immediately
+_NO_RETRY = (TraceFormatError, CheckpointError, ValueError)
+
+
+class AdmissionError(Exception):
+    """The daemon refused a submission (backpressure, not failure)."""
+
+    def __init__(self, reason: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+def job_ckpt_dir(base: Union[str, Path], sha: str, detector: str) -> Path:
+    """Per-job checkpoint directory, keyed by trace content hash.
+
+    Two jobs pointed at one shared checkpoint base must never clobber
+    each other's ``serial-*.ckpt`` generations; keying the subdirectory
+    by content hash + detector isolates them (and lets an *identical*
+    resubmission reuse the same resumable state, which is safe because
+    identical inputs checkpoint identical bytes).
+    """
+    return Path(base) / f"{sha[:16]}-{detector}"
+
+
+@dataclass
+class Job:
+    """One submitted analysis and everything the journal knows about it."""
+
+    id: str
+    tenant: str
+    detector: str
+    trace_sha: str
+    trace_path: str
+    state: str = "queued"
+    attempts: int = 0
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    reason: Optional[str] = None
+    cached: bool = False
+    races: Optional[int] = None
+    events: Optional[int] = None
+    wall_seconds: Optional[float] = None
+    #: resume accounting of the winning attempt (lane/from_seq/skipped)
+    resumed: List[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id, "tenant": self.tenant, "detector": self.detector,
+            "trace_sha": self.trace_sha, "trace_path": self.trace_path,
+            "state": self.state, "attempts": self.attempts,
+            "submitted_at": self.submitted_at, "updated_at": self.updated_at,
+            "reason": self.reason, "cached": self.cached,
+            "races": self.races, "events": self.events,
+            "wall_seconds": self.wall_seconds, "resumed": self.resumed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Job":
+        return cls(**{k: d.get(k, None) for k in (
+            "id", "tenant", "detector", "trace_sha", "trace_path", "state",
+            "attempts", "submitted_at", "updated_at", "reason", "cached",
+            "races", "events", "wall_seconds")},
+            resumed=list(d.get("resumed") or ()))
+
+
+class Scheduler:
+    """Durable multi-tenant job execution over a thread worker pool."""
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        *,
+        workers: int = 2,
+        max_queue: int = 16,
+        tenant_cap: int = 4,
+        retries: int = 2,
+        deadline_s: Optional[float] = None,
+        max_rss_mb: Optional[int] = None,
+        ckpt_every: int = 1,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        compact_every: int = 512,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if tenant_cap < 1:
+            raise ValueError("tenant_cap must be >= 1")
+        self.state_dir = Path(state_dir)
+        self.traces_dir = self.state_dir / "traces"
+        self.ckpt_base = self.state_dir / "ckpt"
+        for d in (self.state_dir, self.traces_dir, self.ckpt_base):
+            d.mkdir(parents=True, exist_ok=True)
+        self.journal = JobJournal(self.state_dir / "jobs.journal")
+        self.cache = VerdictCache(self.state_dir / "cache")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.tenant_cap = tenant_cap
+        self.retries = retries
+        self.deadline_s = deadline_s
+        self.max_rss_mb = max_rss_mb
+        self.ckpt_every = ckpt_every
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.compact_every = compact_every
+
+        self.jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self._lock = threading.RLock()
+        self._queue: "_queue.Queue[Optional[str]]" = _queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self.drain_event = threading.Event()
+        #: the registry the daemon's own counters land in (worker-thread
+        #: analysis scopes are thread-local and merge back in here)
+        self.registry = obs.active()
+
+    # -- counters (thread-shared registry → guard with the lock) -------------
+
+    def _count(self, name: str, n: int = 1, **labels: str) -> None:
+        if self.registry.enabled:
+            with self._lock:
+                self.registry.counter(name, **labels).add(n)
+
+    def _set_gauges(self) -> None:
+        if not self.registry.enabled:
+            return
+        with self._lock:
+            states = [j.state for j in self.jobs.values()]
+            self.registry.gauge("serve.jobs.queued").set(
+                states.count("queued"))
+            self.registry.gauge("serve.jobs.running").set(
+                states.count("running"))
+
+    # -- journal helpers ------------------------------------------------------
+
+    def _journal_submit(self, job: Job) -> None:
+        self.journal.append({"op": "submit", "job": job.to_dict()})
+
+    def _journal_state(self, job: Job) -> None:
+        self.journal.append({"op": "state", "job": job.to_dict()})
+        self._count("serve.journal.records")
+        if self.journal.appended >= self.compact_every:
+            self._compact()
+
+    def _compact(self) -> None:
+        records = [{"op": "job", "job": j.to_dict()}
+                   for _, j in sorted(self.jobs.items())]
+        self.journal.compact(records)
+        self._count("serve.journal.compactions")
+
+    def _transition(self, job: Job, state: str, *, reason: Optional[str] = None,
+                    **fields) -> None:
+        with self._lock:
+            job.state = state
+            job.reason = reason
+            job.updated_at = time.time()
+            for k, v in fields.items():
+                setattr(job, k, v)
+            self._journal_state(job)
+        self._set_gauges()
+
+    # -- recovery -------------------------------------------------------------
+
+    def recover(self) -> dict:
+        """Replay the journal into the job table; requeue interrupted jobs.
+
+        Jobs found *running* were in flight when the daemon died: their
+        checkpoints are on disk, so they go back on the queue and resume
+        from their newest checkpoint cursor.  A job whose attempts were
+        already exhausted (it kept dying mid-run) is quarantined instead
+        — a poison job must not crash-loop the daemon.
+        """
+        with self._lock:
+            records = self.journal.replay()
+            for note in self.journal.quarantined:
+                self._count("serve.journal.quarantined")
+            for rec in records:
+                op = rec.get("op")
+                if op in ("submit", "job", "state") and "job" in rec:
+                    job = Job.from_dict(rec["job"])
+                    self.jobs[job.id] = job
+            for job in self.jobs.values():
+                digits = job.id.lstrip("j")
+                if digits.isdigit():
+                    self._seq = max(self._seq, int(digits))
+            requeued = quarantined = 0
+            for jid in sorted(self.jobs):
+                job = self.jobs[jid]
+                if job.state not in LIVE_STATES:
+                    continue
+                if job.attempts > self.retries:
+                    self._transition(job, "quarantined", reason="poison")
+                    self._count("serve.jobs.quarantined")
+                    quarantined += 1
+                else:
+                    if job.state == "running":
+                        self._transition(job, "queued", reason="recovered")
+                    self._queue.put(job.id)
+                    requeued += 1
+        self._set_gauges()
+        return {"jobs": len(self.jobs), "requeued": requeued,
+                "quarantined": quarantined,
+                "journal_quarantined": list(self.journal.quarantined)}
+
+    # -- admission ------------------------------------------------------------
+
+    def _live_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {"": 0}
+        for job in self.jobs.values():
+            if job.state in LIVE_STATES:
+                counts[""] += 1
+                counts[job.tenant] = counts.get(job.tenant, 0) + 1
+        return counts
+
+    def submit_file(self, spooled: Union[str, Path], *, tenant: str = "default",
+                    detector: str = "our",
+                    sha: Optional[str] = None) -> Job:
+        """Admit one spooled trace upload as a job.
+
+        ``spooled`` must live on the same filesystem as the scheduler's
+        spool directory (the HTTP layer writes uploads there); it is
+        renamed into content-addressed storage.  Raises
+        :class:`AdmissionError` on backpressure — *after* which the
+        spooled file is still the caller's to clean up.
+        """
+        spooled = Path(spooled)
+        if sha is None:
+            sha = trace_sha256(spooled)
+        with self._lock:
+            # an identical trace+detector already analyzed? serve the
+            # verdicts from the cache without running anything
+            cached = self.cache.get(sha, detector)
+            # ... or currently live? attach to it instead of double-running
+            if cached is None:
+                for job in self.jobs.values():
+                    if (job.state in LIVE_STATES and job.trace_sha == sha
+                            and job.detector == detector):
+                        self._count("serve.jobs.deduped")
+                        spooled.unlink(missing_ok=True)
+                        return job
+                counts = self._live_counts()
+                if counts[""] >= self.max_queue:
+                    self._count("serve.admission.rejected",
+                                reason="queue_full")
+                    raise AdmissionError("queue_full")
+                if counts.get(tenant, 0) >= self.tenant_cap:
+                    self._count("serve.admission.rejected",
+                                reason="tenant_cap")
+                    raise AdmissionError("tenant_cap")
+            stored = self.traces_dir / f"{sha}.trace"
+            if not stored.exists():
+                os.replace(spooled, stored)
+            else:
+                spooled.unlink(missing_ok=True)
+            self._seq += 1
+            now = time.time()
+            job = Job(
+                id=f"j{self._seq:06d}", tenant=tenant, detector=detector,
+                trace_sha=sha, trace_path=str(stored),
+                submitted_at=now, updated_at=now,
+            )
+            self.jobs[job.id] = job
+            self._journal_submit(job)
+            self._count("serve.jobs.submitted", tenant=tenant)
+            if cached is not None:
+                self._count("serve.cache.hits")
+                job.cached = True
+                self._transition(job, "done", races=len(cached["verdicts"]),
+                                 events=cached.get("events_total"),
+                                 wall_seconds=0.0)
+                return job
+            self._count("serve.cache.misses")
+            self._queue.put(job.id)
+        self._set_gauges()
+        return job
+
+    def submit_bytes(self, data: bytes, **kwargs) -> Job:
+        """Convenience for tests/benchmarks: spool ``data`` and submit."""
+        tmp = self.traces_dir / f".upload-{threading.get_ident()}.tmp"
+        tmp.write_bytes(data)
+        try:
+            return self.submit_file(tmp, **kwargs)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- execution ------------------------------------------------------------
+
+    def start(self) -> None:
+        _ckpt.install_drain_event(self.drain_event)
+        for i in range(self.workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"serve-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def _worker_loop(self) -> None:
+        while not self.drain_event.is_set():
+            try:
+                jid = self._queue.get(timeout=0.2)
+            except _queue.Empty:
+                continue
+            if jid is None:
+                continue
+            with self._lock:
+                job = self.jobs.get(jid)
+                if job is None or job.state not in LIVE_STATES:
+                    continue
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        self._transition(job, "running", attempts=job.attempts + 1)
+        self._count("serve.jobs.started")
+        ckpt_dir = job_ckpt_dir(self.ckpt_base, job.trace_sha, job.detector)
+        t0 = time.perf_counter()
+        try:
+            result = analyze_trace(
+                job.trace_path, detector=job.detector, jobs=1,
+                ckpt_dir=ckpt_dir, ckpt_every=self.ckpt_every,
+                deadline_s=self.deadline_s, max_rss_mb=self.max_rss_mb,
+                resume=True,
+            )
+        except _NO_RETRY as exc:
+            # deterministic failure: the same bytes would fail the same
+            # way on every retry, so fail the job now
+            self._transition(job, "failed",
+                             reason=f"{type(exc).__name__}: {exc}")
+            self._count("serve.jobs.failed", reason="bad-input")
+            return
+        except Exception as exc:  # noqa: BLE001 - the retry boundary
+            self._retry_or_quarantine(
+                job, f"{type(exc).__name__}: {exc}")
+            return
+        wall = time.perf_counter() - t0
+        if self.registry.enabled:
+            with self._lock:
+                if result.obs:
+                    self.registry.merge(result.obs)
+                self.registry.histogram("serve.job.wall_ms").observe(
+                    int(wall * 1000))
+        if result.partial:
+            stopped = (result.checkpoint or {}).get("stopped")
+            if stopped == "drain":
+                # drain interrupted it mid-trace: checkpointed, so it
+                # goes back on the queue and resumes after restart
+                self._transition(job, "queued", reason="drained")
+                self._count("serve.jobs.drained")
+            else:
+                self._transition(job, "failed", reason=f"guard:{stopped}")
+                self._count("serve.jobs.failed", reason=str(stopped))
+            return
+        self.cache.put(job.trace_sha, job.detector, result.to_dict())
+        resumed = (result.checkpoint or {}).get("resumed") or []
+        self._transition(job, "done", races=result.races,
+                         events=result.events_total, wall_seconds=wall,
+                         resumed=list(resumed))
+        self._count("serve.jobs.completed")
+        shutil.rmtree(ckpt_dir, ignore_errors=True)
+
+    def _retry_or_quarantine(self, job: Job, why: str) -> None:
+        if job.attempts > self.retries:
+            self._transition(job, "quarantined", reason=f"poison: {why}")
+            self._count("serve.jobs.quarantined")
+            return
+        self._count("serve.jobs.retried")
+        delay = backoff_delay(job.attempts, base=self.backoff_base,
+                              cap=self.backoff_max)
+        self._transition(job, "queued", reason=f"retry: {why}")
+        if self.drain_event.wait(delay):
+            return  # draining: the job stays queued for the next start
+        with self._lock:
+            self._queue.put(job.id)
+
+    # -- drain ----------------------------------------------------------------
+
+    def drain(self, timeout: float = 10.0) -> List[str]:
+        """Stop accepting work, checkpoint in-flight jobs, stop workers.
+
+        Returns the ids of jobs still live afterwards (queued for the
+        next start) — with a functioning engine drain hook that list is
+        exactly the interrupted/never-started jobs, all resumable.
+        """
+        self.drain_event.set()
+        deadline = time.monotonic() + timeout
+        for t in self._threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+        _ckpt.install_drain_event(None)
+        with self._lock:
+            live = [j.id for j in self.jobs.values()
+                    if j.state in LIVE_STATES]
+            # a worker thread that outlived the join timeout may still
+            # be mid-analysis; its journal state stays "running" and
+            # recovery requeues it — durably correct either way
+            self._compact()
+            self.journal.close()
+        return sorted(live)
+
+    # -- introspection --------------------------------------------------------
+
+    def list_jobs(self) -> List[dict]:
+        with self._lock:
+            return [self.jobs[j].to_dict() for j in sorted(self.jobs)]
+
+    def get_job(self, jid: str) -> Optional[dict]:
+        with self._lock:
+            job = self.jobs.get(jid)
+            return job.to_dict() if job is not None else None
+
+    def get_result(self, jid: str) -> Optional[dict]:
+        with self._lock:
+            job = self.jobs.get(jid)
+            if job is None or job.state != "done":
+                return None
+            return self.cache.get(job.trace_sha, job.detector)

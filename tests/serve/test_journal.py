@@ -1,0 +1,123 @@
+"""The ``repro-jobs-v1`` journal: durability, damage handling, rotation."""
+
+import pytest
+
+from repro.faultinject import corrupt_journal_record
+from repro.serve import JobJournal, JournalError
+
+
+def _records(n, start=0):
+    return [{"op": "state", "job": {"id": f"j{i:06d}", "state": "queued"}}
+            for i in range(start, start + n)]
+
+
+def test_round_trip(tmp_path):
+    journal = JobJournal(tmp_path / "jobs.journal")
+    recs = _records(5)
+    for rec in recs:
+        journal.append(rec)
+    assert journal.appended == 5
+    assert journal.replay() == recs
+    assert journal.quarantined == []
+
+
+def test_replay_of_missing_file_is_empty(tmp_path):
+    assert JobJournal(tmp_path / "nope.journal").replay() == []
+
+
+def test_append_after_replay_extends(tmp_path):
+    journal = JobJournal(tmp_path / "jobs.journal")
+    journal.append(_records(1)[0])
+    journal.replay()
+    journal.append(_records(1, start=1)[0])
+    assert [r["job"]["id"] for r in journal.replay()] == ["j000000", "j000001"]
+
+
+def test_torn_tail_is_trimmed_without_quarantine(tmp_path):
+    path = tmp_path / "jobs.journal"
+    journal = JobJournal(path)
+    for rec in _records(3):
+        journal.append(rec)
+    journal.close()
+    # a crash mid-append leaves an incomplete final frame
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-7])
+    replayed = journal.replay()
+    assert len(replayed) == 2
+    assert any("torn tail" in note for note in journal.quarantined)
+    assert not path.with_suffix(path.suffix + ".bad").exists()
+    # the trimmed journal is clean: appends extend it and replay agrees
+    journal.append(_records(1, start=9)[0])
+    assert len(journal.replay()) == 3
+
+
+def test_truncate_mode_is_torn_tail(tmp_path):
+    path = tmp_path / "jobs.journal"
+    journal = JobJournal(path)
+    for rec in _records(2):
+        journal.append(rec)
+    journal.close()
+    corrupt_journal_record(path, record=2, mode="truncate")
+    assert len(journal.replay()) == 1
+    assert not path.with_suffix(path.suffix + ".bad").exists()
+
+
+def test_corrupt_record_quarantines_suffix(tmp_path):
+    path = tmp_path / "jobs.journal"
+    journal = JobJournal(path)
+    for rec in _records(4):
+        journal.append(rec)
+    journal.close()
+    corrupt_journal_record(path, record=2, mode="flip")
+    replayed = journal.replay()
+    # the valid prefix survives; the damaged suffix (records 2..4) is
+    # quarantined to .bad, never silently dropped
+    assert [r["job"]["id"] for r in replayed] == ["j000000"]
+    bad = path.with_suffix(path.suffix + ".bad")
+    assert bad.exists() and bad.stat().st_size > 0
+    assert any("crc mismatch" in note for note in journal.quarantined)
+
+
+def test_corrupt_then_replay_leaves_clean_journal(tmp_path):
+    path = tmp_path / "jobs.journal"
+    journal = JobJournal(path)
+    for rec in _records(3):
+        journal.append(rec)
+    journal.close()
+    corrupt_journal_record(path, record=3, mode="flip")
+    journal.replay()
+    # after quarantine+truncate the file replays clean
+    fresh = JobJournal(path)
+    assert len(fresh.replay()) == 2
+    assert fresh.quarantined == []
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "jobs.journal"
+    path.write_bytes(b"NOTAJRNL" + b"\x00" * 16)
+    with pytest.raises(JournalError, match="magic"):
+        JobJournal(path).replay()
+
+
+def test_compaction_rewrites_atomically(tmp_path):
+    path = tmp_path / "jobs.journal"
+    journal = JobJournal(path)
+    for rec in _records(20):
+        journal.append(rec)
+    live = _records(2)
+    journal.compact(live)
+    assert journal.appended == 0
+    assert journal.replay() == live
+    assert not path.with_suffix(path.suffix + ".tmp").exists()
+
+
+def test_corrupt_journal_record_validates_input(tmp_path):
+    path = tmp_path / "jobs.journal"
+    journal = JobJournal(path)
+    journal.append(_records(1)[0])
+    journal.close()
+    with pytest.raises(ValueError, match="no record 9"):
+        corrupt_journal_record(path, record=9)
+    (tmp_path / "x").write_bytes(b"junkjunkjunk")
+    with pytest.raises(ValueError, match="not a repro-jobs-v1"):
+        corrupt_journal_record(tmp_path / "x")

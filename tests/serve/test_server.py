@@ -1,0 +1,127 @@
+"""The HTTP layer: routes, uploads, backpressure, health, drain."""
+
+import json
+import time
+import urllib.request
+
+from repro.faultinject import sever_mid_upload
+from repro.serve import poll_job, request, submit_trace
+
+
+def _metrics_text(base):
+    status, _, payload = request(f"{base}/metrics")
+    assert status == 200
+    return payload.get("raw", "")
+
+
+def test_submit_poll_result_report(daemon, small_trace):
+    base, sched, _ = daemon()
+    status, _, job = submit_trace(base, small_trace)
+    assert status == 202
+    assert job["state"] in ("queued", "running")
+    job = poll_job(base, job["id"], timeout_s=60.0)
+    assert job["state"] == "done"
+
+    status, _, result = request(f"{base}/jobs/{job['id']}/result")
+    assert status == 200
+    assert result["races"] == 0 and "verdicts" in result
+
+    with urllib.request.urlopen(
+            f"{base}/jobs/{job['id']}/report.html", timeout=30) as resp:
+        html = resp.read().decode("utf-8")
+    assert resp.status == 200 and "<html" in html.lower()
+
+
+def test_cached_resubmission_via_counters(daemon, small_trace):
+    base, sched, _ = daemon()
+    _, _, first = submit_trace(base, small_trace)
+    poll_job(base, first["id"], timeout_s=60.0)
+    status, _, again = submit_trace(base, small_trace)
+    assert status == 202
+    assert again["state"] == "done" and again["cached"]
+    status, _, snap = request(f"{base}/metrics?format=json")
+    assert status == 200 and snap["schema"] == "repro-obs-v1"
+    assert snap["counters"]["serve.cache.hits"] == 1
+    assert snap["counters"]["serve.jobs.started"] == 1
+    assert "serve.cache.hits" in _metrics_text(base)
+
+
+def test_health_and_ready(daemon):
+    base, _, httpd = daemon()
+    status, _, body = request(f"{base}/healthz")
+    assert status == 200 and body["ok"]
+    status, _, body = request(f"{base}/readyz")
+    assert status == 200 and body["ready"]
+    httpd.draining.set()
+    status, _, body = request(f"{base}/readyz")
+    assert status == 503 and body["reason"] == "draining"
+    status, headers, _ = request(f"{base}/jobs", method="POST", data=b"x")
+    assert status == 503
+
+
+def test_queue_full_gets_429_with_retry_after(daemon, small_trace):
+    # workers never start, so the first job camps in the queue
+    base, _, _ = daemon(start_workers=False, max_queue=1)
+    status, _, _ = submit_trace(base, small_trace, detector="our")
+    assert status == 202
+    status, headers, body = submit_trace(base, small_trace, detector="rma")
+    assert status == 429
+    assert body["error"] == "queue_full"
+    assert int(headers["Retry-After"]) >= 1
+
+
+def test_rejects_garbage_inputs(daemon, small_trace):
+    base, _, _ = daemon(start_workers=False)
+    status, _, body = request(f"{base}/jobs?detector=nope", method="POST",
+                              data=small_trace.read_bytes())
+    assert status == 400 and "unknown detector" in body["error"]
+    status, _, body = request(f"{base}/jobs?tenant=bad/name", method="POST",
+                              data=small_trace.read_bytes())
+    assert status == 400 and "tenant" in body["error"]
+    status, _, body = request(f"{base}/jobs", method="POST",
+                              data=b"this is not a trace " * 10)
+    assert status == 400 and "not a readable trace" in body["error"]
+    status, _, _ = request(f"{base}/nope")
+    assert status == 404
+    status, _, _ = request(f"{base}/jobs/j999999")
+    assert status == 404
+
+
+def test_result_of_unfinished_job_is_409(daemon, small_trace):
+    base, _, _ = daemon(start_workers=False)
+    _, _, job = submit_trace(base, small_trace)
+    status, _, body = request(f"{base}/jobs/{job['id']}/result")
+    assert status == 409 and body["job"]["state"] == "queued"
+
+
+def test_severed_upload_never_becomes_a_job(daemon, small_trace):
+    base, sched, _ = daemon(start_workers=False)
+    host, port = base[len("http://"):].rsplit(":", 1)
+    data = small_trace.read_bytes()
+    sever_mid_upload(host, int(port), claim_bytes=len(data),
+                     body=data[: len(data) // 2])
+    # give the handler thread a beat to hit the short read
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        snap = sched.registry.snapshot()["counters"]
+        if snap.get("serve.uploads.rejected{reason=truncated}"):
+            break
+        time.sleep(0.05)
+    assert snap["serve.uploads.rejected{reason=truncated}"] == 1
+    # no job, no stray spool file, and the daemon is still healthy
+    status, _, body = request(f"{base}/jobs")
+    assert status == 200 and body["jobs"] == []
+    assert not list(sched.traces_dir.glob(".upload-*"))
+    status, _, _ = request(f"{base}/healthz")
+    assert status == 200
+
+
+def test_jobs_listing_round_trips(daemon, small_trace):
+    base, _, _ = daemon()
+    _, _, job = submit_trace(base, small_trace, tenant="alice")
+    poll_job(base, job["id"], timeout_s=60.0)
+    status, _, body = request(f"{base}/jobs")
+    assert status == 200
+    listed = {j["id"]: j for j in body["jobs"]}
+    assert listed[job["id"]]["tenant"] == "alice"
+    assert json.dumps(body)  # JSON-able end to end
