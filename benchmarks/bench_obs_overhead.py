@@ -197,6 +197,11 @@ def _run_timeline_overhead(*, rounds: int = TIMELINE_ROUNDS) -> dict:
     from repro.pipeline import record_app
 
     saved = os.environ.get("REPRO_OBS_TIMELINE")
+    saved_wire = os.environ.get("REPRO_WIRE")
+    # pin both legs to the decoded event path: with the timeline off
+    # the engine would otherwise take the fused wire fast path, and the
+    # ratio would price wire-path savings as "timeline cost"
+    os.environ["REPRO_WIRE"] = "off"
     results = {}
     with tempfile.TemporaryDirectory() as tmp:
         try:
@@ -223,6 +228,10 @@ def _run_timeline_overhead(*, rounds: int = TIMELINE_ROUNDS) -> dict:
                 os.environ.pop("REPRO_OBS_TIMELINE", None)
             else:
                 os.environ["REPRO_OBS_TIMELINE"] = saved
+            if saved_wire is None:
+                os.environ.pop("REPRO_WIRE", None)
+            else:
+                os.environ["REPRO_WIRE"] = saved_wire
     return results
 
 

@@ -24,6 +24,7 @@ Also runnable directly::
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import tempfile
 import time
@@ -93,6 +94,7 @@ def run_overhead(out: Path = OUT, *, size: int = 512) -> dict:
         "bench": "resilience_overhead",
         "app": "minivite",
         "events": rec.events,
+        "cpu_count": os.cpu_count(),
         "supervised": {
             "wall_seconds": round(clean.wall_seconds, 4),
             "events_per_sec": round(clean.events_per_sec, 1),

@@ -23,6 +23,7 @@ Also runnable directly::
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import tempfile
 import threading
@@ -101,6 +102,7 @@ def run_serve_bench(out: Path = OUT, *, size: int = 512) -> dict:
         "bench": "serve_latency",
         "app": "minivite",
         "events": rec.events,
+        "cpu_count": os.cpu_count(),
         "races": direct.races,
         "direct_analyze_s": round(direct_s, 4),
         "cold": {

@@ -4,17 +4,22 @@
 * :class:`IntervalBST` — accesses keyed by interval lower bound with a
   correct O(log n + k) overlap query,
 * :func:`legacy_find_overlapping` — the original unsound path-limited
-  search (paper §4.1) used by the baseline detector.
+  search (paper §4.1) used by the baseline detector,
+* :class:`FlatIntervalStore` — the struct-of-arrays AVL interval store
+  backing the flat detector core (:mod:`repro.core.flatcore`).
 """
 
 from .avl import AVLNode, AVLTree, TreeStats
 from .dump import dump_bst, dump_detector_stores
+from .flat import FLAT_LAYOUT, FlatIntervalStore
 from .interval_tree import IntervalBST
 from .legacy_search import legacy_find_overlapping
 
 __all__ = [
     "AVLNode",
     "AVLTree",
+    "FLAT_LAYOUT",
+    "FlatIntervalStore",
     "IntervalBST",
     "TreeStats",
     "dump_bst",

@@ -4,6 +4,8 @@
 * :func:`merge_accesses` — §4.2 node merging,
 * :func:`insert_access` — Algorithm 1 end to end,
 * :class:`OurDetector` — the full on-the-fly detector,
+* :class:`FlatDetector` — the same detector on the flat
+  struct-of-arrays core (the default; ``REPRO_CORE=object`` reverts),
 * :class:`RaceReport` / :class:`DataRaceError` — Fig. 9b style reports.
 """
 
@@ -18,10 +20,12 @@ from .insertion import (
     insert_access,
 )
 from .detector import OurDetector
+from .flatcore import FlatDetector
 from .strided import StridedChain, StridedDetector
 
 __all__ = [
     "DataRaceError",
+    "FlatDetector",
     "InsertOutcome",
     "OurDetector",
     "RaceReport",

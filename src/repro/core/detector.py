@@ -189,3 +189,16 @@ class OurDetector(BstDetector):
                     bst.stats.comparisons + bst.stats.rotations - w0
                     + len(survivors)
                 )
+
+    def restore(self, snap: dict) -> None:
+        # guard only the object core itself: FlatDetector subclasses
+        # this and routes its own snapshots through super().restore()
+        if snap.get("class") == "FlatDetector" and type(self) is OurDetector:
+            from ..pipeline.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                "repro-ckpt-v1 detector snapshot was written by the "
+                "flat core (FlatDetector) but this analysis runs the "
+                "object core (OurDetector); unset REPRO_CORE=object to "
+                "resume it, or re-analyze from scratch")
+        super().restore(snap)

@@ -70,7 +70,7 @@ from .resilience import (
     collect_results,
     reap_processes,
 )
-from .shard import dispatch_event, own_reports, shards_of
+from .shard import dispatch_batch, dispatch_event, own_reports, shards_of
 
 __all__ = [
     "DETECTOR_SPECS",
@@ -84,9 +84,18 @@ __all__ = [
 
 
 def _our():
-    from ..core import OurDetector
+    core = os.environ.get("REPRO_CORE", "flat")
+    if core == "flat":
+        from ..core import FlatDetector
 
-    return OurDetector()
+        return FlatDetector()
+    if core == "object":
+        # legacy escape hatch, kept one release as the differential oracle
+        from ..core import OurDetector
+
+        return OurDetector()
+    raise ValueError(
+        f"unknown REPRO_CORE {core!r}; have 'flat' (default) and 'object'")
 
 
 def _rma():
@@ -319,18 +328,13 @@ class _ShardGroup:
 
     def dispatch(self, shard: int, batch: Sequence[TraceEvent]) -> None:
         det = self.detectors[shard]
-        nranks = self.nranks
         tl = obs.active().timeline
-        if tl.enabled:
-            # feed the shard's lane *before* analyzing each event, so a
-            # race's forensics include the access that triggered it
-            feed = tl.record_event
-            for event in batch:
-                feed(shard, event)
-                dispatch_event(det, event, nranks)
-        else:
-            for event in batch:
-                dispatch_event(det, event, nranks)
+        # the shard's lane is fed *before* analyzing each event, so a
+        # race's forensics include the access that triggered it
+        dispatch_batch(
+            det, batch, self.nranks,
+            timeline=tl if tl.enabled else None, lane=shard,
+        )
         self.events[shard] += len(batch)
         obs.active().counter("pipeline.events.analyzed").add(len(batch))
 
@@ -652,19 +656,35 @@ def _serial(events, nranks, detector_name, reader=None):
     t0 = time.perf_counter()
     n = 0
     tl = reg.timeline
+    # the timeline's lane projection (fed before each dispatch) matches
+    # the sharded pipeline's routing, so lanes stay byte-identical
+    timeline = tl if tl.enabled else None
+    # fused wire path: a strict v2 binary trace feeding a flat-core
+    # detector with no timeline to feed skips event decoding entirely —
+    # the detector ingests raw chunk payloads (byte-identical results;
+    # the interned record stream is the same).  REPRO_WIRE=off forces
+    # the decoded path — a debugging aid, and how A/B measurements
+    # (e.g. the timeline-cost bench) keep both legs on one code path.
+    wire = None
+    ingest_wire = getattr(det, "ingest_wire", None)
+    if (timeline is None and reader is not None
+            and ingest_wire is not None
+            and os.environ.get("REPRO_WIRE", "").lower()
+            not in ("off", "0", "false", "no")):
+        wire = reader.wire_stream()
     with reg.span("worker.analyze"):
-        if tl.enabled:
-            fanout = tl.record_event_fanout
-            for event in events:
-                # same lane projection the sharded pipeline routes by,
-                # so serial and sharded lanes are byte-identical
-                fanout(event, nranks)
-                dispatch_event(det, event, nranks)
-                n += 1
+        if wire is not None:
+            for payload, off, nevents in wire:
+                n += ingest_wire(payload, off, nevents, wire, nranks)
+        elif isinstance(events, (list, tuple)):
+            n = dispatch_batch(det, events, nranks, timeline=timeline)
         else:
-            for event in events:
-                dispatch_event(det, event, nranks)
-                n += 1
+            it = iter(events)
+            while True:
+                chunk = list(islice(it, 4096))
+                if not chunk:
+                    break
+                n += dispatch_batch(det, chunk, nranks, timeline=timeline)
     det.finalize()
     wall = time.perf_counter() - t0
     reg.counter("pipeline.events.read").add(n)
@@ -742,16 +762,12 @@ def _serial_ckpt(events, nranks, detector_name, reader, plan, path):
 
     with reg.span("worker.analyze"):
         for chunk, cursor in chunks:
-            if tl.enabled:
-                fanout = tl.record_event_fanout
-                for event in chunk:
-                    # same lane projection the sharded pipeline routes
-                    # by, so serial and sharded lanes are byte-identical
-                    fanout(event, nranks)
-                    dispatch_event(det, event, nranks)
-            else:
-                for event in chunk:
-                    dispatch_event(det, event, nranks)
+            # same lane projection the sharded pipeline routes by (fed
+            # before each dispatch), so serial and sharded lanes are
+            # byte-identical
+            dispatch_batch(
+                det, chunk, nranks,
+                timeline=tl if tl.enabled else None)
             n = cursor["events_applied"]
             c_read.add(len(chunk))
             c_analyzed.add(len(chunk))

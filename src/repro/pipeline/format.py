@@ -70,6 +70,7 @@ __all__ = [
     "BinaryTraceWriter",
     "JsonTraceWriter",
     "TraceReader",
+    "WireStream",
     "make_trace_writer",
 ]
 
@@ -79,6 +80,7 @@ MAGIC_V2 = b"REPROTR2"
 
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
 # lo, hi, type id, file id, line, origin, flush_gen
 _ACCESS = struct.Struct("<qqBIIii")
 _LOCAL = struct.Struct("<qi")        # seq, rank
@@ -502,6 +504,18 @@ class TraceReader:
             return self._iter_v2()
         return self._iter_v1()
 
+    def wire_stream(self) -> Optional["WireStream"]:
+        """Raw-chunk access for the flat core's fused decode, if eligible.
+
+        Only strict v2 binary readers qualify: the wire path does no
+        salvage bookkeeping (any damage raises), and v1 JSON traces
+        have no binary chunks to hand over.  Returns ``None`` when the
+        caller should fall back to decoded-event iteration.
+        """
+        if not self.strict or self.format != FORMAT_V2:
+            return None
+        return WireStream(self)
+
     def salvage_report(self) -> dict:
         """What the last (salvage-mode) iteration had to skip.
 
@@ -838,7 +852,7 @@ class TraceReader:
                 (aid,) = cur.take(_U32)
                 accum = lookup(strings, aid, "string")
             if flags & _FLAG_EXCL:
-                (excl,) = cur.take(struct.Struct("<q"))
+                (excl,) = cur.take(_I64)
             return MemoryAccess(
                 Interval(lo, hi),
                 lookup(access_table, tid, "access type"),
@@ -861,7 +875,7 @@ class TraceReader:
             elif tag == _TAG_RMA:
                 seq, rank, target, wid = cur.take(_RMA)
                 (oid,) = cur.take(_U32)
-                (nbytes,) = cur.take(struct.Struct("<q"))
+                (nbytes,) = cur.take(_I64)
                 origin_access = take_access()
                 target_access = take_access()
                 origin_region = take_region()
@@ -887,3 +901,114 @@ class TraceReader:
                 path=self.path,
             )
         return out
+
+
+class WireStream:
+    """Raw v2 chunk payloads plus the decode context the flat core needs.
+
+    Iterating yields ``(payload, offset, nevents)`` triples: ``payload``
+    is a checksum-verified chunk body, ``offset`` points just past the
+    chunk's string-table prefix (already folded into :attr:`strings`),
+    and ``nevents`` is the frame's event count.  Framing, checksums and
+    the trailer are verified exactly as strict decoded iteration does,
+    but no event objects are constructed — that is the consumer's job
+    (the flat core's ``ingest_wire``).
+
+    The stream also carries the enum tables from the header and two
+    decode caches (wire site/accum ids → detector interned ids).  The
+    caches are sound per stream because the wire string table is
+    append-only: a given ``(file id, line)`` or accum-op id means the
+    same string for the life of the stream.
+    """
+
+    def __init__(self, reader: TraceReader) -> None:
+        header = reader._header
+        self.path = reader.path
+        self.nranks: int = header["nranks"]
+        self.access_table: List[AccessType] = header["access_table"]
+        self.sync_table: List[SyncKind] = header["sync_table"]
+        self.region_table: List[RegionKind] = header["region_table"]
+        self.chunk_crc: bool = header["chunk_crc"]
+        #: shared wire string table, grown chunk by chunk (append-only)
+        self.strings: List[str] = []
+        #: (wire file id << 32 | line) -> interned SITES id
+        self.site_ids: Dict[int, int] = {}
+        #: wire accum-op string id -> interned ACCUMS id
+        self.accum_ids: Dict[int, int] = {}
+
+    def _bad(self, message: str) -> None:
+        raise TraceFormatError(message, path=self.path)
+
+    def __iter__(self) -> Iterator[Tuple[bytes, int, int]]:
+        frame = struct.Struct("<III") if self.chunk_crc \
+            else struct.Struct("<II")
+        u32 = _U32
+        strings = self.strings
+        total = 0
+        chunk_no = 0
+        with self.path.open("rb") as fh:
+            fh.seek(len(MAGIC_V2))
+            (hlen,) = u32.unpack(fh.read(u32.size))
+            fh.seek(hlen, 1)
+            while True:
+                tag = fh.read(4)
+                if tag == b"CHNK":
+                    chunk_no += 1
+                    raw = fh.read(frame.size)
+                    if len(raw) < frame.size:
+                        self._bad(f"truncated chunk {chunk_no} frame")
+                    if self.chunk_crc:
+                        nbytes, nevents, crc = frame.unpack(raw)
+                    else:
+                        (nbytes, nevents), crc = frame.unpack(raw), None
+                    payload = fh.read(nbytes)
+                    if len(payload) < nbytes:
+                        self._bad(
+                            f"truncated chunk {chunk_no}: expected {nbytes} "
+                            f"bytes, got {len(payload)}"
+                        )
+                    if crc is not None and zlib.crc32(payload) != crc:
+                        self._bad(
+                            f"chunk {chunk_no}: checksum mismatch "
+                            f"(payload corrupt)"
+                        )
+                    try:
+                        (nstrings,) = u32.unpack_from(payload, 0)
+                        off = u32.size
+                        for _ in range(nstrings):
+                            (slen,) = u32.unpack_from(payload, off)
+                            off += u32.size
+                            if off + slen > len(payload):
+                                self._bad(
+                                    f"chunk {chunk_no}: truncated string "
+                                    f"table"
+                                )
+                            strings.append(
+                                payload[off:off + slen].decode("utf-8"))
+                            off += slen
+                    except (struct.error, UnicodeDecodeError) as exc:
+                        raise TraceFormatError(
+                            f"chunk {chunk_no}: corrupt string table: {exc}",
+                            path=self.path,
+                        ) from exc
+                    total += nevents
+                    yield payload, off, nevents
+                elif tag == b"TEND":
+                    raw = fh.read(_U64.size)
+                    if len(raw) < _U64.size:
+                        self._bad("truncated trailer")
+                    (expected,) = _U64.unpack(raw)
+                    if expected != total:
+                        self._bad(
+                            f"event count mismatch: trailer says {expected}, "
+                            f"file holds {total}"
+                        )
+                    if fh.read(1):
+                        self._bad("junk after trailer")
+                    return
+                elif tag == b"":
+                    self._bad(
+                        f"truncated file: no trailer after chunk {chunk_no}"
+                    )
+                else:
+                    self._bad(f"bad chunk tag {tag!r} after chunk {chunk_no}")

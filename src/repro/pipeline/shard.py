@@ -39,7 +39,13 @@ from typing import List, Tuple
 from ..mpi.interposition import DetectorProtocol
 from ..mpi.trace import LocalEvent, RmaEvent, SyncEvent, SyncKind, TraceEvent
 
-__all__ = ["ReplayWindow", "dispatch_event", "own_reports", "shards_of"]
+__all__ = [
+    "ReplayWindow",
+    "dispatch_batch",
+    "dispatch_event",
+    "own_reports",
+    "shards_of",
+]
 
 
 class ReplayWindow:
@@ -91,6 +97,47 @@ def dispatch_event(
             detector.on_barrier()
         elif kind is SyncKind.FENCE:
             detector.on_fence(event.wid, nranks)
+
+
+def dispatch_batch(
+    detector: DetectorProtocol,
+    events,
+    nranks: int,
+    *,
+    timeline=None,
+    lane=None,
+) -> int:
+    """Feed a whole chunk of events to one detector; returns the count.
+
+    Detectors exposing ``ingest_batch`` (the flat core) take the chunk
+    wholesale — per-event dispatch overhead (isinstance ladder, hook
+    indirection, timeline lookup) is paid once per chunk.  Everything
+    else gets the per-event loop with identical semantics.
+
+    ``timeline``/``lane`` preserve the callers' forensics feed ordering:
+    each event is recorded *before* it is analyzed (``lane=None`` uses
+    fanout recording as serial replay does; an int ``lane`` records into
+    that shard's ring as the worker loop does).
+    """
+    ingest = getattr(detector, "ingest_batch", None)
+    if ingest is not None:
+        return ingest(events, nranks, timeline=timeline, lane=lane)
+    n = 0
+    if timeline is None:
+        for event in events:
+            dispatch_event(detector, event, nranks)
+            n += 1
+    elif lane is None:
+        for event in events:
+            timeline.record_event_fanout(event, nranks)
+            dispatch_event(detector, event, nranks)
+            n += 1
+    else:
+        for event in events:
+            timeline.record_event(lane, event)
+            dispatch_event(detector, event, nranks)
+            n += 1
+    return n
 
 
 def own_reports(detector: DetectorProtocol, shard: int) -> List:

@@ -1,0 +1,149 @@
+"""Differential A/B harness: flat-array core vs legacy object core.
+
+The flat core (``src/repro/core/flatcore.py``) re-implements the paper's
+§4 detector over struct-of-arrays storage and a fused binary wire path.
+Its contract is *byte identity* with the object core it replaced:
+
+* canonical verdicts and forensics bundles — same JSON dumps,
+* node statistics — the Table-4 quantities (peak nodes, processed
+  accesses) match exactly, pinned against the recorded workloads,
+* the full obs registry snapshot (counters, bst.* tree statistics)
+  matches once volatile wall-clock/RSS keys are zeroed,
+* the seed-7 scenario corpus produces identical verdicts per scenario.
+
+Anything short of byte identity is a correctness bug in the flat core,
+not a tolerable drift: the object core stays behind ``REPRO_CORE=object``
+precisely so this harness can keep arbitrating.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import FlatDetector, OurDetector
+from repro.pipeline import analyze_trace
+from repro.pipeline.engine import canonical_forensics, canonical_verdicts
+from repro.scenarios import generate_corpus
+from repro.scenarios.build import run_scenario
+
+#: Table-4 pins for the recorded fixtures (minivite 4x256 +race, cfd 4x4):
+#: (events_total, races, peak_nodes, accesses_processed)
+PINNED = {
+    "minivite": (2333, 12, 196, 807),
+    "cfd": (4414, 0, 8, 1024),
+}
+
+#: registry-snapshot keys that legitimately differ run to run
+_VOLATILE = ("ns", "seconds", "time", "wall", "rss")
+
+
+def _normalize(d):
+    out = {}
+    for k, v in d.items():
+        if isinstance(v, dict):
+            out[k] = _normalize(v)
+        elif any(t in k for t in _VOLATILE):
+            out[k] = 0
+        else:
+            out[k] = v
+    return out
+
+
+def _analyze(path, core, monkeypatch, **kwargs):
+    monkeypatch.setenv("REPRO_CORE", core)
+    res = analyze_trace(path, **kwargs)
+    monkeypatch.delenv("REPRO_CORE")
+    return res
+
+
+def _result_key(res):
+    """Everything observable about a pipeline run, as one JSON string."""
+    return json.dumps({
+        "verdicts": res.verdicts,
+        "forensics": res.forensics,
+        "events": res.events_total,
+        "shards": [(s.shard, s.events, s.races, s.peak_nodes, s.processed)
+                   for s in res.shard_stats],
+    }, sort_keys=True, default=str)
+
+
+@pytest.fixture(params=["minivite", "cfd"])
+def workload(request, minivite_trace, cfd_trace):
+    path = {"minivite": minivite_trace, "cfd": cfd_trace}[request.param]
+    return request.param, path
+
+
+class TestRecordedWorkloads:
+    def test_serial_byte_identical(self, workload, monkeypatch):
+        name, path = workload
+        obj = _analyze(path, "object", monkeypatch, jobs=1)
+        flat = _analyze(path, "flat", monkeypatch, jobs=1)
+        assert _result_key(flat) == _result_key(obj)
+
+    def test_table4_pins(self, workload, monkeypatch):
+        """The flat core reproduces the exact pinned Table-4 numbers."""
+        name, path = workload
+        events, races, peak, processed = PINNED[name]
+        res = _analyze(path, "flat", monkeypatch, jobs=1)
+        shard = res.shard_stats[0]
+        assert res.events_total == events
+        assert shard.races == races
+        assert shard.peak_nodes == peak
+        assert shard.processed == processed
+
+    def test_sharded_byte_identical(self, workload, monkeypatch):
+        name, path = workload
+        obj = _analyze(path, "object", monkeypatch, jobs=2)
+        flat = _analyze(path, "flat", monkeypatch, jobs=2)
+        assert json.dumps(flat.verdicts, sort_keys=True, default=str) == \
+            json.dumps(obj.verdicts, sort_keys=True, default=str)
+        assert json.dumps(flat.forensics, sort_keys=True, default=str) == \
+            json.dumps(obj.forensics, sort_keys=True, default=str)
+
+    def test_obs_snapshot_identical(self, workload, monkeypatch):
+        """Full registry snapshots match: every ``bst.*`` tree counter
+        (comparisons, rotations, queries, fanout histogram) and every
+        detector counter is reproduced by the flat core exactly."""
+        name, path = workload
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        snaps = {}
+        for core in ("object", "flat"):
+            with obs.scope() as reg:
+                _analyze(path, core, monkeypatch, jobs=1)
+                snaps[core] = json.dumps(_normalize(reg.snapshot()),
+                                         sort_keys=True, default=str)
+        assert snaps["flat"] == snaps["object"]
+
+
+class TestScenarioCorpus:
+    """Seed-7 corpus: 60 scenarios through both cores, live (no trace)."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(7, 60)
+
+    @staticmethod
+    def _run(sc, det_cls):
+        # fresh registry per run: forensics embed timeline views, which
+        # would otherwise leak across the two detector executions
+        with obs.scope():
+            det = det_cls()
+            run_scenario(sc, det)
+            det.finalize()
+            key = json.dumps({
+                "verdicts": canonical_verdicts(det.reports),
+                "forensics": canonical_forensics(det.reports),
+            }, sort_keys=True, default=str)
+            return key, det.node_stats()
+
+    def test_corpus_byte_identical(self, corpus):
+        mismatches = []
+        for sc in corpus:
+            key_o, ns_o = self._run(sc, OurDetector)
+            key_f, ns_f = self._run(sc, FlatDetector)
+            if key_o != key_f:
+                mismatches.append(sc.name)
+            if ns_o != ns_f:
+                mismatches.append(f"{sc.name} (node stats)")
+        assert not mismatches, f"core divergence on: {mismatches}"
