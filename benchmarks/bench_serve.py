@@ -11,6 +11,12 @@ written to ``BENCH_serve.json``:
 * ``cached`` — repeat submissions of the identical trace: answered
   from the content-hash verdict cache without running a detector
   (median of several rounds).
+* ``incremental`` — a larger trace is analyzed, grown append-only by
+  ~10%, and resubmitted: the daemon resumes from the ancestor's
+  retained checkpoint cursor and analyzes only the new tail.  Measured
+  against a from-scratch submission of the *same grown file* to a
+  fresh daemon (identical HTTP/journal overhead, no cache), so the
+  ratio isolates exactly what prefix-resume saves.
 
 Verdict parity between the served result and the direct analysis is
 asserted unconditionally — a fast wrong answer is not a benchmark win.
@@ -44,6 +50,11 @@ OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
 CACHED_ROUNDS = 5
 
+#: the incremental leg uses a bigger recording so analysis time
+#: dominates the fixed per-request overhead it is measured against
+INCR_SIZE = 4096
+INCR_GROW_FRACTION = 0.10
+
 
 def _submit_to_verdict(base: str, trace: Path) -> tuple:
     """One submit→terminal round-trip; returns (seconds, job dict)."""
@@ -55,6 +66,80 @@ def _submit_to_verdict(base: str, trace: Path) -> tuple:
     dt = time.perf_counter() - t0
     assert job["state"] == "done", job
     return dt, job
+
+
+class _Stack:
+    """One in-process daemon (scheduler + HTTP listener) on a state dir."""
+
+    def __init__(self, state: Path):
+        self.config = ServeConfig(state_dir=str(state), port=0, workers=1)
+        self.sched = Scheduler(state, workers=1)
+        self.sched.recover()
+        self.sched.start()
+        self.httpd = ReproServer(self.config, self.sched)
+        threading.Thread(target=self.httpd.serve_forever,
+                         kwargs={"poll_interval": 0.01},
+                         daemon=True).start()
+        host, port = self.httpd.server_address[:2]
+        self.base = f"http://{host}:{port}"
+
+    def close(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.sched.drain(timeout=10.0)
+
+
+def _incremental_leg(tmp: Path) -> dict:
+    """Grow a trace ~10% and measure prefix-resume vs from-scratch."""
+    from repro.faultinject import extend_trace
+
+    trace = tmp / "incr.trace"
+    rec = record_app("minivite", nranks=4, size=INCR_SIZE,
+                     inject_race=True, out=trace, format="binary")
+    stack = _Stack(tmp / "incr-svc")
+    try:
+        base_s, _ = _submit_to_verdict(stack.base, trace)
+        grown = extend_trace(trace, fraction=INCR_GROW_FRACTION)
+        incr_s, incr_job = _submit_to_verdict(stack.base, trace)
+        assert incr_job["resumed_from"], incr_job
+        assert incr_job["resumed"], "grown trace did not prefix-resume"
+        chunks_skipped = incr_job["resumed"][0]["chunks_skipped"]
+        assert chunks_skipped > 0, incr_job
+        _, _, incr_result = request(
+            f"{stack.base}/jobs/{incr_job['id']}/result")
+    finally:
+        stack.close()
+
+    # from-scratch reference: the *same grown file* through a fresh
+    # daemon with an empty cache — identical transport overhead
+    scratch = _Stack(tmp / "scratch-svc")
+    try:
+        scratch_s, scratch_job = _submit_to_verdict(scratch.base, trace)
+        assert not scratch_job["resumed"], scratch_job
+        _, _, scratch_result = request(
+            f"{scratch.base}/jobs/{scratch_job['id']}/result")
+    finally:
+        scratch.close()
+
+    for key in ("verdicts", "forensics"):
+        assert (json.dumps(incr_result[key], sort_keys=True)
+                == json.dumps(scratch_result[key], sort_keys=True)), \
+            f"incremental {key} diverged from from-scratch analysis"
+    assert incr_result["events_total"] == scratch_result["events_total"]
+
+    return {
+        "events_base": rec.events,
+        "events_appended": grown["events_appended"],
+        "grow_fraction": INCR_GROW_FRACTION,
+        "chunks_total": grown["chunks_after"],
+        "chunks_skipped": chunks_skipped,
+        "base_submit_to_verdict_s": round(base_s, 4),
+        "fromscratch_submit_to_verdict_s": round(scratch_s, 4),
+        "incremental_submit_to_verdict_s": round(incr_s, 4),
+        "ratio_vs_fromscratch": round(incr_s / scratch_s, 3)
+        if scratch_s > 0 else None,
+        "speedup_x": round(scratch_s / incr_s, 1) if incr_s > 0 else None,
+    }
 
 
 def run_serve_bench(out: Path = OUT, *, size: int = 512) -> dict:
@@ -97,6 +182,8 @@ def run_serve_bench(out: Path = OUT, *, size: int = 512) -> dict:
             httpd.server_close()
             sched.drain(timeout=10.0)
 
+        incremental = _incremental_leg(Path(tmp))
+
     cached_median = statistics.median(cached)
     report = {
         "bench": "serve_latency",
@@ -117,6 +204,7 @@ def run_serve_bench(out: Path = OUT, *, size: int = 512) -> dict:
             "speedup_vs_cold_x": round(cold_s / cached_median, 1)
             if cached_median > 0 else None,
         },
+        "incremental": incremental,
     }
     out.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -129,9 +217,18 @@ def test_serve_latency(once):
           f"cached: {report['cached']['submit_to_verdict_s_median']}s "
           f"({report['cached']['speedup_vs_cold_x']}x faster)")
     assert OUT.exists()
+    incr = report["incremental"]
+    print(f"incremental re-analysis after +{incr['events_appended']} events: "
+          f"{incr['incremental_submit_to_verdict_s']}s vs "
+          f"{incr['fromscratch_submit_to_verdict_s']}s from scratch "
+          f"({incr['ratio_vs_fromscratch']}x, "
+          f"{incr['chunks_skipped']} chunk(s) skipped)")
     # a cache hit must be decisively cheaper than re-analysis
     assert (report["cached"]["submit_to_verdict_s_median"]
             < report["cold"]["submit_to_verdict_s"]), report
+    # a ~10% grown trace must resume, not re-run: ≤0.3× from-scratch
+    assert incr["chunks_skipped"] > 0, report
+    assert incr["ratio_vs_fromscratch"] <= 0.3, report
 
 
 if __name__ == "__main__":

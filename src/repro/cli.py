@@ -27,7 +27,7 @@ Examples::
 Exit codes are a contract (see :mod:`repro.exitcodes`): 0 success,
 1 gate violation, 2 usage/operational error, 3 recorded app failed,
 4 partial (resumable) analysis, 5 submitted job failed, 6 server
-unavailable, 143 SIGTERM.
+unavailable, 7 trace diverged from its analyzed prefix, 143 SIGTERM.
 """
 
 from __future__ import annotations
@@ -40,6 +40,7 @@ from typing import List, Optional
 from . import __version__
 from .exitcodes import (
     EX_APP_FAILED,
+    EX_DIVERGED,
     EX_ERROR,
     EX_GATE_FAILED,
     EX_JOB_FAILED,
@@ -156,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-worker memory high-watermark: past it a "
                          "worker checkpoints and is recycled (serial: "
                          "stops like --deadline-s; needs --ckpt-dir)")
+    an.add_argument("--follow", action="store_true",
+                    help="tail a live-growing trace: at end-of-file wait "
+                         "for more chunks instead of finishing; requires "
+                         "--ckpt-dir (progress checkpoints at chunk "
+                         "boundaries survive kill -9)")
+    an.add_argument("--follow-timeout-s", type=float, default=None,
+                    metavar="SEC",
+                    help="with --follow: stop (partial, resumable) after "
+                         "SEC seconds without new chunks or a trailer")
     an.add_argument("--resume", default=None, metavar="DIR",
                     help="resume from the newest valid checkpoint in DIR "
                          "(implies --ckpt-dir DIR)")
@@ -273,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default 1 — the daemon favors resumability)")
     srv.add_argument("--drain-s", type=float, default=10.0, metavar="SEC",
                      help="graceful-drain budget on SIGTERM (default 10)")
+    srv.add_argument("--cache-max", type=int, default=256, metavar="N",
+                     help="verdict-cache entries kept before LRU eviction "
+                          "(0 = unbounded; default %(default)s)")
     srv.add_argument("--max-body-mb", type=int, default=256, metavar="MB",
                      help="largest accepted trace upload (default 256)")
     srv.add_argument("--verbose", action="store_true",
@@ -294,6 +307,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="detector to analyze under (default: our)")
     sb.add_argument("--tenant", default="default",
                     help="tenant name for admission accounting")
+    sb.add_argument("--max-wait-s", type=float, default=0.0, metavar="SEC",
+                    help="on 429/503 backpressure, retry with the server's "
+                         "Retry-After plus jittered exponential backoff for "
+                         "up to SEC seconds (default: no retry)")
     sb.add_argument("--wait", action="store_true",
                     help="poll until the job is done/failed/quarantined")
     sb.add_argument("--timeout-s", type=float, default=120.0, metavar="SEC",
@@ -546,7 +563,12 @@ def _record(args) -> int:
 
 def _analyze(args) -> int:
     from .mpi.errors import TraceFormatError, WorkerCrashedError
-    from .pipeline import CheckpointError, analyze_trace, detector_display_name
+    from .pipeline import (
+        CheckpointError,
+        TraceDivergedError,
+        analyze_trace,
+        detector_display_name,
+    )
 
     ckpt_dir = args.ckpt_dir
     resume = False
@@ -565,8 +587,15 @@ def _analyze(args) -> int:
             salvage=args.salvage,
             ckpt_dir=ckpt_dir, ckpt_every=args.ckpt_every,
             deadline_s=args.deadline_s, max_rss_mb=args.max_rss_mb,
-            resume=resume,
+            resume=resume, follow=args.follow,
+            follow_timeout_s=args.follow_timeout_s,
         )
+    except TraceDivergedError as exc:
+        # the trace on disk is not an extension of the analyzed prefix:
+        # retrying cannot help and resuming would blend two histories —
+        # a dedicated exit code so wrappers re-record instead of re-run
+        print(f"repro analyze: DIVERGED: {exc}", file=sys.stderr)
+        return EX_DIVERGED
     except (TraceFormatError, WorkerCrashedError, CheckpointError, OSError,
             ValueError) as exc:
         print(f"repro analyze: {exc}", file=sys.stderr)
@@ -820,7 +849,9 @@ def _serve(args) -> int:
             tenant_cap=args.tenant_cap, retries=args.retries,
             deadline_s=args.deadline_s, max_rss_mb=args.max_rss_mb,
             ckpt_every=args.ckpt_every, drain_s=args.drain_s,
-            max_body_mb=args.max_body_mb, quiet=not args.verbose,
+            max_body_mb=args.max_body_mb,
+            cache_max=args.cache_max if args.cache_max > 0 else None,
+            quiet=not args.verbose,
         )
         return serve_forever(config)
     except (OSError, ValueError) as exc:
@@ -848,21 +879,29 @@ def _submit(args) -> int:
         poll_job,
         resolve_server,
         submit_trace,
+        submit_with_retry,
     )
 
+    attempts = 1
     try:
         base = resolve_server(args.server, args.state)
-        status, headers, payload = submit_trace(
-            base, args.trace, detector=args.detector, tenant=args.tenant)
+        if args.max_wait_s > 0:
+            status, headers, payload, attempts = submit_with_retry(
+                base, args.trace, detector=args.detector,
+                tenant=args.tenant, max_wait_s=args.max_wait_s)
+        else:
+            status, headers, payload = submit_trace(
+                base, args.trace, detector=args.detector, tenant=args.tenant)
     except ServerUnavailable as exc:
         print(f"repro submit: {exc}", file=sys.stderr)
         return EX_UNAVAILABLE
     except OSError as exc:
         print(f"repro submit: {exc}", file=sys.stderr)
         return EX_ERROR
-    if status == 429:
+    if status in (429, 503):
         retry = headers.get("Retry-After", "?")
-        print(f"repro submit: rejected: {payload.get('error')} "
+        tried = f" after {attempts} attempt(s)" if attempts > 1 else ""
+        print(f"repro submit: rejected{tried}: {payload.get('error')} "
               f"(Retry-After: {retry}s)", file=sys.stderr)
         return EX_UNAVAILABLE
     if status not in (200, 202):

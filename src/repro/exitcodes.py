@@ -26,6 +26,10 @@ code  meaning
       the daemon reports ``failed`` or ``quarantined``)
 6     server unavailable or overloaded (``repro submit``: 429
       admission rejection, or the daemon cannot be reached)
+7     trace diverged: the file is no longer an append-only
+      extension of the analyzed prefix (``repro analyze --follow``
+      / ``--resume``: hash-chain mismatch) — re-analyze from
+      scratch, the checkpointed state cannot be trusted
 143   terminated by SIGTERM (128+15) after graceful cleanup —
       ``repro serve`` instead *drains* on SIGTERM and exits 0
 ====  ==========================================================
@@ -38,6 +42,7 @@ from types import MappingProxyType
 __all__ = [
     "EXIT_CODES",
     "EX_APP_FAILED",
+    "EX_DIVERGED",
     "EX_ERROR",
     "EX_GATE_FAILED",
     "EX_JOB_FAILED",
@@ -54,6 +59,7 @@ EX_APP_FAILED = 3
 EX_PARTIAL = 4
 EX_JOB_FAILED = 5
 EX_UNAVAILABLE = 6
+EX_DIVERGED = 7
 EX_SIGTERM = 143
 
 #: the full contract, read-only — new codes land here first, with their
@@ -66,5 +72,6 @@ EXIT_CODES = MappingProxyType({
     EX_PARTIAL: "partial analysis (resource guard stopped; resumable)",
     EX_JOB_FAILED: "submitted job failed terminally",
     EX_UNAVAILABLE: "server unavailable or overloaded",
+    EX_DIVERGED: "trace diverged from its analyzed prefix",
     EX_SIGTERM: "terminated by SIGTERM after cleanup",
 })

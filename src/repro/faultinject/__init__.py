@@ -32,6 +32,12 @@ from .corrupt import (
     flip_bytes,
     truncate_mid_chunk,
 )
+from .incremental import (
+    append_mid_analysis,
+    extend_trace,
+    rewrite_prefix,
+    truncate_tail_mid_append,
+)
 from .daemon import (
     KillAfterCheckpoints,
     StallAfterCheckpoints,
@@ -56,13 +62,17 @@ __all__ = [
     "StallAfterCheckpoints",
     "StallWorker",
     "WriterCrash",
+    "append_mid_analysis",
     "chunk_index",
     "corrupt_checkpoint",
     "corrupt_chunk_tag",
     "corrupt_journal_record",
+    "extend_trace",
     "flip_bytes",
     "install_serve_faults_from_env",
     "kill_daemon",
+    "rewrite_prefix",
     "sever_mid_upload",
     "truncate_mid_chunk",
+    "truncate_tail_mid_append",
 ]

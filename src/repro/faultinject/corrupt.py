@@ -54,6 +54,8 @@ def chunk_index(path: Union[str, Path]) -> List[ChunkInfo]:
     (hlen,) = _U32.unpack_from(raw, pos)
     header = json.loads(raw[pos + 4:pos + 4 + hlen])
     frame_size = 12 if header.get("chunk_crc32") else 8
+    if header.get("chunk_chain"):
+        frame_size += 32  # per-frame rolling chain digest
     pos += 4 + hlen
     chunks: List[ChunkInfo] = []
     while pos + 4 <= len(raw):

@@ -16,6 +16,7 @@ __all__ = [
     "CollectiveMismatchError",
     "DeadlockError",
     "TraceFormatError",
+    "TraceChainMismatch",
     "WorkerCrashedError",
 ]
 
@@ -60,6 +61,24 @@ class TraceFormatError(MpiSimError, ValueError):
         super().__init__(message)
         self.path = str(path) if path is not None else None
         self.line = line
+
+
+class TraceChainMismatch(TraceFormatError):
+    """A stored rolling-chain digest disagrees with the recomputed chain.
+
+    Distinct from garden-variety corruption (the payload checksum still
+    passes): the chunk's *content* is internally consistent but it is
+    not the content the preceding chunks commit to — the prefix was
+    rewritten underneath an append, or chunks were spliced from another
+    trace.  Follow/resume converts this into
+    :class:`~repro.pipeline.checkpoint.TraceDivergedError` so callers
+    can branch on "re-record, don't retry".  Carries the 1-based
+    ``chunk`` where the chain first broke.
+    """
+
+    def __init__(self, message: str, *, path=None, chunk=None) -> None:
+        super().__init__(message, path=path)
+        self.chunk = chunk
 
 
 class WorkerCrashedError(MpiSimError):

@@ -40,6 +40,7 @@ from .checkpoint import (
     CheckpointError,
     CheckpointPlan,
     CheckpointStore,
+    TraceDivergedError,
 )
 from .engine import (
     DETECTOR_SPECS,
@@ -50,13 +51,16 @@ from .engine import (
     detector_display_name,
 )
 from .format import (
+    CHAIN_ALGO,
     FORMAT_V1,
     FORMAT_V2,
     MAGIC_V2,
     BinaryTraceWriter,
     JsonTraceWriter,
     TraceReader,
+    compare_chain,
     make_trace_writer,
+    trace_chain,
 )
 from .record import RECORDABLE_APPS, AppSpec, RecordResult, record_app
 from .resilience import (
@@ -71,6 +75,7 @@ from .shard import ReplayWindow, dispatch_event, own_reports, shards_of
 __all__ = [
     "AppSpec",
     "BinaryTraceWriter",
+    "CHAIN_ALGO",
     "CKPT_MAGIC",
     "CKPT_SCHEMA",
     "CheckpointError",
@@ -88,16 +93,19 @@ __all__ = [
     "RecordResult",
     "ReplayWindow",
     "ShardStats",
+    "TraceDivergedError",
     "TraceReader",
     "WorkerFailure",
     "analyze_trace",
     "backoff_delay",
     "canonical_verdicts",
     "collect_results",
+    "compare_chain",
     "detector_display_name",
     "dispatch_event",
     "make_trace_writer",
     "own_reports",
     "record_app",
     "shards_of",
+    "trace_chain",
 ]

@@ -51,6 +51,7 @@ __all__ = [
     "CheckpointError",
     "CheckpointPlan",
     "CheckpointStore",
+    "TraceDivergedError",
     "add_write_hook",
     "current_rss_mb",
     "drain_requested",
@@ -69,6 +70,26 @@ _PICKLE_PROTO = 4
 
 class CheckpointError(Exception):
     """A checkpoint file is unusable, or resume preconditions fail."""
+
+
+class TraceDivergedError(CheckpointError):
+    """The trace is not an append-only extension of the analyzed prefix.
+
+    Raised when a resume (or ``--follow`` re-poll) finds the rolling
+    hash chain recorded in the checkpoint cursor disagrees with the
+    bytes now on disk: something rewrote or replaced the prefix the
+    detector state was built from, so continuing would emit confidently
+    wrong verdicts.  Subclasses :class:`CheckpointError` so existing
+    no-retry handling applies, but carries its own identity (and a
+    dedicated CLI exit code) because the remedy differs — re-analyze
+    from scratch, don't retry the resume.
+    """
+
+    def __init__(self, message: str, *, path: Optional[str] = None,
+                 chunk: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.chunk = chunk
 
 
 @dataclass(frozen=True)

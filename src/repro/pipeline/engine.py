@@ -57,12 +57,16 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from .. import obs
 from ..core.report import RaceReport
-from ..mpi.errors import WorkerCrashedError
+from ..mpi.errors import TraceChainMismatch, WorkerCrashedError
 from ..mpi.trace import TraceEvent, TraceLog
 from ..mpi.trace_io import LoadedTrace, _access_to_dict
 from . import checkpoint as _ckpt
-from .checkpoint import CheckpointPlan, CheckpointStore
-from .format import TraceReader
+from .checkpoint import (
+    CheckpointPlan,
+    CheckpointStore,
+    TraceDivergedError,
+)
+from .format import FORMAT_V2, TraceReader, trace_chain
 from .resilience import (
     HEARTBEAT_INTERVAL,
     WorkerFailure,
@@ -411,6 +415,7 @@ def _ckpt_meta(detector: str, nranks: int, path, shards, cursor: dict) -> dict:
         "shards": list(shards),
         "events_applied": cursor["events_applied"],
         "chunk": cursor.get("chunk"),
+        "chain": cursor.get("chain"),
     }
 
 
@@ -427,6 +432,56 @@ def _ckpt_expect(detector: str, nranks: int, path) -> dict:
         except OSError:
             pass
     return expect
+
+
+def _verify_resume_trace(meta: dict, path) -> None:
+    """Check the trace on disk still begins with the checkpointed prefix.
+
+    Chain-carrying checkpoints (v2 traces) verify by *content*: the
+    rolling chain recomputed over the first ``meta["chunk"]`` chunks
+    must equal the cursor's chain value, which proves byte-identity of
+    the analyzed prefix — and therefore admits append-only extensions,
+    the whole point of incremental re-analysis.  A shorter or differing
+    file raises :class:`TraceDivergedError`.  Checkpoints without a
+    chain (v1 traces, in-memory sources, pre-chain files) fall back to
+    the legacy exact-size pin.
+    """
+    if path is None:
+        return
+    chain = meta.get("chain")
+    chunk = meta.get("chunk")
+    if chain and chunk:
+        reg = obs.active()
+        try:
+            got = trace_chain(path, upto=chunk)
+        except TraceChainMismatch as exc:
+            reg.counter("incremental.divergences").add(1)
+            raise TraceDivergedError(
+                f"{path}: trace does not match the checkpointed prefix "
+                f"({exc})", path=str(path), chunk=exc.chunk) from exc
+        if len(got["chunks"]) < chunk:
+            reg.counter("incremental.divergences").add(1)
+            raise TraceDivergedError(
+                f"{path}: trace does not match the checkpointed prefix "
+                f"(only {len(got['chunks'])} complete chunk(s) on disk, "
+                f"checkpoint covers {chunk})", path=str(path))
+        if got["chunks"][chunk - 1] != chain:
+            reg.counter("incremental.divergences").add(1)
+            raise TraceDivergedError(
+                f"{path}: trace does not match the checkpointed prefix "
+                f"(chain diverged at or before chunk {chunk})",
+                path=str(path), chunk=chunk)
+        return
+    want = meta.get("trace_bytes")
+    if want is not None:
+        try:
+            got_bytes = os.path.getsize(path)
+        except OSError:
+            return
+        if got_bytes != want:
+            raise _ckpt.CheckpointError(
+                f"checkpoint trace_bytes={want!r} does not match this "
+                f"analysis ({got_bytes!r})")
 
 
 def _ckpt_state(body: dict, cursor: dict, ticks: int) -> dict:
@@ -705,7 +760,8 @@ def _serial(events, nranks, detector_name, reader=None):
     )
 
 
-def _serial_ckpt(events, nranks, detector_name, reader, plan, path):
+def _serial_ckpt(events, nranks, detector_name, reader, plan, path,
+                 follow=False, follow_timeout_s=None):
     """Serial analysis with checkpoints and resource guards.
 
     The chunk-wise twin of :func:`_serial`: per-event work is identical
@@ -715,6 +771,16 @@ def _serial_ckpt(events, nranks, detector_name, reader, plan, path):
     deadline or the memory guard checkpoints, stops, and returns a
     *partial* result with ``analyzed_fraction``; ``plan.resume`` picks
     up from the newest valid checkpoint in the directory.
+
+    ``follow=True`` tails a still-growing v2 trace: when the file ends
+    without a trailer the loop checkpoints, polls with capped backoff
+    (``incremental.tail_retries``), and re-enters from the last cursor
+    as new chunks land — the trailer ends the run normally.  The
+    deadline/drain guards keep firing while idle, and
+    ``follow_timeout_s`` without progress stops the run as a *partial*,
+    resumable result (``stopped="follow-timeout"``).  A prefix
+    rewritten underneath the follow trips the stored-chain verification
+    and aborts with :class:`TraceDivergedError`.
     """
     det = _make_detector(detector_name)
     reg = obs.active()
@@ -726,22 +792,25 @@ def _serial_ckpt(events, nranks, detector_name, reader, plan, path):
     resumed = []
     if plan.resume:
         loaded = store.load_latest(
-            expect=_ckpt_expect(detector_name, nranks, path))
+            expect={"detector": detector_name, "nranks": nranks})
         if loaded is not None:
             header, state = loaded
+            _verify_resume_trace(header["meta"], path)
             det.restore(state["detector"])
             _ckpt_restore_registry(reg, state)
             start = state["cursor"]
+            skipped_chunks = start.get("chunk") or 0
+            if skipped_chunks:
+                reg.counter("incremental.chunks_skipped").add(skipped_chunks)
             resumed.append({
                 "lane": "serial",
                 "from_seq": header["seq"],
                 "events_skipped": start["events_applied"],
+                "chunks_skipped": skipped_chunks,
             })
 
-    if reader is not None:
-        chunks = reader.iter_chunks(start=start)
-    else:
-        chunks = _virtual_chunks(events, start)
+    if follow and reader is not None:
+        reader.tail = True
 
     n = start["events_applied"] if start is not None else 0
     cursor = start
@@ -760,39 +829,94 @@ def _serial_ckpt(events, nranks, detector_name, reader, plan, path):
         written += 1
         chunks_since = 0
 
+    def _guard_stop():
+        if plan.deadline_at is not None and time.time() >= plan.deadline_at:
+            return "deadline"
+        if _ckpt.drain_requested():
+            # the serving daemon is draining (SIGTERM): stop exactly
+            # like a deadline — checkpointed, partial, resumable
+            return "drain"
+        if plan.max_rss_mb is not None:
+            # serial mode cannot recycle itself; the memory guard
+            # stops like the deadline does, leaving a resumable run.
+            # An unavailable RSS probe (None) disables the guard.
+            rss = _ckpt.current_rss_mb()
+            if rss is not None and rss > plan.max_rss_mb:
+                return "memory"
+        return None
+
+    poll_s = 0.05
+    last_progress = time.time()
     with reg.span("worker.analyze"):
-        for chunk, cursor in chunks:
-            # same lane projection the sharded pipeline routes by (fed
-            # before each dispatch), so serial and sharded lanes are
-            # byte-identical
-            dispatch_batch(
-                det, chunk, nranks,
-                timeline=tl if tl.enabled else None)
-            n = cursor["events_applied"]
-            c_read.add(len(chunk))
-            c_analyzed.add(len(chunk))
-            chunks_since += 1
-            wrote = False
-            if plan.every and chunks_since >= plan.every:
-                _write(cursor)
-                wrote = True
-            if plan.deadline_at is not None and time.time() >= plan.deadline_at:
-                stop = "deadline"
-            elif _ckpt.drain_requested():
-                # the serving daemon is draining (SIGTERM): stop exactly
-                # like a deadline — checkpointed, partial, resumable
-                stop = "drain"
-            elif plan.max_rss_mb is not None:
-                # serial mode cannot recycle itself; the memory guard
-                # stops like the deadline does, leaving a resumable run.
-                # An unavailable RSS probe (None) disables the guard.
-                rss = _ckpt.current_rss_mb()
-                if rss is not None and rss > plan.max_rss_mb:
-                    stop = "memory"
+        while True:
+            if reader is not None:
+                chunks = reader.iter_chunks(start=cursor)
+            else:
+                chunks = _virtual_chunks(events, cursor)
+            progressed = False
+            try:
+                for chunk, cursor in chunks:
+                    # same lane projection the sharded pipeline routes
+                    # by (fed before each dispatch), so serial and
+                    # sharded lanes are byte-identical
+                    dispatch_batch(
+                        det, chunk, nranks,
+                        timeline=tl if tl.enabled else None)
+                    n = cursor["events_applied"]
+                    c_read.add(len(chunk))
+                    c_analyzed.add(len(chunk))
+                    chunks_since += 1
+                    progressed = True
+                    wrote = False
+                    if plan.every and chunks_since >= plan.every:
+                        _write(cursor)
+                        wrote = True
+                    stop = _guard_stop()
+                    if stop is not None:
+                        if not wrote:
+                            _write(cursor)
+                        break
+            except TraceChainMismatch as exc:
+                # the prefix our detector state was built from has been
+                # rewritten underneath the follow — checkpointed state
+                # is untrustworthy, abort loudly
+                reg.counter("incremental.divergences").add(1)
+                raise TraceDivergedError(
+                    f"{path}: trace does not match the analyzed prefix "
+                    f"({exc})", path=str(path), chunk=exc.chunk) from exc
             if stop is not None:
-                if not wrote:
+                break
+            if not follow or reader is None or reader.complete:
+                break
+            # trailerless tail: the recorder is (presumably) still
+            # writing.  Checkpoint the boundary, then poll for growth.
+            if progressed:
+                last_progress = time.time()
+                poll_s = 0.05
+                if chunks_since and cursor is not None:
+                    _write(cursor)
+            stop = _guard_stop()
+            if stop is None and follow_timeout_s is not None \
+                    and time.time() - last_progress >= follow_timeout_s:
+                stop = "follow-timeout"
+            if stop is not None:
+                if chunks_since and cursor is not None:
                     _write(cursor)
                 break
+            if cursor is not None and path is not None:
+                try:
+                    size = os.path.getsize(path)
+                except OSError:
+                    size = None
+                if size is not None and size < cursor["pos"]:
+                    reg.counter("incremental.divergences").add(1)
+                    raise TraceDivergedError(
+                        f"{path}: trace does not match the analyzed prefix "
+                        f"(file shrank below the last cursor: {size} < "
+                        f"{cursor['pos']} bytes)", path=str(path))
+            reg.counter("incremental.tail_retries").add(1)
+            time.sleep(poll_s)
+            poll_s = min(poll_s * 2, 1.0)
 
     det.finalize()
     wall = time.perf_counter() - t0
@@ -861,6 +985,8 @@ def analyze_trace(
     deadline_s: Optional[float] = None,
     max_rss_mb: Optional[int] = None,
     resume: bool = False,
+    follow: bool = False,
+    follow_timeout_s: Optional[float] = None,
 ) -> PipelineResult:
     """Analyze a recorded trace, optionally sharded over ``jobs`` processes.
 
@@ -879,6 +1005,7 @@ def analyze_trace(
                 salvage=salvage, recover=recover, fault_plan=fault_plan,
                 ckpt_dir=ckpt_dir, ckpt_every=ckpt_every,
                 deadline_s=deadline_s, max_rss_mb=max_rss_mb, resume=resume,
+                follow=follow, follow_timeout_s=follow_timeout_s,
             )
         if reg.enabled:
             if result.salvage is not None:
@@ -912,6 +1039,8 @@ def _analyze_impl(
     deadline_s: Optional[float] = None,
     max_rss_mb: Optional[int] = None,
     resume: bool = False,
+    follow: bool = False,
+    follow_timeout_s: Optional[float] = None,
 ) -> PipelineResult:
     """Analyze a recorded trace, optionally sharded over ``jobs`` processes.
 
@@ -946,6 +1075,16 @@ def _analyze_impl(
       worker checkpoints and is recycled (serial: stops like deadline);
     * ``resume`` — start from the newest valid checkpoint in
       ``ckpt_dir`` instead of from byte 0.
+
+    Follow knobs (incremental analysis of a still-growing trace):
+
+    * ``follow`` — tail a live-appended v2 trace: analyze chunks as
+      they land, checkpoint at chunk boundaries, finish when the
+      recorder writes the trailer.  Requires ``ckpt_dir``, ``jobs=1``
+      and a path-backed strict v2 source; a rewritten prefix aborts
+      with :class:`~repro.pipeline.checkpoint.TraceDivergedError`;
+    * ``follow_timeout_s`` — stop a follow that has seen no new chunk
+      for this many seconds, as a partial, resumable result.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
@@ -963,6 +1102,19 @@ def _analyze_impl(
         raise ValueError("ckpt_every must be >= 1")
     if deadline_s is not None and deadline_s <= 0:
         raise ValueError("deadline_s must be positive")
+    if follow_timeout_s is not None and follow_timeout_s <= 0:
+        raise ValueError("follow_timeout_s must be positive")
+    if follow_timeout_s is not None and not follow:
+        raise ValueError("follow_timeout_s needs follow=True")
+    if follow:
+        if ckpt_dir is None:
+            raise ValueError("follow needs a checkpoint directory")
+        if jobs != 1:
+            raise ValueError("follow requires jobs=1 (serial analysis)")
+        if salvage:
+            raise ValueError(
+                "follow and salvage are incompatible — a quarantined chunk "
+                "breaks the chain that tail resume depends on")
     plan = None
     if ckpt_dir is not None:
         plan = CheckpointPlan(
@@ -974,10 +1126,20 @@ def _analyze_impl(
     events, nranks, path, reader = _as_stream(source, strict=not salvage)
     if reader is not None and not reader.strict:
         salvage = True  # honor an already-open salvage reader
+    if follow:
+        if reader is None or path is None or reader.format != FORMAT_V2:
+            raise ValueError(
+                "follow needs a path-backed repro-trace-v2 source — only "
+                "binary chunk framing distinguishes a torn append from "
+                "corruption")
+        if salvage:
+            raise ValueError("follow requires a strict reader")
     jobs = max(1, min(jobs, nranks))
     if jobs == 1:
         if plan is not None:
-            return _serial_ckpt(events, nranks, detector, reader, plan, path)
+            return _serial_ckpt(events, nranks, detector, reader, plan, path,
+                                follow=follow,
+                                follow_timeout_s=follow_timeout_s)
         return _serial(events, nranks, detector, reader=reader)
     if plan is not None and dispatch != "file":
         raise ValueError(

@@ -13,10 +13,24 @@ Layout of a v2 file::
     magic    8 bytes   b"REPROTR2"
     header   u32 length + JSON   {"format": "repro-trace-v2",
                                   "nranks": N, "enums": {...},
-                                  "chunk_crc32": true}
+                                  "chunk_crc32": true,
+                                  "chunk_chain": "sha256"}
     chunk*   b"CHNK" + u32 payload bytes + u32 event count
-             [+ u32 crc32(payload), when the header flags it] + payload
+             [+ u32 crc32(payload), when the header flags it]
+             [+ 32-byte rolling sha256 chain, when the header flags it]
+             + payload
     trailer  b"TEND" + u64 total event count
+
+The *chain* turns the chunk sequence into a hash chain: ``chain[0] =
+sha256(magic + u32(header length) + header bytes)`` and ``chain[k] =
+sha256(chain[k-1] + payload[k])``.  Two traces share chain value k iff
+they are byte-identical through chunk k, so a reader can prove "this
+file is an append-only extension of that one" — or name the exact
+chunk where they diverge — by comparing one 32-byte value per file
+(:func:`trace_chain` / :func:`compare_chain`).  The chain is computed
+for any v2 file; new writers additionally *store* it per frame so
+single-file prefix rewrites are self-detecting.  Files from before
+either flag are still read.
 
 Each chunk payload starts with the strings *first seen* in that chunk
 (file names, op names, accumulate ops); readers grow the same string
@@ -51,6 +65,7 @@ Robustness:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -59,7 +74,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..intervals import AccessType, DebugInfo, Interval, MemoryAccess
-from ..mpi.errors import TraceFormatError
+from ..mpi.errors import TraceChainMismatch, TraceFormatError
 from ..mpi.memory import RegionInfo, RegionKind
 from ..mpi.trace import LocalEvent, RmaEvent, SyncEvent, SyncKind, TraceEvent
 
@@ -71,7 +86,9 @@ __all__ = [
     "JsonTraceWriter",
     "TraceReader",
     "WireStream",
+    "compare_chain",
     "make_trace_writer",
+    "trace_chain",
 ]
 
 FORMAT_V1 = "repro-trace-v1"
@@ -89,6 +106,19 @@ _SYNC = struct.Struct("<qiBi")       # seq, rank, kind id, wid
 
 _TAG_LOCAL, _TAG_RMA, _TAG_SYNC = 0, 1, 2
 _FLAG_ACCUM, _FLAG_EXCL = 1, 2
+
+#: rolling-chain algorithm flagged in v2 headers and its digest size
+CHAIN_ALGO = "sha256"
+_CHAIN_BYTES = 32
+
+
+def _chain_seed(hlen_raw: bytes, header_bytes: bytes) -> bytes:
+    """Chain value 0: binds the chain to this file's exact header."""
+    return hashlib.sha256(MAGIC_V2 + hlen_raw + header_bytes).digest()
+
+
+def _chain_next(prev: bytes, payload: bytes) -> bytes:
+    return hashlib.sha256(prev + payload).digest()
 
 # enum member order as written into the header; readers map ids through
 # the header tables, not through these lists
@@ -135,6 +165,13 @@ class BinaryTraceWriter:
     ``("chunk", chunk_no)`` after each chunk flush and ``("close",
     chunks_flushed)`` on finalize — the seam the fault-injection harness
     uses to simulate recorder crashes deterministically.
+
+    ``live=True`` targets the *follow* workflow: the writer streams
+    straight to ``path`` (no temp file, each chunk flushed as written)
+    so a tail-mode reader can analyze the trace while it grows.  The
+    price is that atomic finalize is off — an interrupted live
+    recording leaves a trailerless file, which tail readers classify
+    as "in progress" and strict readers as truncated.
     """
 
     def __init__(
@@ -144,6 +181,8 @@ class BinaryTraceWriter:
         nranks: int,
         events_per_chunk: int = 2048,
         fault_hook: Optional[Callable[[str, int], None]] = None,
+        chain: bool = True,
+        live: bool = False,
     ) -> None:
         if events_per_chunk < 1:
             raise ValueError("events_per_chunk must be positive")
@@ -157,9 +196,13 @@ class BinaryTraceWriter:
         self._buf = bytearray()
         self._chunk_events = 0
         self._done = False
-        self._tmp = self.path.with_name(self.path.name + ".tmp")
+        self._live = bool(live)
+        if self._live:
+            self._tmp = self.path
+        else:
+            self._tmp = self.path.with_name(self.path.name + ".tmp")
         self._fh = self._tmp.open("wb")
-        header = json.dumps({
+        head: dict = {
             "format": FORMAT_V2,
             "nranks": nranks,
             "chunk_crc32": True,
@@ -168,10 +211,149 @@ class BinaryTraceWriter:
                 "sync": [k.value for k in _SYNC_KINDS],
                 "region": [k.value for k in _REGION_KINDS],
             },
-        }).encode("utf-8")
+        }
+        if chain:
+            head["chunk_chain"] = CHAIN_ALGO
+        header = json.dumps(head).encode("utf-8")
+        hlen_raw = _U32.pack(len(header))
+        self._chain: Optional[bytes] = (
+            _chain_seed(hlen_raw, header) if chain else None)
         self._fh.write(MAGIC_V2)
-        self._fh.write(_U32.pack(len(header)))
+        self._fh.write(hlen_raw)
         self._fh.write(header)
+        if self._live:
+            self._fh.flush()
+
+    @classmethod
+    def open_append(
+        cls,
+        path: Union[str, Path],
+        *,
+        events_per_chunk: Optional[int] = None,
+        fault_hook: Optional[Callable[[str, int], None]] = None,
+    ) -> "BinaryTraceWriter":
+        """Reopen a v2 trace for appending more chunks (live mode).
+
+        The existing chunks are scanned (framing and checksums
+        verified, the incremental string table and the rolling chain
+        replayed) and the file is truncated back to the end of its last
+        complete chunk — dropping the trailer of a finalized trace, or
+        the torn tail of an interrupted live recording.  Writing then
+        continues exactly as if the original recorder had never
+        stopped: the extended file is byte-for-byte an append-only
+        extension, which is what lets chain-aware readers resume from a
+        prefix cursor instead of re-analyzing from chunk zero.
+        """
+        path = Path(path)
+        with path.open("rb") as fh:
+            magic = fh.read(len(MAGIC_V2))
+            if magic != MAGIC_V2:
+                raise TraceFormatError(
+                    "open_append needs a repro-trace-v2 file", path=path)
+            hlen_raw = fh.read(_U32.size)
+            if len(hlen_raw) < _U32.size:
+                raise TraceFormatError("truncated v2 header length",
+                                       path=path)
+            (hlen,) = _U32.unpack(hlen_raw)
+            header_bytes = fh.read(hlen)
+            if len(header_bytes) < hlen:
+                raise TraceFormatError("truncated v2 header", path=path)
+            try:
+                header = json.loads(header_bytes)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"corrupt v2 header: {exc}",
+                                       path=path) from exc
+            if header.get("format") != FORMAT_V2:
+                raise TraceFormatError("not a repro-trace-v2 file", path=path)
+            want_enums = {
+                "access": [t.name for t in _ACCESS_TYPES],
+                "sync": [k.value for k in _SYNC_KINDS],
+                "region": [k.value for k in _REGION_KINDS],
+            }
+            if header.get("enums") != want_enums:
+                raise TraceFormatError(
+                    "cannot append: trace was written with different enum "
+                    "tables", path=path)
+            has_crc = bool(header.get("chunk_crc32"))
+            has_chain = bool(header.get("chunk_chain"))
+            if has_chain and not has_crc:
+                raise TraceFormatError(
+                    "malformed header: chunk_chain without chunk_crc32",
+                    path=path)
+            chain = _chain_seed(hlen_raw, header_bytes) if has_chain else None
+            frame = struct.Struct("<III") if has_crc else struct.Struct("<II")
+            extra = _CHAIN_BYTES if has_chain else 0
+            strings = _StringTable()
+            total = 0
+            chunks = 0
+            first_chunk_events: Optional[int] = None
+            good_end = fh.tell()
+            while True:
+                tag = fh.read(4)
+                if tag == b"CHNK":
+                    raw = fh.read(frame.size + extra)
+                    if len(raw) < frame.size + extra:
+                        break  # torn tail of an interrupted append
+                    if has_crc:
+                        nbytes, nevents, crc = frame.unpack_from(raw, 0)
+                    else:
+                        (nbytes, nevents), crc = frame.unpack_from(raw, 0), \
+                            None
+                    stored = raw[frame.size:frame.size + extra]
+                    payload = fh.read(nbytes)
+                    if len(payload) < nbytes:
+                        break  # torn tail
+                    if crc is not None and zlib.crc32(payload) != crc:
+                        raise TraceFormatError(
+                            f"chunk {chunks + 1}: checksum mismatch — "
+                            f"cannot append to a corrupt trace", path=path)
+                    if chain is not None:
+                        chain = _chain_next(chain, payload)
+                        if stored != chain:
+                            raise TraceChainMismatch(
+                                f"chunk {chunks + 1}: stored chain mismatch "
+                                f"— cannot append to a rewritten trace",
+                                path=path, chunk=chunks + 1)
+                    # replay the incremental string table so new chunks
+                    # intern against the same ids the file already uses
+                    (nstrings,) = _U32.unpack_from(payload, 0)
+                    off = _U32.size
+                    for _ in range(nstrings):
+                        (slen,) = _U32.unpack_from(payload, off)
+                        off += _U32.size
+                        strings.intern(payload[off:off + slen].decode("utf-8"))
+                        off += slen
+                    strings.take_pending()  # already on disk, not pending
+                    chunks += 1
+                    total += nevents
+                    if first_chunk_events is None:
+                        first_chunk_events = nevents
+                    good_end = fh.tell()
+                elif tag in (b"TEND", b""):
+                    break  # finalized (drop trailer) or clean live tail
+                else:
+                    raise TraceFormatError(
+                        f"bad chunk tag {tag!r} after chunk {chunks} — "
+                        f"cannot append to a corrupt trace", path=path)
+        per_chunk = events_per_chunk or first_chunk_events or 2048
+        self = cls.__new__(cls)
+        self.path = path
+        self.nranks = header["nranks"]
+        self.events_written = total
+        self.chunks_written = chunks
+        self._per_chunk = per_chunk
+        self._fault_hook = fault_hook
+        self._strings = strings
+        self._buf = bytearray()
+        self._chunk_events = 0
+        self._done = False
+        self._live = True
+        self._tmp = path
+        self._chain = chain
+        self._fh = path.open("r+b")
+        self._fh.seek(good_end)
+        self._fh.truncate(good_end)
+        return self
 
     # -- encoding ------------------------------------------------------------
 
@@ -241,7 +423,12 @@ class BinaryTraceWriter:
         self._fh.write(_U32.pack(len(payload)))
         self._fh.write(_U32.pack(self._chunk_events))
         self._fh.write(_U32.pack(zlib.crc32(payload)))
+        if self._chain is not None:
+            self._chain = _chain_next(self._chain, payload)
+            self._fh.write(self._chain)
         self._fh.write(payload)
+        if self._live:
+            self._fh.flush()
         self._buf.clear()
         self._chunk_events = 0
         self.chunks_written += 1
@@ -257,15 +444,24 @@ class BinaryTraceWriter:
         self._fh.write(b"TEND")
         self._fh.write(_U64.pack(self.events_written))
         self._fh.close()
-        os.replace(self._tmp, self.path)
+        if not self._live:
+            os.replace(self._tmp, self.path)
         self._done = True
 
     def abort(self) -> None:
-        """Discard the recording: close and remove the temp file."""
+        """Discard the recording: close and remove the temp file.
+
+        A *live* writer cannot un-publish chunks already flushed to the
+        final path; abort just closes the handle, leaving a trailerless
+        file that tail readers treat as in-progress and strict readers
+        as truncated.
+        """
         if self._done:
             return
         self._done = True
         self._fh.close()
+        if self._live:
+            return
         try:
             self._tmp.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
@@ -406,11 +602,27 @@ class TraceReader:
     :attr:`truncated` (or :meth:`salvage_report`) say exactly what was
     skipped.  Damage that predates iteration (bad magic, unreadable
     header) still raises: there is nothing to salvage without a header.
+
+    Setting :attr:`tail` to True turns on *tail* mode for v2 traces
+    that are still being appended to: an incomplete final frame, a
+    short payload, or a missing trailer at end-of-file stops iteration
+    cleanly (``tail_pending=True``) instead of raising or flagging
+    truncation — the caller polls and re-enters from the last cursor.
+    Genuine corruption (a checksum or chain mismatch on a *complete*
+    payload) is still reported normally: a torn append grows back, a
+    corrupt chunk never does.  :attr:`complete` says whether the last
+    iteration reached a valid trailer.
     """
 
     def __init__(self, path: Union[str, Path], *, strict: bool = True) -> None:
         self.path = Path(path)
         self.strict = strict
+        #: treat end-of-file as "in-progress append", not truncation
+        self.tail = False
+        #: last iteration reached the trailer (the file is finalized)
+        self.complete = False
+        #: last (tail-mode) iteration stopped at an unfinished tail
+        self.tail_pending = False
         #: chunk numbers (v2) / line numbers (v1) skipped by salvage mode
         self.quarantined_chunks: List[int] = []
         #: events known lost to quarantined chunks (trailer-reconciled)
@@ -475,6 +687,11 @@ class TraceReader:
                                    path=self.path) from exc
         # files from before the per-chunk checksum carry no flag
         header["chunk_crc"] = bool(header.get("chunk_crc32"))
+        # likewise for the rolling chain; the seed binds cursors' chain
+        # values to this exact header, and is computable for any v2
+        # file — only the *stored* per-frame digests need the flag
+        header["chunk_chain_stored"] = bool(header.get("chunk_chain"))
+        header["chain_seed"] = _chain_seed(raw, blob)
         return header
 
     def _read_v1_header(self, fh, head: bytes) -> dict:
@@ -500,6 +717,8 @@ class TraceReader:
         self.quarantined_chunks = []
         self.events_lost = 0
         self.truncated = False
+        self.complete = False
+        self.tail_pending = False
         if self.format == FORMAT_V2:
             return self._iter_v2()
         return self._iter_v1()
@@ -545,10 +764,15 @@ class TraceReader:
         ``start`` (possibly in another process, days later) and the
         remaining chunks decode exactly as they would have — the cursor
         carries the incremental string table, the cumulative event
-        count, and the salvage accounting, so loss statistics survive
-        the hop.  Cursors are plain picklable dicts; they are only valid
-        against the same trace file (checkpoint metadata pins identity).
+        count, the rolling chain value (v2), and the salvage
+        accounting, so loss statistics survive the hop.  Cursors are
+        plain picklable dicts; they are only valid against the same
+        trace file — or, when they carry a chain value, against any
+        append-only extension of it (checkpoint metadata pins
+        identity either way).
         """
+        self.complete = False
+        self.tail_pending = False
         if start is not None:
             expect = "v2" if self.format == FORMAT_V2 else "v1"
             if start.get("kind") != expect:
@@ -702,14 +926,19 @@ class TraceReader:
         region_table: List[RegionKind] = header["region_table"]
         frame = struct.Struct("<III") if header["chunk_crc"] \
             else struct.Struct("<II")
+        chain_extra = _CHAIN_BYTES if header["chunk_chain_stored"] else 0
         if start is not None:
             strings = list(start["strings"])
             total = start["events_applied"]
             claimed_lost = self.events_lost
+            start_chain = start.get("chain")
+            chain: Optional[bytes] = (
+                bytes.fromhex(start_chain) if start_chain else None)
         else:
             strings = []
             total = 0
             claimed_lost = 0
+            chain = header["chain_seed"]
         with self.path.open("rb") as fh:
             if start is not None:
                 fh.seek(start["pos"])
@@ -724,25 +953,34 @@ class TraceReader:
                 tag = fh.read(4)
                 if tag == b"CHNK":
                     chunk_no += 1
-                    raw = fh.read(frame.size)
-                    if len(raw) < frame.size:
+                    raw = fh.read(frame.size + chain_extra)
+                    if len(raw) < frame.size + chain_extra:
+                        if self.tail:
+                            self.tail_pending = True
+                            return
                         self._bad(f"truncated chunk {chunk_no} frame")
                         self.quarantined_chunks.append(chunk_no)
                         self.truncated = True
                         break
                     if header["chunk_crc"]:
-                        nbytes, nevents, crc = frame.unpack(raw)
+                        nbytes, nevents, crc = frame.unpack_from(raw, 0)
                     else:
-                        (nbytes, nevents), crc = frame.unpack(raw), None
+                        (nbytes, nevents), crc = frame.unpack_from(raw, 0), \
+                            None
+                    stored_chain = raw[frame.size:] if chain_extra else None
                     if not self.strict and nbytes > (1 << 30):
                         # a frame this large is corruption, not data
                         self.quarantined_chunks.append(chunk_no)
+                        chain = None
                         if not self._resync(fh, tag_pos + 1):
                             self.truncated = True
                             break
                         continue
                     payload = fh.read(nbytes)
                     if len(payload) < nbytes:
+                        if self.tail:
+                            self.tail_pending = True
+                            return
                         self._bad(
                             f"truncated chunk {chunk_no}: expected {nbytes} "
                             f"bytes, got {len(payload)}"
@@ -758,7 +996,20 @@ class TraceReader:
                         )
                         self.quarantined_chunks.append(chunk_no)
                         claimed_lost += nevents
+                        chain = None
                         continue
+                    if chain is not None:
+                        chain = _chain_next(chain, payload)
+                        if stored_chain is not None and stored_chain != chain:
+                            if self.strict:
+                                raise TraceChainMismatch(
+                                    f"chunk {chunk_no}: chain mismatch "
+                                    f"(trace prefix was rewritten)",
+                                    path=self.path, chunk=chunk_no)
+                            self.quarantined_chunks.append(chunk_no)
+                            claimed_lost += nevents
+                            chain = None
+                            continue
                     try:
                         events = self._decode_chunk(
                             payload, nevents, chunk_no, strings,
@@ -777,11 +1028,15 @@ class TraceReader:
                         "pos": fh.tell(),
                         "strings": list(strings),
                         "events_applied": total,
+                        "chain": chain.hex() if chain is not None else None,
                         "salvage": self._salvage_state(claimed_lost),
                     }
                 elif tag == b"TEND":
                     raw = fh.read(_U64.size)
                     if len(raw) < _U64.size:
+                        if self.tail:
+                            self.tail_pending = True
+                            return
                         self._bad("truncated trailer")
                         self.truncated = True
                         break
@@ -795,17 +1050,26 @@ class TraceReader:
                         self.events_lost = max(0, expected - total)
                     if fh.read(1):
                         self._bad("junk after trailer")
+                    self.complete = True
                     return
                 elif tag == b"":
+                    if self.tail:
+                        self.tail_pending = True
+                        return
                     self._bad(
                         f"truncated file: no trailer after chunk {chunk_no}"
                     )
                     self.truncated = True
                     break
                 else:
+                    if self.tail and len(tag) < 4:
+                        # a partial tag at EOF is a write in flight
+                        self.tail_pending = True
+                        return
                     self._bad(f"bad chunk tag {tag!r} after chunk {chunk_no}")
                     chunk_no += 1
                     self.quarantined_chunks.append(chunk_no)
+                    chain = None
                     if not self._resync(fh, tag_pos + 1):
                         self.truncated = True
                         break
@@ -929,6 +1193,8 @@ class WireStream:
         self.sync_table: List[SyncKind] = header["sync_table"]
         self.region_table: List[RegionKind] = header["region_table"]
         self.chunk_crc: bool = header["chunk_crc"]
+        self.chunk_chain_stored: bool = header["chunk_chain_stored"]
+        self._chain_seed: bytes = header["chain_seed"]
         #: shared wire string table, grown chunk by chunk (append-only)
         self.strings: List[str] = []
         #: (wire file id << 32 | line) -> interned SITES id
@@ -942,6 +1208,8 @@ class WireStream:
     def __iter__(self) -> Iterator[Tuple[bytes, int, int]]:
         frame = struct.Struct("<III") if self.chunk_crc \
             else struct.Struct("<II")
+        chain_extra = _CHAIN_BYTES if self.chunk_chain_stored else 0
+        chain = self._chain_seed
         u32 = _U32
         strings = self.strings
         total = 0
@@ -954,13 +1222,14 @@ class WireStream:
                 tag = fh.read(4)
                 if tag == b"CHNK":
                     chunk_no += 1
-                    raw = fh.read(frame.size)
-                    if len(raw) < frame.size:
+                    raw = fh.read(frame.size + chain_extra)
+                    if len(raw) < frame.size + chain_extra:
                         self._bad(f"truncated chunk {chunk_no} frame")
                     if self.chunk_crc:
-                        nbytes, nevents, crc = frame.unpack(raw)
+                        nbytes, nevents, crc = frame.unpack_from(raw, 0)
                     else:
-                        (nbytes, nevents), crc = frame.unpack(raw), None
+                        (nbytes, nevents), crc = frame.unpack_from(raw, 0), \
+                            None
                     payload = fh.read(nbytes)
                     if len(payload) < nbytes:
                         self._bad(
@@ -972,6 +1241,12 @@ class WireStream:
                             f"chunk {chunk_no}: checksum mismatch "
                             f"(payload corrupt)"
                         )
+                    chain = _chain_next(chain, payload)
+                    if chain_extra and raw[frame.size:] != chain:
+                        raise TraceChainMismatch(
+                            f"chunk {chunk_no}: chain mismatch (trace "
+                            f"prefix was rewritten)",
+                            path=self.path, chunk=chunk_no)
                     try:
                         (nstrings,) = u32.unpack_from(payload, 0)
                         off = u32.size
@@ -1012,3 +1287,139 @@ class WireStream:
                     )
                 else:
                     self._bad(f"bad chunk tag {tag!r} after chunk {chunk_no}")
+
+
+# -- chain helpers (incremental analysis) ------------------------------------
+
+
+def trace_chain(path: Union[str, Path], upto: Optional[int] = None) -> dict:
+    """Rolling hash chain of a v2 trace, computed without decoding events.
+
+    Walks the chunk framing only — one crc verify and one sha256 update
+    per chunk — so it is cheap enough to run at serve admission on every
+    upload.  Returns::
+
+        {"algo": "sha256",
+         "chunks": [hex chain value after chunk 1, 2, ...],
+         "offsets": [file offset just past chunk 1, 2, ...],
+         "events": [cumulative event count after chunk 1, 2, ...],
+         "complete": bool,            # reached a valid trailer
+         "stored_mismatch": int|None} # first chunk whose *stored* chain
+                                      # digest disagrees (prefix rewrite)
+
+    ``upto`` stops after that many chunks (``complete`` is then about
+    the trailer only if it was reached, i.e. normally False).  The
+    chain is computed for any v2 file, with or without stored per-frame
+    digests; a torn tail simply ends the walk (``complete=False``),
+    matching tail-reader semantics.  Genuinely corrupt framing — a bad
+    tag mid-file or a checksum mismatch on a complete payload — raises
+    :class:`~repro.mpi.errors.TraceFormatError`.
+    """
+    path = Path(path)
+    chunks: List[str] = []
+    offsets: List[int] = []
+    events: List[int] = []
+    complete = False
+    stored_mismatch: Optional[int] = None
+    with path.open("rb") as fh:
+        if fh.read(len(MAGIC_V2)) != MAGIC_V2:
+            raise TraceFormatError("not a repro-trace-v2 file", path=path)
+        hlen_raw = fh.read(_U32.size)
+        if len(hlen_raw) < _U32.size:
+            raise TraceFormatError("truncated v2 header length", path=path)
+        (hlen,) = _U32.unpack(hlen_raw)
+        header_bytes = fh.read(hlen)
+        if len(header_bytes) < hlen:
+            raise TraceFormatError("truncated v2 header", path=path)
+        try:
+            header = json.loads(header_bytes)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"corrupt v2 header: {exc}",
+                                   path=path) from exc
+        has_crc = bool(header.get("chunk_crc32"))
+        has_stored = bool(header.get("chunk_chain"))
+        frame = struct.Struct("<III") if has_crc else struct.Struct("<II")
+        extra = _CHAIN_BYTES if has_stored else 0
+        chain = _chain_seed(hlen_raw, header_bytes)
+        total = 0
+        chunk_no = 0
+        while upto is None or chunk_no < upto:
+            tag = fh.read(4)
+            if tag == b"CHNK":
+                chunk_no += 1
+                raw = fh.read(frame.size + extra)
+                if len(raw) < frame.size + extra:
+                    break  # torn tail
+                if has_crc:
+                    nbytes, nevents, crc = frame.unpack_from(raw, 0)
+                else:
+                    (nbytes, nevents), crc = frame.unpack_from(raw, 0), None
+                payload = fh.read(nbytes)
+                if len(payload) < nbytes:
+                    break  # torn tail
+                if crc is not None and zlib.crc32(payload) != crc:
+                    raise TraceFormatError(
+                        f"chunk {chunk_no}: checksum mismatch "
+                        f"(payload corrupt)", path=path)
+                chain = _chain_next(chain, payload)
+                if extra and stored_mismatch is None \
+                        and raw[frame.size:] != chain:
+                    stored_mismatch = chunk_no
+                total += nevents
+                chunks.append(chain.hex())
+                offsets.append(fh.tell())
+                events.append(total)
+            elif tag == b"TEND":
+                raw = fh.read(_U64.size)
+                if len(raw) == _U64.size:
+                    complete = True
+                break
+            elif len(tag) < 4:
+                break  # torn tail
+            else:
+                raise TraceFormatError(
+                    f"bad chunk tag {tag!r} after chunk {chunk_no}",
+                    path=path)
+    return {
+        "algo": CHAIN_ALGO,
+        "chunks": chunks,
+        "offsets": offsets,
+        "events": events,
+        "complete": complete,
+        "stored_mismatch": stored_mismatch,
+    }
+
+
+def compare_chain(old: dict, new: dict) -> dict:
+    """Relate two :func:`trace_chain` results.
+
+    Returns ``{"relation", "common", "diverged_at"}`` where relation is
+    one of ``identical`` (same chunks), ``extension`` (``new`` extends
+    ``old`` append-only), ``truncated`` (``new`` is a proper prefix of
+    ``old``) or ``diverged``; ``common`` counts the shared prefix
+    chunks and ``diverged_at`` names the first differing chunk (1-based)
+    for ``diverged``, else None.
+
+    Because each value hashes the whole prefix, one equal chain value
+    at index k proves byte-identity of chunks 1..k — the list compare
+    here is belt and braces, not a per-chunk requirement.
+    """
+    a, b = old["chunks"], new["chunks"]
+    common = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        common += 1
+    if common == len(a) == len(b):
+        relation = "identical"
+    elif common == len(a):
+        relation = "extension"
+    elif common == len(b):
+        relation = "truncated"
+    else:
+        relation = "diverged"
+    return {
+        "relation": relation,
+        "common": common,
+        "diverged_at": common + 1 if relation == "diverged" else None,
+    }

@@ -30,6 +30,7 @@ from .client import (
     request,
     resolve_server,
     submit_trace,
+    submit_with_retry,
 )
 from .journal import JOURNAL_MAGIC, JOURNAL_SCHEMA, JobJournal, JournalError
 from .scheduler import AdmissionError, Job, Scheduler, job_ckpt_dir
@@ -53,6 +54,7 @@ __all__ = [
     "resolve_server",
     "serve_forever",
     "submit_trace",
+    "submit_with_retry",
     "trace_sha256",
     "write_endpoint",
 ]

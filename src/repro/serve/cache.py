@@ -7,6 +7,20 @@ repeat submission from disk without re-running anything.  Entries are
 full ``PipelineResult.to_dict()`` payloads (verdicts, forensics,
 timeline), which is also exactly what the HTML report renderer eats.
 
+Next to each entry the scheduler may store a *chain sidecar*
+(``<sha>-<detector>.chain.json``): the trace's per-chunk rolling hash
+chain (:func:`repro.pipeline.format.trace_chain`).  Sidecars are the
+admission-time index for incremental re-analysis — a new upload whose
+chain extends a cached trace's chain resumes from that trace's last
+checkpoint cursor instead of chunk 0.
+
+The cache is bounded: past ``max_entries`` verdict entries the
+least-recently-*used* (hits refresh mtime) are evicted with atomic
+deletes — entry first, then sidecar, so a crash mid-evict can strand a
+sidecar but never a verdict whose sidecar vanished.  ``on_evict(sha,
+detector)`` lets the owner drop per-entry satellite state (checkpoint
+directories) and count the eviction.
+
 Writes are atomic (tmp + ``os.replace``): a daemon killed mid-store
 leaves either a complete entry or none.  Reads treat any undecodable
 entry as a miss and quarantine it to ``*.bad`` — a corrupt cache file
@@ -19,9 +33,12 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Iterator, Optional, Tuple, Union
 
 __all__ = ["VerdictCache", "trace_sha256"]
+
+#: hex sha256 length — cache file names are ``<sha>-<detector>...``
+_SHA_LEN = 64
 
 
 def trace_sha256(path: Union[str, Path]) -> str:
@@ -36,12 +53,25 @@ def trace_sha256(path: Union[str, Path]) -> str:
 class VerdictCache:
     """One directory of ``<sha256>-<detector>.json`` result entries."""
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        max_entries: Optional[int] = None,
+        on_evict: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.dir = Path(directory)
         self.dir.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.on_evict = on_evict
 
     def _path(self, sha: str, detector: str) -> Path:
         return self.dir / f"{sha}-{detector}.json"
+
+    def _chain_path(self, sha: str, detector: str) -> Path:
+        return self.dir / f"{sha}-{detector}.chain.json"
 
     def get(self, sha: str, detector: str) -> Optional[dict]:
         path = self._path(sha, detector)
@@ -56,20 +86,104 @@ class VerdictCache:
         if not isinstance(entry, dict) or "verdicts" not in entry:
             self._quarantine(path)
             return None
+        try:
+            os.utime(path)  # LRU: a hit makes the entry recently used
+        except OSError:
+            pass
         return entry
 
     def put(self, sha: str, detector: str, result: dict) -> Path:
-        path = self._path(sha, detector)
+        path = self._write_json(self._path(sha, detector), result)
+        self._evict()
+        return path
+
+    # -- chain sidecars -------------------------------------------------------
+
+    def put_chain(self, sha: str, detector: str, chain: dict) -> Path:
+        """Store a trace's rolling-chain index next to its verdicts."""
+        return self._write_json(self._chain_path(sha, detector), chain)
+
+    def get_chain(self, sha: str, detector: str) -> Optional[dict]:
+        path = self._chain_path(sha, detector)
+        try:
+            with open(path) as fh:
+                chain = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if not isinstance(chain, dict) or not chain.get("chunks"):
+            self._quarantine(path)
+            return None
+        return chain
+
+    def iter_chains(self, detector: str) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(sha, chain)`` for every stored sidecar of ``detector``.
+
+        Only sidecars whose verdict entry still exists are yielded — an
+        evicted or quarantined entry has no checkpoint to resume from,
+        so its chain must not nominate it as a prefix ancestor.
+        """
+        suffix = f"-{detector}.chain.json"
+        for path in sorted(self.dir.glob(f"*{suffix}")):
+            sha = path.name[:-len(suffix)]
+            if len(sha) != _SHA_LEN or not self._path(sha, detector).exists():
+                continue
+            chain = self.get_chain(sha, detector)
+            if chain is not None:
+                yield sha, chain
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> Path:
         tmp = path.with_suffix(".tmp")
         with open(tmp, "w") as fh:
-            json.dump(result, fh, sort_keys=True)
+            json.dump(payload, fh, sort_keys=True)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
         return path
 
+    def _entries(self):
+        """Verdict entries (not sidecars, not quarantine) with mtimes."""
+        out = []
+        for path in self.dir.glob("*.json"):
+            name = path.name
+            if name.endswith(".chain.json") or len(name) <= _SHA_LEN + 1:
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            stem = name[:-len(".json")]
+            sha, detector = stem[:_SHA_LEN], stem[_SHA_LEN + 1:]
+            if len(sha) != _SHA_LEN or not detector:
+                continue
+            out.append((mtime, path, sha, detector))
+        out.sort()
+        return out
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        entries = self._entries()
+        excess = len(entries) - self.max_entries
+        for mtime, path, sha, detector in entries[:max(0, excess)]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            try:
+                self._chain_path(sha, detector).unlink()
+            except OSError:
+                pass
+            if self.on_evict is not None:
+                self.on_evict(sha, detector)
+
     def _quarantine(self, path: Path) -> None:
         try:
-            os.replace(path, path.with_suffix(".json.bad"))
+            os.replace(path, Path(str(path) + ".bad"))
         except OSError:
             pass

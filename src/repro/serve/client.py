@@ -9,11 +9,12 @@ publishes (:func:`resolve_server`).
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Callable, Optional, Tuple, Union
 
 __all__ = [
     "ServerUnavailable",
@@ -21,6 +22,7 @@ __all__ = [
     "request",
     "resolve_server",
     "submit_trace",
+    "submit_with_retry",
 ]
 
 TERMINAL_STATES = ("done", "failed", "quarantined")
@@ -81,6 +83,61 @@ def submit_trace(base: str, trace: Union[str, Path], *,
     data = Path(trace).read_bytes()
     url = f"{base}/jobs?detector={detector}&tenant={tenant}"
     return request(url, method="POST", data=data, timeout=timeout)
+
+
+def _retry_after_s(headers: dict) -> Optional[float]:
+    """Parse a ``Retry-After`` header (seconds form) if present and sane."""
+    for key, value in headers.items():
+        if key.lower() == "retry-after":
+            try:
+                return max(0.0, float(value))
+            except (TypeError, ValueError):
+                return None
+    return None
+
+
+def submit_with_retry(base: str, trace: Union[str, Path], *,
+                      detector: str = "our", tenant: str = "default",
+                      max_wait_s: float = 60.0,
+                      backoff_base: float = 0.25,
+                      backoff_max: float = 8.0,
+                      timeout: float = 60.0,
+                      sleep: Callable[[float], None] = time.sleep,
+                      rng: Optional[random.Random] = None,
+                      ) -> Tuple[int, dict, dict, int]:
+    """Submit, riding out 429/503 backpressure the polite way.
+
+    A 429 (queue full, tenant cap) or 503 (draining) is the daemon
+    shedding load, not failing — the client's job is to come back
+    *later and unsynchronized*.  Each rejection waits the larger of the
+    server's ``Retry-After`` hint and a jittered capped exponential
+    backoff (full jitter on the exponential part, so a burst of
+    rejected clients does not re-arrive as the same burst), until the
+    submission lands or ``max_wait_s`` of total waiting is exhausted —
+    then the last rejection is returned for the caller to report.
+
+    Returns ``(status, headers, payload, attempts)``.  Transport
+    failures still raise :class:`ServerUnavailable` immediately; only
+    explicit backpressure responses are retried.  ``sleep`` and ``rng``
+    exist for tests (injectable clock and determinism).
+    """
+    if max_wait_s < 0:
+        raise ValueError("max_wait_s must be >= 0")
+    rng = rng if rng is not None else random.Random()
+    waited = 0.0
+    attempts = 0
+    while True:
+        attempts += 1
+        status, headers, payload = submit_trace(
+            base, trace, detector=detector, tenant=tenant, timeout=timeout)
+        if status not in (429, 503):
+            return status, headers, payload, attempts
+        backoff = min(backoff_max, backoff_base * (2 ** (attempts - 1)))
+        delay = max(_retry_after_s(headers) or 0.0, backoff * rng.random())
+        if waited + delay > max_wait_s:
+            return status, headers, payload, attempts
+        sleep(delay)
+        waited += delay
 
 
 def poll_job(base: str, job_id: str, *, timeout_s: float = 120.0,

@@ -213,13 +213,20 @@ class JobJournal:
 
     # -- rotation -------------------------------------------------------------
 
-    def compact(self, records: List[dict]) -> None:
+    def compact(self, records: List[dict], fault_hook=None) -> None:
         """Atomically rewrite the journal as exactly ``records``.
 
         The caller passes its live job table rendered as one record per
         job; the rewrite goes through ``<journal>.tmp`` + fsync +
         ``os.replace``, so a crash mid-rotation leaves a valid journal
         (old or new, never a hybrid).
+
+        ``fault_hook(stage)`` — test instrumentation only — is invoked
+        at the crash-interesting points (``"mid-write"`` with the tmp
+        file half written, ``"pre-replace"`` with it complete but not
+        yet swapped in, ``"post-replace"`` after the swap): a chaos test
+        ``kill -9``'s the process inside the hook and asserts that
+        replay sees the old or the new journal, never a torn hybrid.
         """
         self.close()
         header = json.dumps({"schema": JOURNAL_SCHEMA},
@@ -229,12 +236,19 @@ class JobJournal:
             fh.write(JOURNAL_MAGIC)
             fh.write(_U32.pack(len(header)))
             fh.write(header)
-            for rec in records:
+            for i, rec in enumerate(records):
                 payload = json.dumps(rec, sort_keys=True).encode("utf-8")
                 fh.write(_U32.pack(len(payload)))
                 fh.write(_U32.pack(zlib.crc32(payload)))
                 fh.write(payload)
+                if fault_hook is not None and i == len(records) // 2:
+                    fh.flush()
+                    fault_hook("mid-write")
             fh.flush()
             os.fsync(fh.fileno())
+        if fault_hook is not None:
+            fault_hook("pre-replace")
         os.replace(tmp, self.path)
+        if fault_hook is not None:
+            fault_hook("post-replace")
         self.appended = 0

@@ -43,6 +43,7 @@ from .. import obs
 from ..mpi.errors import TraceFormatError
 from ..pipeline import CheckpointError, analyze_trace, backoff_delay
 from ..pipeline import checkpoint as _ckpt
+from ..pipeline.format import compare_chain, trace_chain
 from .cache import VerdictCache, trace_sha256
 from .journal import JobJournal
 
@@ -96,6 +97,12 @@ class Job:
     races: Optional[int] = None
     events: Optional[int] = None
     wall_seconds: Optional[float] = None
+    #: incremental lineage: the already-analyzed trace whose chunk chain
+    #: this trace extends, and how many chunks that prefix covers —
+    #: journaled at submit so crash recovery re-runs the job with the
+    #: same prefix-resume plan it was admitted with
+    resumed_from: Optional[str] = None
+    prefix_chunks: int = 0
     #: resume accounting of the winning attempt (lane/from_seq/skipped)
     resumed: List[dict] = field(default_factory=list)
 
@@ -107,7 +114,9 @@ class Job:
             "submitted_at": self.submitted_at, "updated_at": self.updated_at,
             "reason": self.reason, "cached": self.cached,
             "races": self.races, "events": self.events,
-            "wall_seconds": self.wall_seconds, "resumed": self.resumed,
+            "wall_seconds": self.wall_seconds,
+            "resumed_from": self.resumed_from,
+            "prefix_chunks": self.prefix_chunks, "resumed": self.resumed,
         }
 
     @classmethod
@@ -115,7 +124,8 @@ class Job:
         return cls(**{k: d.get(k, None) for k in (
             "id", "tenant", "detector", "trace_sha", "trace_path", "state",
             "attempts", "submitted_at", "updated_at", "reason", "cached",
-            "races", "events", "wall_seconds")},
+            "races", "events", "wall_seconds", "resumed_from")},
+            prefix_chunks=int(d.get("prefix_chunks") or 0),
             resumed=list(d.get("resumed") or ()))
 
 
@@ -136,6 +146,7 @@ class Scheduler:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         compact_every: int = 512,
+        cache_max: Optional[int] = 256,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -149,7 +160,9 @@ class Scheduler:
         for d in (self.state_dir, self.traces_dir, self.ckpt_base):
             d.mkdir(parents=True, exist_ok=True)
         self.journal = JobJournal(self.state_dir / "jobs.journal")
-        self.cache = VerdictCache(self.state_dir / "cache")
+        self.cache = VerdictCache(self.state_dir / "cache",
+                                  max_entries=cache_max,
+                                  on_evict=self._cache_evicted)
         self.workers = workers
         self.max_queue = max_queue
         self.tenant_cap = tenant_cap
@@ -177,6 +190,17 @@ class Scheduler:
         if self.registry.enabled:
             with self._lock:
                 self.registry.counter(name, **labels).add(n)
+
+    def _cache_evicted(self, sha: str, detector: str) -> None:
+        """LRU eviction callback: drop the entry's checkpoint state too.
+
+        An evicted verdict can no longer be a prefix-resume ancestor
+        (its chain sidecar is gone), so its retained final checkpoint
+        is dead weight — delete the whole per-job checkpoint directory.
+        """
+        self._count("serve.cache.evicted")
+        shutil.rmtree(job_ckpt_dir(self.ckpt_base, sha, detector),
+                      ignore_errors=True)
 
     def _set_gauges(self) -> None:
         if not self.registry.enabled:
@@ -309,12 +333,17 @@ class Scheduler:
                 os.replace(spooled, stored)
             else:
                 spooled.unlink(missing_ok=True)
+            resumed_from, prefix_chunks = (None, 0)
+            if cached is None:
+                resumed_from, prefix_chunks = self._find_prefix_ancestor(
+                    stored, detector, sha)
             self._seq += 1
             now = time.time()
             job = Job(
                 id=f"j{self._seq:06d}", tenant=tenant, detector=detector,
                 trace_sha=sha, trace_path=str(stored),
                 submitted_at=now, updated_at=now,
+                resumed_from=resumed_from, prefix_chunks=prefix_chunks,
             )
             self.jobs[job.id] = job
             self._journal_submit(job)
@@ -330,6 +359,38 @@ class Scheduler:
             self._queue.put(job.id)
         self._set_gauges()
         return job
+
+    def _find_prefix_ancestor(self, stored: Path, detector: str,
+                              sha: str) -> tuple:
+        """Longest already-analyzed trace this upload append-only extends.
+
+        The verdict cache keeps a chunk-chain sidecar for every finished
+        job; comparing the new trace's chain against each sidecar is one
+        O(min(len)) hex compare — ``relation == "extension"`` proves the
+        new bytes are the old trace plus appended chunks, so its final
+        checkpoint cursor is a valid starting point.  Candidates that
+        share a prefix but then *diverge* (a rewritten tail resubmitted)
+        are counted and skipped: resuming over them would analyze the
+        wrong history.
+        """
+        try:
+            new_chain = trace_chain(stored)
+        except (TraceFormatError, OSError):
+            return None, 0  # v1/quarantined traces have no chain index
+        if not new_chain.get("chunks"):
+            return None, 0
+        best_sha, best_common = None, 0
+        for anc_sha, anc_chain in self.cache.iter_chains(detector):
+            if anc_sha == sha:
+                continue
+            rel = compare_chain(anc_chain, new_chain)
+            if rel["relation"] == "extension" and rel["common"] > best_common:
+                best_sha, best_common = anc_sha, rel["common"]
+            elif rel["relation"] == "diverged" and rel["common"] >= 1:
+                self._count("incremental.divergences")
+        if best_sha is not None:
+            self._count("incremental.prefix_hits")
+        return best_sha, best_common
 
     def submit_bytes(self, data: bytes, **kwargs) -> Job:
         """Convenience for tests/benchmarks: spool ``data`` and submit."""
@@ -368,6 +429,11 @@ class Scheduler:
         self._transition(job, "running", attempts=job.attempts + 1)
         self._count("serve.jobs.started")
         ckpt_dir = job_ckpt_dir(self.ckpt_base, job.trace_sha, job.detector)
+        if job.resumed_from and self._seed_ckpt_dir(job, ckpt_dir):
+            print(f"repro serve: {job.id} prefix-resume from "
+                  f"{job.resumed_from[:16]} "
+                  f"({job.prefix_chunks} chunk(s) already analyzed)",
+                  flush=True)
         t0 = time.perf_counter()
         try:
             result = analyze_trace(
@@ -411,7 +477,57 @@ class Scheduler:
                          events=result.events_total, wall_seconds=wall,
                          resumed=list(resumed))
         self._count("serve.jobs.completed")
-        shutil.rmtree(ckpt_dir, ignore_errors=True)
+        self._retain_incremental_state(job, ckpt_dir)
+
+    def _seed_ckpt_dir(self, job: Job, ckpt_dir: Path) -> bool:
+        """Copy the prefix ancestor's final checkpoint into this job's dir.
+
+        Idempotent and crash-safe: if the job's own directory already
+        holds serial checkpoints (an interrupted earlier attempt of this
+        very job), its own — strictly further along — cursor wins and no
+        seeding happens.  Copies go through tmp + ``os.replace`` so a
+        crash mid-seed never leaves a torn ``.ckpt`` for resume to trip
+        over.  Returns True when a resumable cursor is in place.
+        """
+        try:
+            if any(ckpt_dir.glob("serial-*.ckpt")):
+                return True
+            anc_dir = job_ckpt_dir(self.ckpt_base, job.resumed_from,
+                                   job.detector)
+            seeds = sorted(anc_dir.glob("serial-*.ckpt"))
+            if not seeds:
+                return False  # ancestor state evicted since admission
+            ckpt_dir.mkdir(parents=True, exist_ok=True)
+            for src in seeds:
+                tmp = ckpt_dir / (src.name + ".tmp")
+                shutil.copyfile(src, tmp)
+                os.replace(tmp, ckpt_dir / src.name)
+            return True
+        except OSError:
+            return False  # seeding is an optimization; never fail the job
+
+    def _retain_incremental_state(self, job: Job, ckpt_dir: Path) -> None:
+        """After success: index the trace's chain, keep one checkpoint.
+
+        A finished chain-bearing trace becomes a prefix-resume ancestor
+        for future uploads, which needs exactly two artifacts: its chunk
+        chain in the cache sidecar and its newest checkpoint cursor.
+        Everything else (older checkpoint generations) is pruned; traces
+        without a computable chain (v1 format) keep the old behaviour of
+        dropping the whole checkpoint directory.
+        """
+        try:
+            chain = trace_chain(job.trace_path)
+        except (TraceFormatError, OSError):
+            chain = None
+        if chain and chain.get("chunks") and chain.get("complete"):
+            self.cache.put_chain(job.trace_sha, job.detector, chain)
+            try:
+                _ckpt.CheckpointStore(ckpt_dir, "serial").prune(keep=1)
+            except OSError:
+                pass
+        else:
+            shutil.rmtree(ckpt_dir, ignore_errors=True)
 
     def _retry_or_quarantine(self, job: Job, why: str) -> None:
         if job.attempts > self.retries:

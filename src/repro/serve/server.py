@@ -65,6 +65,7 @@ class ServeConfig:
     ckpt_every: int = 1
     drain_s: float = 10.0
     max_body_mb: int = 256
+    cache_max: Optional[int] = 256
     quiet: bool = True
 
 
@@ -315,7 +316,7 @@ def serve_forever(config: ServeConfig,
         workers=config.workers, max_queue=config.max_queue,
         tenant_cap=config.tenant_cap, retries=config.retries,
         deadline_s=config.deadline_s, max_rss_mb=config.max_rss_mb,
-        ckpt_every=config.ckpt_every,
+        ckpt_every=config.ckpt_every, cache_max=config.cache_max,
     )
     recovered = scheduler.recover()
     scheduler.start()

@@ -44,7 +44,7 @@ from repro.pipeline.shard import dispatch_event
 #: counters whose values legitimately differ between faulted and
 #: fault-free runs — everything else must match exactly
 _BOOKKEEPING = ("pipeline.retries", "pipeline.worker_failures",
-                "pipeline.degraded", "pipeline.ckpt.")
+                "pipeline.degraded", "pipeline.ckpt.", "incremental.")
 
 
 def _strip(snapshot):

@@ -176,6 +176,7 @@ def _strip_crc(src, dst):
     (hlen,) = struct.unpack_from("<I", raw, pos)
     header = json.loads(raw[pos + 4:pos + 4 + hlen])
     del header["chunk_crc32"]
+    skip = 12 + (32 if header.pop("chunk_chain", None) else 0)
     blob = json.dumps(header).encode("utf-8")
     out = bytearray(MAGIC_V2 + struct.pack("<I", len(blob)) + blob)
     p = pos + 4 + hlen
@@ -187,8 +188,8 @@ def _strip_crc(src, dst):
             break
         nbytes, nevents, _crc = struct.unpack_from("<III", raw, p + 4)
         out += struct.pack("<II", nbytes, nevents)
-        out += raw[p + 16:p + 16 + nbytes]
-        p += 16 + nbytes
+        out += raw[p + 4 + skip:p + 4 + skip + nbytes]
+        p += 4 + skip + nbytes
     dst.write_bytes(bytes(out))
 
 

@@ -1,0 +1,114 @@
+"""``submit_with_retry``: polite, bounded, unsynchronized backpressure.
+
+All tests monkeypatch :func:`repro.serve.client.submit_trace` and
+inject ``sleep``/``rng`` — no daemon, no clock, fully deterministic.
+"""
+
+import pytest
+
+import repro.serve.client as client_mod
+from repro.serve import submit_with_retry
+
+
+class _FixedRng:
+    """``random()`` always returns the same fraction (jitter pinned)."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def random(self):
+        return self.value
+
+
+def _scripted(monkeypatch, responses):
+    """Feed canned ``(status, headers, payload)`` responses in order."""
+    calls = []
+
+    def fake(base, trace, *, detector="our", tenant="default", timeout=60.0):
+        calls.append((base, str(trace), detector, tenant))
+        return responses[min(len(calls) - 1, len(responses) - 1)]
+
+    monkeypatch.setattr(client_mod, "submit_trace", fake)
+    return calls
+
+
+def test_immediate_accept_never_sleeps(monkeypatch, tmp_path):
+    _scripted(monkeypatch, [(202, {}, {"id": "j1"})])
+    slept = []
+    status, _, payload, attempts = submit_with_retry(
+        "http://x", tmp_path / "t", sleep=slept.append)
+    assert (status, attempts) == (202, 1)
+    assert payload["id"] == "j1" and slept == []
+
+
+def test_retry_after_is_a_floor_on_the_delay(monkeypatch, tmp_path):
+    """The server's hint wins whenever it exceeds the jittered backoff."""
+    _scripted(monkeypatch, [
+        (429, {"Retry-After": "3"}, {"error": "queue_full"}),
+        (429, {"retry-after": "0"}, {"error": "queue_full"}),  # any case
+        (202, {}, {"id": "j1"}),
+    ])
+    slept = []
+    status, _, _, attempts = submit_with_retry(
+        "http://x", tmp_path / "t", max_wait_s=60.0,
+        sleep=slept.append, rng=_FixedRng(0.5))
+    assert (status, attempts) == (202, 3)
+    assert slept[0] == 3.0            # hint 3 > 0.25 * 0.5 backoff
+    assert slept[1] == 0.5 * 0.5      # hint 0: jittered 2nd backoff wins
+
+
+def test_backoff_doubles_and_caps(monkeypatch, tmp_path):
+    _scripted(monkeypatch, [(429, {}, {"error": "queue_full"})] * 5
+              + [(202, {}, {"id": "j1"})])
+    slept = []
+    status, _, _, attempts = submit_with_retry(
+        "http://x", tmp_path / "t", max_wait_s=1000.0, backoff_max=1.0,
+        sleep=slept.append, rng=_FixedRng(1.0))
+    assert (status, attempts) == (202, 6)
+    assert slept == [0.25, 0.5, 1.0, 1.0, 1.0]  # capped at backoff_max
+
+
+def test_jitter_desynchronizes(monkeypatch, tmp_path):
+    """Zero jitter (rng → 0) with no hint means immediate retries."""
+    _scripted(monkeypatch, [(503, {}, {"error": "draining"}),
+                            (202, {}, {"id": "j1"})])
+    slept = []
+    submit_with_retry("http://x", tmp_path / "t", sleep=slept.append,
+                      rng=_FixedRng(0.0))
+    assert slept == [0.0]
+
+
+def test_gives_up_when_budget_exhausted(monkeypatch, tmp_path):
+    """A delay that would blow ``max_wait_s`` returns the rejection."""
+    _scripted(monkeypatch, [(429, {"Retry-After": "30"},
+                             {"error": "queue_full"})])
+    slept = []
+    status, headers, payload, attempts = submit_with_retry(
+        "http://x", tmp_path / "t", max_wait_s=5.0,
+        sleep=slept.append, rng=_FixedRng(0.5))
+    assert status == 429 and attempts == 1
+    assert payload["error"] == "queue_full"
+    assert slept == []  # never sleeps past the budget, fails fast instead
+
+
+def test_max_wait_zero_means_single_shot(monkeypatch, tmp_path):
+    calls = _scripted(monkeypatch, [(429, {}, {"error": "queue_full"})])
+    status, _, _, attempts = submit_with_retry(
+        "http://x", tmp_path / "t", max_wait_s=0.0,
+        sleep=lambda s: pytest.fail("must not sleep"), rng=_FixedRng(1.0))
+    assert (status, attempts) == (429, 1)
+    assert len(calls) == 1
+
+
+def test_non_backpressure_status_is_not_retried(monkeypatch, tmp_path):
+    calls = _scripted(monkeypatch, [(400, {}, {"error": "bad detector"})])
+    status, _, _, attempts = submit_with_retry(
+        "http://x", tmp_path / "t",
+        sleep=lambda s: pytest.fail("must not sleep"))
+    assert (status, attempts) == (400, 1)
+    assert len(calls) == 1
+
+
+def test_negative_budget_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        submit_with_retry("http://x", tmp_path / "t", max_wait_s=-1.0)

@@ -1,5 +1,9 @@
 """The ``repro-jobs-v1`` journal: durability, damage handling, rotation."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.faultinject import corrupt_journal_record
@@ -109,6 +113,56 @@ def test_compaction_rewrites_atomically(tmp_path):
     assert journal.appended == 0
     assert journal.replay() == live
     assert not path.with_suffix(path.suffix + ".tmp").exists()
+
+
+_COMPACT_CHILD = """
+import os, sys
+from repro.serve import JobJournal
+
+path, stage = sys.argv[1], sys.argv[2]
+new = [{"op": "state", "job": {"id": f"n{i:06d}", "state": "done"}}
+       for i in range(8)]
+JobJournal(path).compact(
+    new, fault_hook=lambda s: os._exit(137) if s == stage else None)
+"""
+
+
+@pytest.mark.parametrize("stage", ["mid-write", "pre-replace",
+                                   "post-replace"])
+def test_kill9_during_compaction_leaves_old_or_new(tmp_path, stage):
+    """Dying at any point of the rotation: replay sees exactly one epoch.
+
+    ``mid-write`` and ``pre-replace`` die before the ``os.replace`` —
+    the old journal must still replay in full, half-written tmp file
+    notwithstanding.  ``post-replace`` dies after — the compacted set
+    must replay.  Never a hybrid, never quarantine.
+    """
+    path = tmp_path / "jobs.journal"
+    journal = JobJournal(path)
+    old = _records(20)
+    for rec in old:
+        journal.append(rec)
+    journal.close()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    proc = subprocess.run(
+        [sys.executable, "-c", _COMPACT_CHILD, str(path), stage],
+        env=env, capture_output=True, text=True)
+    assert proc.returncode == 137, proc.stderr
+
+    new = [{"op": "state", "job": {"id": f"n{i:06d}", "state": "done"}}
+           for i in range(8)]
+    fresh = JobJournal(path)
+    replayed = fresh.replay()
+    if stage == "post-replace":
+        assert replayed == new
+    else:
+        assert replayed == old
+    assert fresh.quarantined == []
+    # the next compaction cycles cleanly over whatever survived
+    fresh.compact(new)
+    assert JobJournal(path).replay() == new
 
 
 def test_corrupt_journal_record_validates_input(tmp_path):

@@ -17,14 +17,15 @@ def test_exit_code_values_are_pinned():
     assert exitcodes.EX_PARTIAL == 4
     assert exitcodes.EX_JOB_FAILED == 5
     assert exitcodes.EX_UNAVAILABLE == 6
+    assert exitcodes.EX_DIVERGED == 7
     assert exitcodes.EX_SIGTERM == 143
 
 
 def test_contract_table_is_complete_and_read_only():
-    assert set(EXIT_CODES) == {0, 1, 2, 3, 4, 5, 6, 143}
+    assert set(EXIT_CODES) == {0, 1, 2, 3, 4, 5, 6, 7, 143}
     assert all(isinstance(v, str) and v for v in EXIT_CODES.values())
     try:
-        EXIT_CODES[7] = "surprise"  # type: ignore[index]
+        EXIT_CODES[8] = "surprise"  # type: ignore[index]
     except TypeError:
         pass
     else:
